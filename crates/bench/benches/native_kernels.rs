@@ -1,0 +1,89 @@
+//! Criterion micro-benchmarks of the *native* kernel ladders on the host
+//! machine — the NATIVE experiment of DESIGN.md: the paper's methodology
+//! applied to the one machine we physically have.
+//!
+//! Run with `cargo bench -p membound-bench --bench native_kernels`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use membound_core::{
+    blur_native, run_native_stream, transpose_native, BlurConfig, BlurVariant, SquareMatrix,
+    StreamOp, TransposeConfig, TransposeVariant,
+};
+use membound_image::generate;
+use membound_parallel::Pool;
+
+fn bench_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream_native");
+    let elements = 1 << 21; // 16 MiB per array: beyond typical L2
+    group.throughput(Throughput::Bytes(StreamOp::Triad.nominal_bytes(elements as u64)));
+    let pool = Pool::host();
+    for op in StreamOp::all() {
+        group.bench_with_input(BenchmarkId::from_parameter(op.label()), &op, |b, &op| {
+            b.iter(|| run_native_stream(op, elements, 1, &pool));
+        });
+    }
+    group.finish();
+}
+
+fn bench_transpose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transpose_native_1024");
+    let cfg = TransposeConfig::new(1024);
+    group.throughput(Throughput::Bytes(cfg.nominal_bytes()));
+    group.sample_size(20);
+    let pool = Pool::host();
+    for variant in TransposeVariant::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(variant.label()),
+            &variant,
+            |b, &variant| {
+                let mut m = SquareMatrix::indexed(cfg.n);
+                b.iter(|| transpose_native(&mut m, variant, cfg, &pool));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_transpose_block_sizes(c: &mut Criterion) {
+    // The DESIGN.md block-size ablation, natively: how sensitive is
+    // Manual_blocking to its block parameter on the host?
+    let mut group = c.benchmark_group("transpose_native_block_sweep");
+    group.sample_size(20);
+    let pool = Pool::host();
+    for block in [16usize, 32, 64, 128] {
+        let cfg = TransposeConfig::with_block(1024, block);
+        group.bench_with_input(BenchmarkId::from_parameter(block), &cfg, |b, &cfg| {
+            let mut m = SquareMatrix::indexed(cfg.n);
+            b.iter(|| transpose_native(&mut m, TransposeVariant::ManualBlocking, cfg, &pool));
+        });
+    }
+    group.finish();
+}
+
+fn bench_blur(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blur_native_317x397");
+    let cfg = BlurConfig::small(317, 397);
+    group.throughput(Throughput::Bytes(cfg.nominal_bytes()));
+    group.sample_size(10);
+    let pool = Pool::host();
+    let src = generate::test_pattern(cfg.height, cfg.width, cfg.channels);
+    for variant in BlurVariant::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(variant.label()),
+            &variant,
+            |b, &variant| {
+                b.iter(|| blur_native(&src, variant, &cfg, &pool));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_stream,
+    bench_transpose,
+    bench_transpose_block_sizes,
+    bench_blur
+);
+criterion_main!(benches);

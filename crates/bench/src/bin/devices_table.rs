@@ -1,0 +1,56 @@
+//! TAB-DEV: the §3.1 device-configuration inventory, printed from the
+//! simulator's presets so the modelled geometry is auditable against the
+//! paper.
+
+use membound_core::report::TextTable;
+use membound_sim::Device;
+
+fn main() {
+    let mut t = TextTable::new(
+        ["device", "ISA", "cores", "freq", "caches", "TLBs", "DRAM model", "RAM"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for device in Device::all() {
+        let spec = device.spec();
+        let caches = spec
+            .caches
+            .iter()
+            .map(|c| {
+                format!(
+                    "{} {}KB {}w {}{}",
+                    c.name,
+                    c.size_bytes / 1024,
+                    c.ways,
+                    c.replacement,
+                    if c.shared { " shared" } else { "" }
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(" + ");
+        let tlbs = match &spec.l2tlb {
+            Some(l2) => format!(
+                "{} {}e / {} {}e {}w",
+                spec.dtlb.name, spec.dtlb.entries, l2.name, l2.entries, l2.ways
+            ),
+            None => format!("{} {}e", spec.dtlb.name, spec.dtlb.entries),
+        };
+        t.row(vec![
+            device.label().into(),
+            spec.isa.clone(),
+            spec.cores.to_string(),
+            format!("{:.1} GHz", spec.core.freq_ghz),
+            caches,
+            tlbs,
+            format!(
+                "{:.1} GB/s, {} ch, {} cy",
+                spec.dram_gbps(),
+                spec.dram.channels,
+                spec.dram.latency_cycles
+            ),
+            format!("{} GB", spec.dram_capacity_bytes >> 30),
+        ]);
+    }
+    println!("TAB-DEV: modelled device configurations (paper §3.1)\n");
+    println!("{}", t.render());
+}

@@ -1,0 +1,85 @@
+//! FIG3: relative memory-bandwidth utilization (§3.3 metric) of the naïve
+//! and the best optimized transposition, per device and matrix size.
+
+use membound_bench::{scale_banner, Args};
+use membound_core::experiment::{simulate_transpose, stream_dram_gbps};
+use membound_core::report::{to_json, TextTable};
+use membound_core::{TransposeConfig, TransposeVariant};
+use membound_sim::Device;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    panel_n: usize,
+    device: String,
+    stream_gbps: f64,
+    naive_utilization: f64,
+    best_variant: String,
+    best_utilization: f64,
+}
+
+fn main() {
+    let args = Args::parse("fig3_transpose_util");
+    let (n1, n2) = args.transpose_sizes();
+    println!("FIG3: relative memory-bandwidth utilization, transposition");
+    println!("{}\n", scale_banner(args.full));
+
+    let mut rows = Vec::new();
+    for n in [n1, n2] {
+        let cfg = TransposeConfig::new(n);
+        println!("panel: {n} x {n}");
+        let mut table = TextTable::new(
+            ["device", "STREAM GB/s", "naive util", "best variant", "best util"]
+                .map(String::from)
+                .to_vec(),
+        );
+        for device in Device::all() {
+            let spec = device.spec();
+            if !spec.fits_in_memory(cfg.matrix_bytes()) {
+                table.row(vec![
+                    device.label().into(),
+                    "-".into(),
+                    "does not fit in memory".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
+                continue;
+            }
+            let stream = stream_dram_gbps(&spec);
+            let util = |variant| {
+                simulate_transpose(&spec, variant, cfg)
+                    .map(|r| r.bandwidth_utilization(cfg.nominal_bytes(), stream))
+            };
+            let naive = util(TransposeVariant::Naive).unwrap_or(0.0);
+            let (best_variant, best) = TransposeVariant::all()
+                .into_iter()
+                .skip(1)
+                .filter_map(|v| util(v).map(|u| (v, u)))
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("at least one optimized variant");
+            table.row(vec![
+                device.label().into(),
+                format!("{stream:.2}"),
+                format!("{naive:.3}"),
+                best_variant.label().into(),
+                format!("{best:.3}"),
+            ]);
+            rows.push(Row {
+                panel_n: n,
+                device: device.label().into(),
+                stream_gbps: stream,
+                naive_utilization: naive,
+                best_variant: best_variant.label().into(),
+                best_utilization: best,
+            });
+        }
+        println!("{}", table.render());
+    }
+    println!(
+        "shape check (paper Fig. 3): optimization raises utilization on every\n\
+         device; the StarFive reaches the highest relative utilization (its\n\
+         DRAM is so slow that the optimized kernel saturates it); the Mango\n\
+         Pi stays low (single cache level, modest L1)."
+    );
+    args.write_json(&to_json(&rows));
+}

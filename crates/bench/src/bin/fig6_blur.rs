@@ -1,0 +1,87 @@
+//! FIG6: computation time of the five Gaussian-blur variants on the four
+//! devices, with the paper's naïve-seconds + speedup bar labels.
+
+use membound_bench::{scale_banner, Args};
+use membound_core::experiment::simulate_blur;
+use membound_core::metrics::{attach_speedups, Measurement};
+use membound_core::report::{fmt_seconds, fmt_speedup, to_json, BarChart, TextTable};
+use membound_core::BlurVariant;
+use membound_sim::Device;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    device: String,
+    variant: String,
+    threads: u32,
+    seconds: f64,
+    speedup_vs_naive: f64,
+}
+
+fn main() {
+    let args = Args::parse("fig6_blur");
+    let cfg = args.blur_config();
+    println!(
+        "FIG6: Gaussian blur ({}x{}x{} f32, F={}), five variants x four devices",
+        cfg.height, cfg.width, cfg.channels, cfg.filter_size
+    );
+    println!("{}\n", scale_banner(args.full));
+
+    let mut table = TextTable::new(
+        ["device", "variant", "threads", "time", "speedup"]
+            .map(String::from)
+            .to_vec(),
+    );
+    let mut rows = Vec::new();
+    let mut chart = BarChart::new("simulated time, normalized per device");
+    for device in Device::all() {
+        let spec = device.spec();
+        let mut ladder: Vec<Measurement> = Vec::new();
+        for variant in BlurVariant::all() {
+            let report = simulate_blur(&spec, variant, cfg);
+            ladder.push(Measurement::new(
+                variant.label(),
+                device.label(),
+                report.threads,
+                report.seconds,
+            ));
+        }
+        attach_speedups(&mut ladder);
+        for m in &ladder {
+            table.row(vec![
+                m.device.clone(),
+                m.variant.clone(),
+                m.threads.to_string(),
+                fmt_seconds(m.seconds),
+                fmt_speedup(m.speedup_vs_naive),
+            ]);
+            chart.bar(
+                &m.device,
+                &m.variant,
+                m.seconds,
+                &if m.variant == "Naive" {
+                    format!("{} s", fmt_seconds(m.seconds))
+                } else {
+                    fmt_speedup(m.speedup_vs_naive)
+                },
+            );
+            rows.push(Row {
+                device: m.device.clone(),
+                variant: m.variant.clone(),
+                threads: m.threads,
+                seconds: m.seconds,
+                speedup_vs_naive: m.speedup_vs_naive,
+            });
+        }
+    }
+    println!("{}", table.render());
+    println!("{}", chart.render(48));
+    println!(
+        "shape check (paper Fig. 6): Unit-stride helps modestly; 1D_kernels\n\
+         helps less than its 19x work reduction suggests (excess memory\n\
+         traffic); Memory delivers the big jump — dramatically so on the\n\
+         Xeon, whose compiler vectorizes the row-accumulation loop; Parallel\n\
+         gains are capped by memory channels."
+    );
+    args.write_json(&to_json(&rows));
+}

@@ -1,0 +1,135 @@
+//! Shared plumbing for the figure-regeneration binaries.
+//!
+//! Every binary in `src/bin` regenerates one table or figure of the paper
+//! (see DESIGN.md's experiment index): it prints a text table with the
+//! same rows/series the paper plots, and writes machine-readable JSON
+//! next to it under `results/`.
+
+#![warn(missing_docs)]
+
+use membound_core::BlurConfig;
+use std::path::PathBuf;
+
+/// Common command-line options of the figure binaries.
+///
+/// * `--full` — run the paper's full workload sizes (8192²/16384²
+///   matrices, the 2544×2027 image). Defaults to scaled-down workloads
+///   that finish in seconds while preserving every qualitative effect
+///   (all working sets still exceed every modelled cache).
+/// * `--json <path>` — where to write the JSON rows (defaults to
+///   `results/<name>.json`).
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Run the paper's full workload sizes.
+    pub full: bool,
+    /// Output path for JSON rows.
+    pub json_path: PathBuf,
+}
+
+impl Args {
+    /// Parse from `std::env::args`, with `name` naming the default JSON
+    /// output file.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown flag (with a usage message).
+    #[must_use]
+    pub fn parse(name: &str) -> Self {
+        let mut full = false;
+        let mut json_path = PathBuf::from(format!("results/{name}.json"));
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--full" => full = true,
+                "--json" => {
+                    json_path = PathBuf::from(
+                        args.next().expect("--json requires a path argument"),
+                    );
+                }
+                "--help" | "-h" => {
+                    println!("usage: {name} [--full] [--json <path>]");
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other}; usage: {name} [--full] [--json <path>]"),
+            }
+        }
+        Self { full, json_path }
+    }
+
+    /// The two matrix sizes of Fig. 2/3: the paper's 8192/16384 under
+    /// `--full`, otherwise 2048/4096 (both far beyond every modelled
+    /// cache, so the ladder shapes are preserved).
+    #[must_use]
+    pub fn transpose_sizes(&self) -> (usize, usize) {
+        if self.full {
+            (8192, 16384)
+        } else {
+            (2048, 4096)
+        }
+    }
+
+    /// The blur workload of Fig. 6/7: the paper's 2544×2027 image under
+    /// `--full`, otherwise the same aspect at half resolution.
+    #[must_use]
+    pub fn blur_config(&self) -> BlurConfig {
+        if self.full {
+            BlurConfig::paper()
+        } else {
+            BlurConfig::small(1013, 1272)
+        }
+    }
+
+    /// Write JSON rows (creating the parent directory), and report where.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written.
+    pub fn write_json(&self, json: &str) {
+        if let Some(dir) = self.json_path.parent() {
+            std::fs::create_dir_all(dir).expect("create results directory");
+        }
+        std::fs::write(&self.json_path, json).expect("write JSON results");
+        println!("\n[json rows written to {}]", self.json_path.display());
+    }
+}
+
+/// The workload-scale note printed at the top of every figure.
+#[must_use]
+pub fn scale_banner(full: bool) -> &'static str {
+    if full {
+        "workload: paper-scale (--full)"
+    } else {
+        "workload: scaled-down default (pass --full for paper-scale sizes)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_sizes_are_scaled_down() {
+        let args = Args {
+            full: false,
+            json_path: PathBuf::from("x.json"),
+        };
+        assert_eq!(args.transpose_sizes(), (2048, 4096));
+        assert_eq!(args.blur_config().width, 1272);
+    }
+
+    #[test]
+    fn full_sizes_match_the_paper() {
+        let args = Args {
+            full: true,
+            json_path: PathBuf::from("x.json"),
+        };
+        assert_eq!(args.transpose_sizes(), (8192, 16384));
+        let cfg = args.blur_config();
+        assert_eq!((cfg.height, cfg.width), (2027, 2544));
+    }
+
+    #[test]
+    fn banners_differ() {
+        assert_ne!(scale_banner(true), scale_banner(false));
+    }
+}

@@ -1,0 +1,395 @@
+//! Host-native implementations of the five blur variants.
+//!
+//! All variants filter only the region where the full kernel fits (the
+//! paper's loop bounds, Listing 4: `i < h - sizeFilter`), leaving an
+//! unfiltered border of zeros in the destination; equivalence tests
+//! compare interiors.
+
+use super::{BlurConfig, BlurVariant};
+use membound_image::Image;
+use membound_parallel::{Pool, Schedule, SharedSlice};
+use std::time::{Duration, Instant};
+
+/// Blur `src` with the given variant, returning the destination image and
+/// the elapsed wall-clock time.
+///
+/// Sequential variants ignore the pool; `Parallel` splits rows across it.
+///
+/// # Panics
+///
+/// Panics if the image shape does not match `cfg`.
+///
+/// # Example
+///
+/// ```
+/// use membound_core::{blur_native, BlurConfig, BlurVariant};
+/// use membound_image::generate;
+/// use membound_parallel::Pool;
+///
+/// let cfg = BlurConfig::small(32, 48);
+/// let src = generate::test_pattern(32, 48, 3);
+/// let (dst, _time) = blur_native(&src, BlurVariant::Memory, &cfg, &Pool::new(2));
+/// assert_eq!(dst.width(), 48);
+/// ```
+pub fn blur_native(
+    src: &Image,
+    variant: BlurVariant,
+    cfg: &BlurConfig,
+    pool: &Pool,
+) -> (Image, Duration) {
+    assert_eq!(
+        (src.height(), src.width(), src.channels()),
+        (cfg.height, cfg.width, cfg.channels),
+        "image/config shape mismatch"
+    );
+    let start = Instant::now();
+    let dst = match variant {
+        BlurVariant::Naive => naive(src, cfg),
+        BlurVariant::UnitStride => unit_stride(src, cfg),
+        BlurVariant::OneDimKernels => one_dim_kernels(src, cfg),
+        BlurVariant::Memory => memory(src, cfg),
+        BlurVariant::Parallel => parallel(src, cfg, pool),
+    };
+    (dst, start.elapsed())
+}
+
+/// Listing 4: 2-D kernel, channel loop outside the filter loops, with the
+/// per-tap index arithmetic spelled out exactly as in the paper.
+fn naive(src: &Image, cfg: &BlurConfig) -> Image {
+    let (h, w, cnt_channel) = (cfg.height, cfg.width, cfg.channels);
+    let f = cfg.filter_size;
+    let middle = f / 2;
+    let filter = cfg.kernel_2d();
+    let filter = filter.taps();
+    let src_data = src.as_slice();
+    let mut dst = src.same_shape_zeros();
+    let dst_data = dst.as_mut_slice();
+    for i in 0..h - f {
+        for j in 0..w - f {
+            for c in 0..cnt_channel {
+                let mut sum = 0.0f32;
+                for i_f in 0..f {
+                    for j_f in 0..f {
+                        let pos_i = (i + i_f) * (w * cnt_channel);
+                        let pos_j = (j + j_f) * cnt_channel + c;
+                        sum += src_data[pos_i + pos_j] * filter[i_f * f + j_f];
+                    }
+                }
+                let (i_d, j_d) = (i + middle, j + middle);
+                dst_data[(i_d * w + j_d) * cnt_channel + c] = sum;
+            }
+        }
+    }
+    dst
+}
+
+/// The channel loop moved innermost: every memory access is unit-stride.
+fn unit_stride(src: &Image, cfg: &BlurConfig) -> Image {
+    let (h, w, cnt_channel) = (cfg.height, cfg.width, cfg.channels);
+    let f = cfg.filter_size;
+    let middle = f / 2;
+    let filter = cfg.kernel_2d();
+    let filter = filter.taps();
+    let src_data = src.as_slice();
+    let mut dst = src.same_shape_zeros();
+    let dst_data = dst.as_mut_slice();
+    let mut sums = [0.0f32; 8];
+    for i in 0..h - f {
+        for j in 0..w - f {
+            sums[..cnt_channel].fill(0.0);
+            for i_f in 0..f {
+                let row = (i + i_f) * w * cnt_channel + j * cnt_channel;
+                for j_f in 0..f {
+                    let tap = filter[i_f * f + j_f];
+                    let base = row + j_f * cnt_channel;
+                    for (c, s) in sums[..cnt_channel].iter_mut().enumerate() {
+                        *s += src_data[base + c] * tap;
+                    }
+                }
+            }
+            let out = ((i + middle) * w + (j + middle)) * cnt_channel;
+            dst_data[out..out + cnt_channel].copy_from_slice(&sums[..cnt_channel]);
+        }
+    }
+    dst
+}
+
+/// The horizontal pass shared by the separable variants (including the
+/// fused extension), one row at a time:
+/// `tmp_row[j+mid, c] = Σ_jf src_row[j+jf, c] · k[jf]`.
+pub(super) fn horizontal_pass_row(
+    src_row: &[f32],
+    tmp_row: &mut [f32],
+    cfg: &BlurConfig,
+    taps: &[f32],
+) {
+    let (w, ch) = (cfg.width, cfg.channels);
+    let f = cfg.filter_size;
+    let middle = f / 2;
+    for j in 0..w - f {
+        for c in 0..ch {
+            let mut sum = 0.0f32;
+            let base = j * ch + c;
+            for (j_f, &tap) in taps.iter().enumerate() {
+                sum += src_row[base + j_f * ch] * tap;
+            }
+            tmp_row[(j + middle) * ch + c] = sum;
+        }
+    }
+}
+
+/// "1D_kernels": horizontal pass, then a vertical pass that walks each
+/// output pixel's column of `tmp` — the paper's "excessive memory access".
+fn one_dim_kernels(src: &Image, cfg: &BlurConfig) -> Image {
+    let (h, w, ch) = (cfg.height, cfg.width, cfg.channels);
+    let f = cfg.filter_size;
+    let middle = f / 2;
+    let kernel = cfg.kernel_1d();
+    let taps = kernel.taps();
+    let row_elems_h = w * ch;
+    let mut tmp = src.same_shape_zeros();
+    for i in 0..h {
+        horizontal_pass_row(
+            &src.as_slice()[i * row_elems_h..(i + 1) * row_elems_h],
+            &mut tmp.as_mut_slice()[i * row_elems_h..(i + 1) * row_elems_h],
+            cfg,
+            taps,
+        );
+    }
+    let tmp_data = tmp.as_slice();
+    let mut dst = src.same_shape_zeros();
+    let dst_data = dst.as_mut_slice();
+    let row_elems = w * ch;
+    for i in 0..h - f {
+        for j in 0..w {
+            for c in 0..ch {
+                let mut sum = 0.0f32;
+                for (i_f, &tap) in taps.iter().enumerate() {
+                    sum += tmp_data[(i + i_f) * row_elems + j * ch + c] * tap;
+                }
+                dst_data[(i + middle) * row_elems + j * ch + c] = sum;
+            }
+        }
+    }
+    dst
+}
+
+/// One vertical tap: `dst_row += src_row * tap` — the unit-stride,
+/// auto-vectorizable accumulation loop of Listing 5, shared with the
+/// fused extension.
+pub(super) fn vertical_tap_accumulate(src_row: &[f32], dst_row: &mut [f32], tap: f32) {
+    for (d, &s) in dst_row.iter_mut().zip(src_row) {
+        *d += s * tap;
+    }
+}
+
+/// Listing 5's vertical pass for one output row: accumulate whole rows of
+/// `tmp` into the output row — unit-stride and auto-vectorizable.
+fn memory_pass_row(tmp: &[f32], dst_row: &mut [f32], cfg: &BlurConfig, taps: &[f32], i: usize) {
+    let row_elems = cfg.width * cfg.channels;
+    for (i_f, &tap) in taps.iter().enumerate() {
+        let src_row = (i + i_f) * row_elems;
+        vertical_tap_accumulate(&tmp[src_row..src_row + row_elems], dst_row, tap);
+    }
+}
+
+/// "Memory": horizontal pass plus the row-accumulating vertical pass.
+fn memory(src: &Image, cfg: &BlurConfig) -> Image {
+    let h = cfg.height;
+    let f = cfg.filter_size;
+    let middle = f / 2;
+    let kernel = cfg.kernel_1d();
+    let taps = kernel.taps();
+    let row_elems = cfg.width * cfg.channels;
+    let mut tmp = src.same_shape_zeros();
+    for i in 0..h {
+        horizontal_pass_row(
+            &src.as_slice()[i * row_elems..(i + 1) * row_elems],
+            &mut tmp.as_mut_slice()[i * row_elems..(i + 1) * row_elems],
+            cfg,
+            taps,
+        );
+    }
+    let mut dst = src.same_shape_zeros();
+    for i in 0..h - f {
+        let out = (i + middle) * row_elems;
+        memory_pass_row(
+            tmp.as_slice(),
+            &mut dst.as_mut_slice()[out..out + row_elems],
+            cfg,
+            taps,
+            i,
+        );
+    }
+    dst
+}
+
+/// "Parallel": the Memory variant with both passes split over rows
+/// (`#pragma omp parallel for`, static schedule — §4.3 notes the work is
+/// well balanced).
+fn parallel(src: &Image, cfg: &BlurConfig, pool: &Pool) -> Image {
+    let h = cfg.height;
+    let f = cfg.filter_size;
+    let middle = f / 2;
+    let kernel = cfg.kernel_1d();
+    let taps = kernel.taps();
+    let row_elems = cfg.width * cfg.channels;
+    let mut tmp = src.same_shape_zeros();
+    {
+        let shared_tmp = SharedSlice::new(tmp.as_mut_slice());
+        let src_data = src.as_slice();
+        pool.parallel_for(0..h as u64, Schedule::Static, |i| {
+            let i = i as usize;
+            // SAFETY: iteration i is the only writer of tmp row i.
+            let tmp_row = unsafe { shared_tmp.slice_mut(i * row_elems, row_elems) };
+            horizontal_pass_row(
+                &src_data[i * row_elems..(i + 1) * row_elems],
+                tmp_row,
+                cfg,
+                taps,
+            );
+        });
+    }
+    let mut dst = src.same_shape_zeros();
+    {
+        let shared_dst = SharedSlice::new(dst.as_mut_slice());
+        let tmp_data = tmp.as_slice();
+        pool.parallel_for(0..(h - f) as u64, Schedule::Static, |i| {
+            let i = i as usize;
+            let out = (i + middle) * row_elems;
+            // SAFETY: iteration i is the only writer of output row
+            // i + middle.
+            let dst_row = unsafe { shared_dst.slice_mut(out, row_elems) };
+            memory_pass_row(tmp_data, dst_row, cfg, taps, i);
+        });
+    }
+    dst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use membound_image::generate;
+
+    fn cfg_small() -> BlurConfig {
+        BlurConfig {
+            height: 40,
+            width: 50,
+            channels: 3,
+            filter_size: 9,
+            sigma: Some(1.8),
+        }
+    }
+
+    fn run(variant: BlurVariant, cfg: &BlurConfig, threads: u32) -> Image {
+        let src = generate::test_pattern(cfg.height, cfg.width, cfg.channels);
+        blur_native(&src, variant, cfg, &Pool::new(threads)).0
+    }
+
+    #[test]
+    fn all_variants_agree_on_the_interior() {
+        let cfg = cfg_small();
+        let reference = run(BlurVariant::Naive, &cfg, 1);
+        for variant in BlurVariant::all() {
+            let out = run(variant, &cfg, 3);
+            let diff = reference.max_abs_diff_interior(&out, cfg.filter_size);
+            assert!(
+                diff < 2e-5,
+                "{variant} diverges from naive by {diff}"
+            );
+        }
+    }
+
+    #[test]
+    fn impulse_response_recovers_the_2d_kernel() {
+        let cfg = BlurConfig {
+            height: 30,
+            width: 30,
+            channels: 1,
+            filter_size: 5,
+            sigma: Some(1.0),
+        };
+        let mid = 15usize;
+        let src = generate::impulse(30, 30, 1, mid, mid, 0);
+        let (dst, _) = blur_native(&src, BlurVariant::Naive, &cfg, &Pool::new(1));
+        let k = cfg.kernel_2d();
+        // The blurred impulse equals the (flipped = symmetric) kernel
+        // centred on the impulse.
+        for di in 0..5usize {
+            for dj in 0..5usize {
+                let v = dst.get(mid - 2 + di, mid - 2 + dj, 0);
+                assert!(
+                    (v - k.tap(4 - di, 4 - dj)).abs() < 1e-6,
+                    "tap ({di},{dj}): {v} vs {}",
+                    k.tap(4 - di, 4 - dj)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blur_preserves_mean_intensity_in_the_interior() {
+        let cfg = cfg_small();
+        let src = generate::test_pattern(cfg.height, cfg.width, cfg.channels);
+        let (dst, _) = blur_native(&src, BlurVariant::Memory, &cfg, &Pool::new(1));
+        // A constant region blurs to itself; the test pattern is smooth,
+        // so interior means stay close.
+        let f = cfg.filter_size;
+        let mut src_sum = 0.0f64;
+        let mut dst_sum = 0.0f64;
+        let mut count = 0u64;
+        for i in f..cfg.height - f {
+            for j in f..cfg.width - f {
+                for c in 0..cfg.channels {
+                    src_sum += f64::from(src.get(i, j, c));
+                    dst_sum += f64::from(dst.get(i, j, c));
+                    count += 1;
+                }
+            }
+        }
+        let (sm, dm) = (src_sum / count as f64, dst_sum / count as f64);
+        assert!((sm - dm).abs() < 0.01, "means: {sm} vs {dm}");
+    }
+
+    #[test]
+    fn parallel_matches_memory_exactly() {
+        let cfg = cfg_small();
+        let a = run(BlurVariant::Memory, &cfg, 1);
+        let b = run(BlurVariant::Parallel, &cfg, 4);
+        assert_eq!(a.max_abs_diff(&b), 0.0, "same arithmetic, same result");
+    }
+
+    #[test]
+    fn single_channel_images_work() {
+        let cfg = BlurConfig {
+            height: 32,
+            width: 32,
+            channels: 1,
+            filter_size: 7,
+            sigma: None,
+        };
+        let reference = run(BlurVariant::Naive, &cfg, 1);
+        let out = run(BlurVariant::Memory, &cfg, 2);
+        assert!(reference.max_abs_diff_interior(&out, 7) < 2e-5);
+    }
+
+    #[test]
+    fn border_stays_zero() {
+        let cfg = cfg_small();
+        let dst = run(BlurVariant::Naive, &cfg, 1);
+        // Row 0 is outside every output window (middle = 4).
+        for j in 0..cfg.width {
+            for c in 0..cfg.channels {
+                assert_eq!(dst.get(0, j, c), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn wrong_shape_rejected() {
+        let cfg = cfg_small();
+        let src = generate::test_pattern(8, 8, 1);
+        let _ = blur_native(&src, BlurVariant::Naive, &cfg, &Pool::new(1));
+    }
+}

@@ -1,0 +1,397 @@
+//! Experiment harness: run kernel ladders on simulated devices.
+//!
+//! These functions connect the three layers of the reproduction: a kernel
+//! trace generator (`transpose::traced`, `blur::traced`, `stream`), a
+//! scheduling plan (`membound_parallel::Schedule::plan`) that assigns
+//! outer iterations to simulated cores exactly as OpenMP would, and the
+//! device model (`membound_sim::Machine`).
+
+use crate::blur::{BlurConfig, BlurTrace, BlurVariant};
+use crate::stream::{StreamOp, StreamTrace};
+use crate::transpose::{traced::TransposeTrace, TransposeConfig, TransposeVariant};
+use membound_sim::{DeviceSpec, Machine, SimReport};
+use membound_trace::TraceSink;
+use serde::{Deserialize, Serialize};
+
+/// Simulate one transposition variant on a device.
+///
+/// Returns `None` when the matrix does not fit in device memory — exactly
+/// the missing Mango Pi bars in the 16384² panel of Fig. 2.
+///
+/// # Example
+///
+/// ```
+/// use membound_core::experiment::simulate_transpose;
+/// use membound_core::{TransposeConfig, TransposeVariant};
+/// use membound_sim::Device;
+///
+/// let cfg = TransposeConfig::with_block(512, 32);
+/// let report = simulate_transpose(
+///     &Device::MangoPiMqPro.spec(),
+///     TransposeVariant::Blocking,
+///     cfg,
+/// )
+/// .expect("512x512 fits in 1 GB");
+/// assert!(report.seconds > 0.0);
+/// ```
+#[must_use]
+pub fn simulate_transpose(
+    spec: &DeviceSpec,
+    variant: TransposeVariant,
+    cfg: TransposeConfig,
+) -> Option<SimReport> {
+    if !spec.fits_in_memory(cfg.matrix_bytes()) {
+        return None;
+    }
+    let machine = Machine::new(spec.clone());
+    let trace = TransposeTrace::new(cfg);
+    let threads = if variant.is_parallel() { spec.cores } else { 1 };
+    let total = trace.outer_iterations(variant);
+    let plan = variant
+        .schedule()
+        .plan(total, threads, |i| trace.weight(variant, i));
+    Some(machine.simulate(threads, |tid, sink| {
+        for range in &plan[tid as usize] {
+            trace.trace_outer(variant, sink, tid, range.start, range.end);
+        }
+    }))
+}
+
+/// Simulate one blur variant on a device.
+///
+/// Sequential variants run on one simulated core; `Parallel` splits both
+/// separable passes statically across all cores with a barrier in between
+/// (two OpenMP parallel-for regions).
+#[must_use]
+pub fn simulate_blur(spec: &DeviceSpec, variant: BlurVariant, cfg: BlurConfig) -> SimReport {
+    let machine = Machine::new(spec.clone());
+    let trace = BlurTrace::new(cfg);
+    match variant {
+        BlurVariant::Naive | BlurVariant::UnitStride => machine.simulate(1, |_tid, sink| {
+            trace.trace_2d(variant, sink, 0, trace.output_rows());
+        }),
+        BlurVariant::OneDimKernels | BlurVariant::Memory => machine.simulate(1, |_tid, sink| {
+            trace.trace_pass1(sink, 0, trace.all_rows());
+            trace.trace_pass2(variant, sink, 0, trace.output_rows());
+        }),
+        BlurVariant::Parallel => {
+            let threads = spec.cores;
+            let plan1 = membound_parallel::Schedule::Static.plan(trace.all_rows(), threads, |_| 1.0);
+            let plan2 =
+                membound_parallel::Schedule::Static.plan(trace.output_rows(), threads, |_| 1.0);
+            machine.simulate(threads, |tid, sink| {
+                for r in &plan1[tid as usize] {
+                    trace.trace_pass1(sink, r.start, r.end);
+                }
+                sink.barrier();
+                for r in &plan2[tid as usize] {
+                    trace.trace_pass2(variant, sink, r.start, r.end);
+                }
+            })
+        }
+    }
+}
+
+/// Simulate the fused-blur extension (see `blur::fused`): output bands
+/// split statically across all cores, each with its own ring buffer.
+#[must_use]
+pub fn simulate_fused_blur(spec: &DeviceSpec, cfg: BlurConfig, threads: u32) -> SimReport {
+    let machine = Machine::new(spec.clone());
+    let trace = crate::blur::FusedBlurTrace::new(cfg);
+    let threads = threads.min(spec.cores).max(1);
+    let plan = membound_parallel::Schedule::Static.plan(trace.output_rows(), threads, |_| 1.0);
+    machine.simulate(threads, |tid, sink| {
+        for r in &plan[tid as usize] {
+            trace.trace_band(sink, tid, r.start, r.end);
+        }
+    })
+}
+
+/// One row of the Fig. 1 STREAM survey: a memory level with its four
+/// bandwidths.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamLevelResult {
+    /// Level name ("L1D", "L2", ..., "DRAM").
+    pub level: String,
+    /// Whether the level is private per core (measured sequentially and
+    /// scaled by the core count, as §4.1 prescribes) or shared (measured
+    /// with all cores).
+    pub private_scaled: bool,
+    /// Array elements used per thread.
+    pub elements_per_thread: u64,
+    /// Bandwidth in GB/s for Copy, Scale, Add, Triad (STREAM order).
+    pub gbps: [f64; 4],
+}
+
+/// Number of timed passes per STREAM measurement (after one warm-up).
+const STREAM_PASSES: usize = 3;
+
+/// Array sizing for a cache level: ~3/4 of capacity across all arrays.
+fn cache_level_elements(level_bytes: u64, arrays: u64) -> u64 {
+    ((level_bytes * 3 / 4) / (arrays * 8)).max(64)
+}
+
+/// Per-thread array sizing for a *shared* cache level: 3/4 of the
+/// per-core capacity share, but at least 1.5× the level above so the
+/// arrays cannot linger there (when a shared level's per-core share is
+/// barely larger than the private level above it — the Xeon's L3 slice vs
+/// its L2 — the measurement inevitably blends in some next-level traffic,
+/// exactly as on the real part).
+fn shared_level_elements(spec: &DeviceSpec, k: usize, threads: u64, arrays: u64) -> u64 {
+    let share = spec.caches[k].size_bytes / threads;
+    let above = if k > 0 { spec.caches[k - 1].size_bytes } else { 0 };
+    let footprint = (share * 3 / 4).max(above * 3 / 2);
+    (footprint / (arrays * 8)).max(64)
+}
+
+/// Per-thread array sizing for the DRAM level: every *individual* array
+/// must comfortably exceed a core's total cache share, or steady-state
+/// passes keep the store target resident and dodge its write-allocate and
+/// write-back traffic.
+fn dram_level_elements(spec: &DeviceSpec, arrays: u64) -> u64 {
+    let total_cache: u64 = spec.caches.iter().map(|c| c.size_bytes).sum();
+    let per_core_cache = total_cache / u64::from(spec.cores);
+    let per_array = (3 * per_core_cache)
+        .max(3 << 20)
+        .min(spec.dram_capacity_bytes / (2 * u64::from(spec.cores) * arrays));
+    (per_array / 8).max(1024)
+}
+
+/// Measure one STREAM op against one memory level of a device.
+///
+/// `level` is a cache index (0 = L1) or `None` for DRAM. Returns GB/s
+/// using STREAM's nominal byte counting. Private cache levels are
+/// measured on one core and scaled by the core count; shared levels and
+/// DRAM are measured with every core active.
+#[must_use]
+pub fn simulate_stream(spec: &DeviceSpec, op: StreamOp, level: Option<usize>) -> f64 {
+    let arrays = u64::from(op.arrays_used());
+    let (elements, threads, scale) = match level {
+        Some(k) => {
+            let cache = &spec.caches[k];
+            if cache.shared {
+                let elems = shared_level_elements(spec, k, u64::from(spec.cores), arrays);
+                (elems, spec.cores, 1.0)
+            } else {
+                let elems = cache_level_elements(cache.size_bytes, arrays);
+                (elems, 1, f64::from(spec.cores))
+            }
+        }
+        None => (dram_level_elements(spec, arrays), spec.cores, 1.0),
+    };
+
+    let machine = Machine::new(spec.clone());
+    let per_thread = elements; // each simulated core streams its own arrays’ slice
+    let report = machine.simulate(threads, |tid, sink| {
+        // Each thread works on its own contiguous slice of logically
+        // shared arrays: slice k covers [tid*per_thread, (tid+1)*per_thread).
+        let trace = StreamTrace::new(op, per_thread * u64::from(threads));
+        let lo = u64::from(tid) * per_thread;
+        let hi = lo + per_thread;
+        for _pass in 0..=STREAM_PASSES {
+            trace.trace_pass(sink, lo, hi);
+            sink.barrier();
+        }
+    });
+
+    // Skip the cold warm-up phase; take the best steady-state pass, as
+    // STREAM itself does.
+    let freq = spec.core.freq_ghz * 1e9;
+    let best_phase_seconds = report
+        .phases
+        .iter()
+        .skip(1)
+        .map(|p| p.cycles / freq)
+        .filter(|&s| s > 0.0)
+        .fold(f64::INFINITY, f64::min);
+    if !best_phase_seconds.is_finite() {
+        return 0.0;
+    }
+    let nominal = op.nominal_bytes(per_thread * u64::from(threads));
+    nominal as f64 / best_phase_seconds / 1e9 * scale
+}
+
+/// The full Fig. 1 survey for one device: every cache level plus DRAM,
+/// all four STREAM tests.
+#[must_use]
+pub fn simulate_stream_survey(spec: &DeviceSpec) -> Vec<StreamLevelResult> {
+    let mut out = Vec::new();
+    for (k, cache) in spec.caches.iter().enumerate() {
+        let mut gbps = [0.0; 4];
+        for (g, op) in gbps.iter_mut().zip(StreamOp::all()) {
+            *g = simulate_stream(spec, op, Some(k));
+        }
+        out.push(StreamLevelResult {
+            level: cache.name.clone(),
+            private_scaled: !cache.shared,
+            elements_per_thread: cache_level_elements(
+                cache.size_bytes,
+                u64::from(StreamOp::Triad.arrays_used()),
+            ),
+            gbps,
+        });
+    }
+    let mut gbps = [0.0; 4];
+    for (g, op) in gbps.iter_mut().zip(StreamOp::all()) {
+        *g = simulate_stream(spec, op, None);
+    }
+    out.push(StreamLevelResult {
+        level: "DRAM".into(),
+        private_scaled: false,
+        elements_per_thread: dram_level_elements(spec, 3),
+        gbps,
+    });
+    out
+}
+
+/// The device's STREAM DRAM bandwidth (Triad), the denominator of the
+/// §3.3 utilization metric.
+#[must_use]
+pub fn stream_dram_gbps(spec: &DeviceSpec) -> f64 {
+    simulate_stream(spec, StreamOp::Triad, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use membound_sim::Device;
+
+    fn small_transpose(device: Device, variant: TransposeVariant) -> SimReport {
+        simulate_transpose(&device.spec(), variant, TransposeConfig::with_block(256, 32))
+            .expect("small matrix fits everywhere")
+    }
+
+    #[test]
+    fn transpose_optimizations_help_on_the_mango_pi() {
+        let naive = small_transpose(Device::MangoPiMqPro, TransposeVariant::Naive);
+        let manual = small_transpose(Device::MangoPiMqPro, TransposeVariant::ManualBlocking);
+        assert!(
+            manual.seconds < naive.seconds,
+            "manual blocking must beat naive: {} vs {}",
+            manual.seconds,
+            naive.seconds
+        );
+    }
+
+    #[test]
+    fn transpose_16384_does_not_fit_on_mango_pi() {
+        let r = simulate_transpose(
+            &Device::MangoPiMqPro.spec(),
+            TransposeVariant::Naive,
+            TransposeConfig::new(16384),
+        );
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn parallel_transpose_uses_all_cores() {
+        // The matrix must exceed the shared L2 (1 MB): below that size the
+        // capacity-partitioning approximation of shared caches (see
+        // DESIGN.md) unfairly penalizes the parallel run.
+        let cfg = TransposeConfig::with_block(1024, 32);
+        let spec = Device::RaspberryPi4.spec();
+        let r = simulate_transpose(&spec, TransposeVariant::Parallel, cfg).unwrap();
+        assert_eq!(r.threads, 4);
+        let naive = simulate_transpose(&spec, TransposeVariant::Naive, cfg).unwrap();
+        assert_eq!(naive.threads, 1);
+        assert!(
+            r.seconds < naive.seconds / 1.5,
+            "parallel {} vs naive {}",
+            r.seconds,
+            naive.seconds
+        );
+    }
+
+    #[test]
+    fn blur_ladder_improves_on_xeon() {
+        let spec = Device::IntelXeon4310T.spec();
+        let cfg = BlurConfig::small(96, 120);
+        let naive = simulate_blur(&spec, BlurVariant::Naive, cfg);
+        let memory = simulate_blur(&spec, BlurVariant::Memory, cfg);
+        assert!(
+            memory.seconds < naive.seconds / 3.0,
+            "memory variant should be much faster: {} vs {}",
+            memory.seconds,
+            naive.seconds
+        );
+    }
+
+    #[test]
+    fn parallel_blur_runs_two_phases() {
+        let spec = Device::RaspberryPi4.spec();
+        let cfg = BlurConfig::small(64, 64);
+        let r = simulate_blur(&spec, BlurVariant::Parallel, cfg);
+        assert!(r.phases.len() >= 2, "pass barrier must split phases");
+        assert_eq!(r.threads, 4);
+    }
+
+    #[test]
+    fn fused_blur_reduces_dram_traffic_where_the_ring_fits() {
+        // The image must exceed the caches (so the Memory variant's tmp
+        // round-trip really reaches DRAM) while the F-row ring still fits:
+        // the Raspberry Pi 4 with a ~4 MB image is exactly that regime.
+        let cfg = BlurConfig::small(507, 636);
+        let spec = Device::RaspberryPi4.spec();
+        let parallel = simulate_blur(&spec, BlurVariant::Parallel, cfg);
+        let fused = simulate_fused_blur(&spec, cfg, spec.cores);
+        assert!(
+            (fused.dram.bytes_total() as f64) < parallel.dram.bytes_total() as f64 * 0.8,
+            "fusion must cut DRAM traffic: {} vs {}",
+            fused.dram.bytes_total(),
+            parallel.dram.bytes_total()
+        );
+        assert!(fused.seconds < parallel.seconds);
+    }
+
+    #[test]
+    fn fused_blur_clamps_thread_count_to_cores() {
+        let spec = Device::StarFiveVisionFive.spec();
+        let r = simulate_fused_blur(&spec, BlurConfig::small(48, 64), 16);
+        assert_eq!(r.threads, 2);
+    }
+
+    #[test]
+    fn stream_dram_bandwidth_is_bounded_by_the_model_peak() {
+        for device in Device::all() {
+            let spec = device.spec();
+            let measured = stream_dram_gbps(&spec);
+            let peak = spec.dram_gbps();
+            assert!(measured > 0.0, "{device}");
+            assert!(
+                measured <= peak * 1.05,
+                "{device}: measured {measured} exceeds peak {peak}"
+            );
+            assert!(
+                measured >= peak * 0.2,
+                "{device}: measured {measured} implausibly low vs peak {peak}"
+            );
+        }
+    }
+
+    #[test]
+    fn l1_stream_is_faster_than_dram_stream() {
+        for device in [Device::MangoPiMqPro, Device::IntelXeon4310T] {
+            let spec = device.spec();
+            let l1 = simulate_stream(&spec, StreamOp::Copy, Some(0));
+            let dram = simulate_stream(&spec, StreamOp::Copy, None);
+            assert!(
+                l1 > dram,
+                "{device}: L1 {l1} should beat DRAM {dram}"
+            );
+        }
+    }
+
+    #[test]
+    fn survey_has_one_row_per_level_plus_dram() {
+        let spec = Device::StarFiveVisionFive.spec();
+        let survey = simulate_stream_survey(&spec);
+        assert_eq!(survey.len(), 3); // L1 + L2 + DRAM
+        assert_eq!(survey[0].level, "L1D");
+        assert_eq!(survey.last().unwrap().level, "DRAM");
+        for row in &survey {
+            for g in row.gbps {
+                assert!(g > 0.0, "{row:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Square row-major `f64` matrices for the transposition benchmark.
+
+use std::fmt;
+
+/// A dense square matrix of `f64`, row-major, exactly the layout of the
+/// paper's `double* mat` with `mat[i][j] = data[i * n + j]`.
+///
+/// # Example
+///
+/// ```
+/// use membound_core::SquareMatrix;
+///
+/// let mut m = SquareMatrix::indexed(4);
+/// assert_eq!(m.get(1, 2), (1 * 4 + 2) as f64);
+/// m.transpose_naive();
+/// assert_eq!(m.get(1, 2), (2 * 4 + 1) as f64);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct SquareMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl fmt::Debug for SquareMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SquareMatrix {{ n: {} }}", self.n)
+    }
+}
+
+impl SquareMatrix {
+    /// An `n × n` zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn zeros(n: usize) -> Self {
+        assert!(n > 0, "matrix size must be nonzero");
+        Self {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// The matrix with `m[i][j] = i * n + j` — every element distinct, so
+    /// misplaced elements are detectable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn indexed(n: usize) -> Self {
+        let mut m = Self::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                m.data[i * n + j] = (i * n + j) as f64;
+            }
+        }
+        m
+    }
+
+    /// Side length.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Size of the backing buffer in bytes.
+    #[must_use]
+    pub fn size_bytes(&self) -> u64 {
+        (self.data.len() * std::mem::size_of::<f64>()) as u64
+    }
+
+    /// Element `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[must_use]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n);
+        self.data[i * self.n + j]
+    }
+
+    /// Set element `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        assert!(i < self.n && j < self.n);
+        self.data[i * self.n + j] = v;
+    }
+
+    /// The backing row-major buffer.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The backing row-major buffer, mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Reference transposition used as the test oracle (simple and
+    /// obviously correct).
+    pub fn transpose_naive(&mut self) {
+        for i in 0..self.n {
+            for j in i + 1..self.n {
+                self.data.swap(i * self.n + j, j * self.n + i);
+            }
+        }
+    }
+
+    /// Whether `self` equals the transpose of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sizes differ.
+    #[must_use]
+    pub fn is_transpose_of(&self, other: &SquareMatrix) -> bool {
+        assert_eq!(self.n, other.n, "size mismatch");
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if self.get(i, j) != other.get(j, i) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexed_matrix_has_distinct_elements() {
+        let m = SquareMatrix::indexed(5);
+        let mut seen = std::collections::HashSet::new();
+        for &v in m.as_slice() {
+            assert!(seen.insert(v.to_bits()));
+        }
+    }
+
+    #[test]
+    fn naive_transpose_is_correct_and_involutive() {
+        let orig = SquareMatrix::indexed(7);
+        let mut m = orig.clone();
+        m.transpose_naive();
+        assert!(m.is_transpose_of(&orig));
+        m.transpose_naive();
+        assert_eq!(m, orig);
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut m = SquareMatrix::zeros(3);
+        m.set(2, 1, 4.5);
+        assert_eq!(m.get(2, 1), 4.5);
+        assert_eq!(m.get(1, 2), 0.0);
+    }
+
+    #[test]
+    fn size_bytes_counts_f64s() {
+        assert_eq!(SquareMatrix::zeros(10).size_bytes(), 800);
+    }
+
+    #[test]
+    fn one_by_one_matrix_transposes_trivially() {
+        let mut m = SquareMatrix::indexed(1);
+        m.transpose_naive();
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_size_rejected() {
+        let _ = SquareMatrix::zeros(0);
+    }
+
+    #[test]
+    fn debug_is_compact_even_for_large_matrices() {
+        let m = SquareMatrix::zeros(64);
+        assert_eq!(format!("{m:?}"), "SquareMatrix { n: 64 }");
+    }
+}

@@ -1,0 +1,146 @@
+//! The paper's §3.3 performance metrics.
+//!
+//! Three quantities appear in every figure:
+//!
+//! 1. **computation time** — seconds (native: measured; simulated: model
+//!    cycles ÷ frequency);
+//! 2. **speedup over the naïve variant** — the labels above the bars of
+//!    Figs. 2 and 6;
+//! 3. **relative memory-bandwidth utilization** — the paper's dimensionless
+//!    `(bytes that must move ÷ time) ÷ STREAM bandwidth` in `[0, 1]`,
+//!    plotted in Figs. 3 and 7.
+
+use serde::{Deserialize, Serialize};
+
+/// Speedup of `optimized` over `baseline` (both in seconds).
+///
+/// Returns 0.0 when the optimized time is not positive (degenerate input),
+/// matching "no result" semantics in the reports.
+///
+/// # Example
+///
+/// ```
+/// use membound_core::metrics::speedup;
+///
+/// assert_eq!(speedup(10.0, 2.5), 4.0);
+/// ```
+#[must_use]
+pub fn speedup(baseline_seconds: f64, optimized_seconds: f64) -> f64 {
+    if optimized_seconds > 0.0 {
+        baseline_seconds / optimized_seconds
+    } else {
+        0.0
+    }
+}
+
+/// The §3.3 relative memory-bandwidth-utilization metric.
+///
+/// `nominal_bytes` is the number of bytes the algorithm *must* move
+/// between DRAM and the CPU (each distinct input byte once in, each
+/// distinct output byte once out), `seconds` the computation time and
+/// `stream_gbps` the STREAM-measured DRAM bandwidth of the same device.
+/// The paper notes the optimum of 1.0 is usually unreachable; values can
+/// exceed 1.0 only when the working set fits in cache (the kernel then
+/// beats DRAM speed), which the experiments avoid by sizing workloads
+/// larger than the last-level cache.
+///
+/// # Example
+///
+/// ```
+/// use membound_core::metrics::bandwidth_utilization;
+///
+/// // Moving 8 GB in 10 s on a 4 GB/s device uses 20% of the channels.
+/// let u = bandwidth_utilization(8_000_000_000, 10.0, 4.0);
+/// assert!((u - 0.2).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn bandwidth_utilization(nominal_bytes: u64, seconds: f64, stream_gbps: f64) -> f64 {
+    if seconds <= 0.0 || stream_gbps <= 0.0 {
+        return 0.0;
+    }
+    let achieved_gbps = nominal_bytes as f64 / seconds / 1e9;
+    achieved_gbps / stream_gbps
+}
+
+/// One measured cell of a figure: a kernel variant on a device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Variant label as used in the paper ("Naive", "Blocking", ...).
+    pub variant: String,
+    /// Device label.
+    pub device: String,
+    /// Threads used.
+    pub threads: u32,
+    /// Computation time in seconds.
+    pub seconds: f64,
+    /// Speedup over the naïve variant on the same device (1.0 for naïve).
+    pub speedup_vs_naive: f64,
+    /// §3.3 bandwidth-utilization metric, when applicable.
+    pub bandwidth_utilization: Option<f64>,
+}
+
+impl Measurement {
+    /// Create a measurement with the utilization left unset.
+    #[must_use]
+    pub fn new(variant: &str, device: &str, threads: u32, seconds: f64) -> Self {
+        Self {
+            variant: variant.to_owned(),
+            device: device.to_owned(),
+            threads,
+            seconds,
+            speedup_vs_naive: 1.0,
+            bandwidth_utilization: None,
+        }
+    }
+}
+
+/// Attach speedups-vs-first-entry to a ladder of measurements on one
+/// device (the first entry is the naïve baseline, as in Figs. 2 and 6).
+pub fn attach_speedups(ladder: &mut [Measurement]) {
+    let Some(base) = ladder.first().map(|m| m.seconds) else {
+        return;
+    };
+    for m in ladder.iter_mut() {
+        m.speedup_vs_naive = speedup(base, m.seconds);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_basics() {
+        assert_eq!(speedup(10.0, 5.0), 2.0);
+        assert_eq!(speedup(10.0, 20.0), 0.5);
+        assert_eq!(speedup(10.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn utilization_in_unit_range_for_sane_inputs() {
+        // 1 GB in 1 s on a 2 GB/s device: 0.5.
+        assert!((bandwidth_utilization(1_000_000_000, 1.0, 2.0) - 0.5).abs() < 1e-12);
+        assert_eq!(bandwidth_utilization(100, 0.0, 2.0), 0.0);
+        assert_eq!(bandwidth_utilization(100, 1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn attach_speedups_uses_first_as_baseline() {
+        let mut ladder = vec![
+            Measurement::new("Naive", "dev", 1, 12.0),
+            Measurement::new("Blocking", "dev", 1, 4.0),
+            Measurement::new("Dynamic", "dev", 4, 1.5),
+        ];
+        attach_speedups(&mut ladder);
+        assert_eq!(ladder[0].speedup_vs_naive, 1.0);
+        assert_eq!(ladder[1].speedup_vs_naive, 3.0);
+        assert_eq!(ladder[2].speedup_vs_naive, 8.0);
+    }
+
+    #[test]
+    fn attach_speedups_on_empty_is_noop() {
+        let mut ladder: Vec<Measurement> = Vec::new();
+        attach_speedups(&mut ladder);
+        assert!(ladder.is_empty());
+    }
+}

@@ -1,0 +1,319 @@
+//! Paper-style text tables and machine-readable result rows.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// A simple fixed-width text table, used by the figure-regeneration
+/// binaries to print the same rows the paper's figures plot.
+///
+/// # Example
+///
+/// ```
+/// use membound_core::report::TextTable;
+///
+/// let mut t = TextTable::new(vec!["device".into(), "time [s]".into()]);
+/// t.row(vec!["Mango Pi".into(), "12.5".into()]);
+/// let s = t.render();
+/// assert!(s.contains("Mango Pi"));
+/// assert!(s.contains("time [s]"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// A table with the given column headers.
+    #[must_use]
+    pub fn new(headers: Vec<String>) -> Self {
+        Self {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row. Rows shorter than the header are padded with empty
+    /// cells; longer rows extend the table width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns and a separator under the header.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.headers.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        let all_rows = std::iter::once(&self.headers).chain(self.rows.iter());
+        for row in all_rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, row: &[String]| {
+            for (i, width) in widths.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                let _ = write!(out, "{cell:<width$}");
+                if i + 1 < widths.len() {
+                    out.push_str("  ");
+                }
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// One bar: label, value, annotation.
+type Bar = (String, f64, String);
+
+/// A grouped horizontal bar chart rendered in ASCII — the closest a
+/// terminal gets to the paper's figures. Bars are normalized per group
+/// (each device's ladder scales to its own slowest variant), which is how
+/// the paper's per-device panels read.
+///
+/// # Example
+///
+/// ```
+/// use membound_core::report::BarChart;
+///
+/// let mut chart = BarChart::new("time");
+/// chart.bar("Mango Pi", "Naive", 12.0, "12.0 s");
+/// chart.bar("Mango Pi", "Blocking", 3.0, "x4.0");
+/// let s = chart.render(40);
+/// assert!(s.contains("Mango Pi"));
+/// assert!(s.contains('#'));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    value_label: String,
+    groups: Vec<(String, Vec<Bar>)>,
+}
+
+impl BarChart {
+    /// A chart whose bars represent `value_label`.
+    #[must_use]
+    pub fn new(value_label: &str) -> Self {
+        Self {
+            value_label: value_label.to_owned(),
+            groups: Vec::new(),
+        }
+    }
+
+    /// Add a bar to `group` (groups appear in first-insertion order).
+    /// `annotation` is printed after the bar (the paper uses the naïve
+    /// time and per-variant speedups there).
+    pub fn bar(&mut self, group: &str, label: &str, value: f64, annotation: &str) {
+        let entry = (label.to_owned(), value.max(0.0), annotation.to_owned());
+        if let Some((_, bars)) = self.groups.iter_mut().find(|(g, _)| g == group) {
+            bars.push(entry);
+        } else {
+            self.groups.push((group.to_owned(), vec![entry]));
+        }
+    }
+
+    /// Whether no bars have been added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Render with bars at most `width` characters long.
+    #[must_use]
+    pub fn render(&self, width: usize) -> String {
+        let width = width.max(1);
+        let label_w = self
+            .groups
+            .iter()
+            .flat_map(|(_, bars)| bars.iter())
+            .map(|(l, _, _)| l.chars().count())
+            .max()
+            .unwrap_or(0);
+        let mut out = String::new();
+        for (group, bars) in &self.groups {
+            let _ = writeln!(out, "{group}  [{}]", self.value_label);
+            let max = bars.iter().map(|&(_, v, _)| v).fold(0.0_f64, f64::max);
+            for (label, value, annotation) in bars {
+                let n = if max > 0.0 {
+                    ((value / max) * width as f64).round() as usize
+                } else {
+                    0
+                };
+                let n = if *value > 0.0 { n.max(1) } else { 0 };
+                let _ = writeln!(
+                    out,
+                    "  {label:<label_w$} |{} {annotation}",
+                    "#".repeat(n)
+                );
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format seconds compactly (ms below one second).
+#[must_use]
+pub fn fmt_seconds(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.0}")
+    } else if s >= 1.0 {
+        format!("{s:.2}")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.1}us", s * 1e6)
+    }
+}
+
+/// Format a speedup factor like the paper's bar labels ("x12.4").
+#[must_use]
+pub fn fmt_speedup(x: f64) -> String {
+    if x >= 100.0 {
+        format!("x{x:.0}")
+    } else {
+        format!("x{x:.1}")
+    }
+}
+
+/// Serialize any result rows to pretty JSON (the machine-readable output
+/// each figure binary writes next to its text table).
+///
+/// # Panics
+///
+/// Panics if serialization fails (the row types in this crate cannot
+/// fail to serialize).
+#[must_use]
+pub fn to_json<T: Serialize>(rows: &T) -> String {
+    serde_json::to_string_pretty(rows).expect("result rows serialize infallibly")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = TextTable::new(vec!["a".into(), "long header".into()]);
+        t.row(vec!["wide cell".into(), "x".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // "long header" starts at the same column in both rows.
+        let h = lines[0].find("long header").unwrap();
+        let c = lines[2].find('x').unwrap();
+        assert_eq!(h, c);
+    }
+
+    #[test]
+    fn ragged_rows_are_padded() {
+        let mut t = TextTable::new(vec!["a".into()]);
+        t.row(vec!["1".into(), "2".into(), "3".into()]);
+        t.row(vec![]);
+        assert_eq!(t.len(), 2);
+        let s = t.render();
+        assert!(s.contains('3'));
+    }
+
+    #[test]
+    fn seconds_formatting() {
+        assert_eq!(fmt_seconds(123.4), "123");
+        assert_eq!(fmt_seconds(12.345), "12.35");
+        assert_eq!(fmt_seconds(0.5), "500.00ms");
+        assert_eq!(fmt_seconds(2e-5), "20.0us");
+    }
+
+    #[test]
+    fn speedup_formatting() {
+        assert_eq!(fmt_speedup(12.34), "x12.3");
+        assert_eq!(fmt_speedup(123.4), "x123");
+    }
+
+    #[test]
+    fn json_rows_round_trip() {
+        #[derive(serde::Serialize)]
+        struct Row {
+            device: &'static str,
+            seconds: f64,
+        }
+        let s = to_json(&vec![Row {
+            device: "d",
+            seconds: 1.0,
+        }]);
+        assert!(s.contains("\"device\""));
+    }
+
+    #[test]
+    fn empty_table_renders_headers_only() {
+        let t = TextTable::new(vec!["h".into()]);
+        assert!(t.is_empty());
+        assert!(t.render().starts_with('h'));
+    }
+
+    #[test]
+    fn bar_chart_normalizes_per_group() {
+        let mut c = BarChart::new("time");
+        c.bar("A", "slow", 10.0, "");
+        c.bar("A", "fast", 5.0, "");
+        c.bar("B", "slow", 100.0, "");
+        let s = c.render(10);
+        // Group A's slow bar: 10 hashes; fast: 5. Group B's own max: 10.
+        assert!(s.contains(&"#".repeat(10)));
+        let lines: Vec<&str> = s.lines().collect();
+        let fast_line = lines.iter().find(|l| l.contains("fast")).unwrap();
+        assert_eq!(fast_line.matches('#').count(), 5);
+        let b_slow = lines.iter().rposition(|l| l.contains("slow")).unwrap();
+        assert_eq!(lines[b_slow].matches('#').count(), 10);
+    }
+
+    #[test]
+    fn bar_chart_zero_and_tiny_values() {
+        let mut c = BarChart::new("x");
+        c.bar("g", "zero", 0.0, "");
+        c.bar("g", "tiny", 0.001, "");
+        c.bar("g", "big", 100.0, "");
+        let s = c.render(20);
+        let lines: Vec<&str> = s.lines().collect();
+        let zero = lines.iter().find(|l| l.contains("zero")).unwrap();
+        assert_eq!(zero.matches('#').count(), 0);
+        let tiny = lines.iter().find(|l| l.contains("tiny")).unwrap();
+        assert_eq!(tiny.matches('#').count(), 1, "nonzero bars stay visible");
+    }
+
+    #[test]
+    fn bar_chart_annotations_appear() {
+        let mut c = BarChart::new("time");
+        c.bar("dev", "Naive", 2.0, "12.5 s");
+        assert!(c.render(10).contains("12.5 s"));
+        assert!(!c.is_empty());
+    }
+}

@@ -1,0 +1,284 @@
+//! Host-native implementations of the five transposition variants.
+
+use super::{TransposeConfig, TransposeVariant};
+use crate::matrix::SquareMatrix;
+use membound_parallel::{Pool, Schedule, SharedSlice};
+use std::time::{Duration, Instant};
+
+/// Transpose `m` in place with the given variant and thread pool,
+/// returning the elapsed wall-clock time.
+///
+/// The `Naive` variant ignores the pool size and runs sequentially (as on
+/// the single-core Mango Pi, where §4.2 notes parallel variants cannot
+/// help).
+///
+/// # Panics
+///
+/// Panics if `cfg.n` does not match the matrix size.
+///
+/// # Example
+///
+/// ```
+/// use membound_core::{transpose_native, SquareMatrix, TransposeConfig, TransposeVariant};
+/// use membound_parallel::Pool;
+///
+/// let mut m = SquareMatrix::indexed(64);
+/// let expected = {
+///     let mut t = m.clone();
+///     t.transpose_naive();
+///     t
+/// };
+/// let cfg = TransposeConfig::with_block(64, 16);
+/// transpose_native(&mut m, TransposeVariant::Dynamic, cfg, &Pool::new(2));
+/// assert_eq!(m, expected);
+/// ```
+pub fn transpose_native(
+    m: &mut SquareMatrix,
+    variant: TransposeVariant,
+    cfg: TransposeConfig,
+    pool: &Pool,
+) -> Duration {
+    assert_eq!(m.n(), cfg.n, "config/matrix size mismatch");
+    let start = Instant::now();
+    match variant {
+        TransposeVariant::Naive => naive(m),
+        TransposeVariant::Parallel => parallel(m, pool),
+        TransposeVariant::Blocking => blocking(m, cfg.block, pool),
+        TransposeVariant::ManualBlocking => {
+            manual_blocking(m, cfg.block, pool, Schedule::Static);
+        }
+        TransposeVariant::Dynamic => {
+            manual_blocking(m, cfg.block, pool, Schedule::Dynamic(1));
+        }
+    }
+    start.elapsed()
+}
+
+/// Listing 1 (with the swap the pseudocode implies: the paper's
+/// `mat[i][j] = mat[j][i]` alone would lose the upper triangle).
+fn naive(m: &mut SquareMatrix) {
+    let n = m.n();
+    let data = m.as_mut_slice();
+    for i in 0..n {
+        for j in i + 1..n {
+            data.swap(i * n + j, j * n + i);
+        }
+    }
+}
+
+/// The naïve loops with the outer loop statically parallelized, as OpenMP's
+/// `#pragma omp parallel for` would.
+fn parallel(m: &mut SquareMatrix, pool: &Pool) {
+    let n = m.n();
+    let shared = SharedSlice::new(m.as_mut_slice());
+    pool.parallel_for(0..n as u64, Schedule::Static, |i| {
+        let i = i as usize;
+        for j in i + 1..n {
+            // SAFETY: thread owning row-index i touches only (i, j) and
+            // (j, i) with j > i; element sets of distinct i are disjoint
+            // (see membound-parallel's SharedSlice docs).
+            unsafe { shared.swap(i * n + j, j * n + i) };
+        }
+    });
+}
+
+/// Listing 2: block traversal of the upper triangle, parallel over
+/// block-rows.
+fn blocking(m: &mut SquareMatrix, block: usize, pool: &Pool) {
+    let n = m.n();
+    let nblk = n.div_ceil(block) as u64;
+    let shared = SharedSlice::new(m.as_mut_slice());
+    pool.parallel_for(0..nblk, Schedule::Static, |bi| {
+        let bi = bi as usize;
+        let (i0, i1) = (bi * block, ((bi + 1) * block).min(n));
+        for bj in bi..n.div_ceil(block) {
+            let (j0, j1) = (bj * block, ((bj + 1) * block).min(n));
+            for i in i0..i1 {
+                let jstart = if bi == bj { (i + 1).max(j0) } else { j0 };
+                for j in jstart..j1 {
+                    // SAFETY: disjoint per block-row, as in `parallel`.
+                    unsafe { shared.swap(i * n + j, j * n + i) };
+                }
+            }
+        }
+    });
+}
+
+/// Listing 3: stage each block through an in-cache buffer — load block
+/// (bi, bj), transpose it locally, swap it with block (bj, bi), transpose
+/// again, store back — so all matrix traffic is row-sequential.
+fn manual_blocking(m: &mut SquareMatrix, block: usize, pool: &Pool, schedule: Schedule) {
+    let n = m.n();
+    let nblk = n.div_ceil(block) as u64;
+    let shared = SharedSlice::new(m.as_mut_slice());
+    pool.parallel_for_chunks(0..nblk, schedule, |chunk| {
+        let mut buf = vec![0.0f64; block * block];
+        for bi in chunk {
+            let bi = bi as usize;
+            let (i0, i1) = (bi * block, ((bi + 1) * block).min(n));
+            let bh = i1 - i0;
+            for bj in bi..n.div_ceil(block) {
+                let (j0, j1) = (bj * block, ((bj + 1) * block).min(n));
+                let bw = j1 - j0;
+                if bi == bj {
+                    // Diagonal block: transpose in place.
+                    for i in i0..i1 {
+                        for j in (i + 1).max(j0)..j1 {
+                            // SAFETY: disjoint per block-row.
+                            unsafe { shared.swap(i * n + j, j * n + i) };
+                        }
+                    }
+                    continue;
+                }
+                // load_block_to_cache(bi, bj): buf[r][c] = mat[i0+r][j0+c]
+                for r in 0..bh {
+                    for c in 0..bw {
+                        // SAFETY: reads within this thread's block pair.
+                        buf[r * block + c] = unsafe { shared.read((i0 + r) * n + (j0 + c)) };
+                    }
+                }
+                // transpose_block_in_cache(): buf now holds (bi,bj)^T laid
+                // out as a bw x bh block.
+                transpose_buf(&mut buf, block, bh, bw);
+                // swap_block(bj, bi): exchange buf with mat block (bj, bi).
+                for r in 0..bw {
+                    for c in 0..bh {
+                        let idx = (j0 + r) * n + (i0 + c);
+                        // SAFETY: this block pair belongs to this thread.
+                        let old = unsafe { shared.read(idx) };
+                        unsafe { shared.write(idx, buf[r * block + c]) };
+                        buf[r * block + c] = old;
+                    }
+                }
+                // transpose_block_in_cache(): buf holds old (bj,bi); make
+                // it (bj,bi)^T, a bh x bw block.
+                transpose_buf(&mut buf, block, bw, bh);
+                // store_block(bi, bj)
+                for r in 0..bh {
+                    for c in 0..bw {
+                        // SAFETY: writes within this thread's block pair.
+                        unsafe { shared.write((i0 + r) * n + (j0 + c), buf[r * block + c]) };
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Out-of-place-style transpose of the `rows × cols` prefix of a
+/// `stride × stride` scratch buffer (result is `cols × rows`).
+fn transpose_buf(buf: &mut [f64], stride: usize, rows: usize, cols: usize) {
+    if rows == cols {
+        for r in 0..rows {
+            for c in r + 1..cols {
+                buf.swap(r * stride + c, c * stride + r);
+            }
+        }
+    } else {
+        // Rectangular edge blocks: go through a temporary.
+        let mut tmp = vec![0.0f64; rows * cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                tmp[c * rows + r] = buf[r * stride + c];
+            }
+        }
+        for c in 0..cols {
+            for r in 0..rows {
+                buf[c * stride + r] = tmp[c * rows + r];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(n: usize) -> (SquareMatrix, SquareMatrix) {
+        let orig = SquareMatrix::indexed(n);
+        let mut t = orig.clone();
+        t.transpose_naive();
+        (orig, t)
+    }
+
+    fn check(variant: TransposeVariant, n: usize, block: usize, threads: u32) {
+        let (orig, expected) = reference(n);
+        let mut m = orig.clone();
+        let cfg = TransposeConfig::with_block(n, block);
+        transpose_native(&mut m, variant, cfg, &Pool::new(threads));
+        assert_eq!(
+            m, expected,
+            "{variant} failed for n={n} block={block} threads={threads}"
+        );
+    }
+
+    #[test]
+    fn all_variants_transpose_correctly() {
+        for variant in TransposeVariant::all() {
+            for (n, block) in [(8, 4), (16, 8), (64, 16), (100, 32)] {
+                for threads in [1, 4] {
+                    check(variant, n, block, threads);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn non_divisible_block_sizes_work() {
+        for variant in [
+            TransposeVariant::Blocking,
+            TransposeVariant::ManualBlocking,
+            TransposeVariant::Dynamic,
+        ] {
+            check(variant, 37, 8, 3);
+            check(variant, 65, 64, 2);
+            check(variant, 63, 64, 2); // single partial block
+        }
+    }
+
+    #[test]
+    fn block_larger_than_matrix_degrades_gracefully() {
+        check(TransposeVariant::ManualBlocking, 10, 128, 2);
+    }
+
+    #[test]
+    fn double_transpose_is_identity() {
+        let (orig, _) = reference(50);
+        let mut m = orig.clone();
+        let cfg = TransposeConfig::with_block(50, 16);
+        let pool = Pool::new(4);
+        transpose_native(&mut m, TransposeVariant::Dynamic, cfg, &pool);
+        transpose_native(&mut m, TransposeVariant::Blocking, cfg, &pool);
+        assert_eq!(m, orig);
+    }
+
+    #[test]
+    fn transpose_buf_square_and_rect() {
+        let stride = 4;
+        let mut buf: Vec<f64> = (0..16).map(f64::from).collect();
+        transpose_buf(&mut buf, stride, 2, 3);
+        // Original 2x3 prefix: [0 1 2; 4 5 6] -> 3x2: [0 4; 1 5; 2 6].
+        assert_eq!(buf[0], 0.0);
+        assert_eq!(buf[1], 4.0);
+        assert_eq!(buf[stride], 1.0);
+        assert_eq!(buf[stride + 1], 5.0);
+        assert_eq!(buf[2 * stride], 2.0);
+        assert_eq!(buf[2 * stride + 1], 6.0);
+    }
+
+    #[test]
+    fn timing_is_reported() {
+        let mut m = SquareMatrix::indexed(128);
+        let cfg = TransposeConfig::new(128);
+        let d = transpose_native(&mut m, TransposeVariant::Naive, cfg, &Pool::new(1));
+        assert!(d.as_nanos() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn config_mismatch_rejected() {
+        let mut m = SquareMatrix::indexed(8);
+        let cfg = TransposeConfig::new(16);
+        let _ = transpose_native(&mut m, TransposeVariant::Naive, cfg, &Pool::new(1));
+    }
+}

@@ -1,0 +1,246 @@
+//! Gaussian filter kernels (Eq. 1 of the paper).
+
+/// A normalized one-dimensional Gaussian kernel.
+///
+/// The paper's Eq. 1 factorizes the 2-D Gaussian into two 1-D kernels —
+/// the "1D_kernels" blur variant applies this kernel horizontally and then
+/// vertically. Kernels are normalized to sum to exactly 1 so that blurring
+/// preserves mean intensity (the discrete taps would otherwise sum to
+/// slightly less than the continuous integral).
+///
+/// # Example
+///
+/// ```
+/// use membound_image::Gaussian1D;
+///
+/// let k = Gaussian1D::new(19, 3.0);
+/// assert_eq!(k.len(), 19);
+/// let sum: f32 = k.taps().iter().sum();
+/// assert!((sum - 1.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gaussian1D {
+    taps: Vec<f32>,
+    sigma: f64,
+}
+
+impl Gaussian1D {
+    /// A kernel with `size` taps and standard deviation `sigma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero or even (the paper's blur uses odd
+    /// kernels centred on the output pixel), or `sigma` is not positive.
+    #[must_use]
+    pub fn new(size: usize, sigma: f64) -> Self {
+        assert!(size > 0 && size % 2 == 1, "kernel size must be odd");
+        assert!(sigma.is_finite() && sigma > 0.0, "sigma must be positive");
+        let middle = (size / 2) as f64;
+        let mut taps: Vec<f64> = (0..size)
+            .map(|i| {
+                let x = i as f64 - middle;
+                (-x * x / (2.0 * sigma * sigma)).exp()
+            })
+            .collect();
+        let sum: f64 = taps.iter().sum();
+        for t in &mut taps {
+            *t /= sum;
+        }
+        Self {
+            taps: taps.into_iter().map(|t| t as f32).collect(),
+            sigma,
+        }
+    }
+
+    /// The OpenCV-style default sigma for a kernel of `size` taps:
+    /// `0.3 * ((size - 1) * 0.5 - 1) + 0.8`. The paper benchmarks F = 19,
+    /// for which this gives σ = 3.2.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Gaussian1D::new`].
+    #[must_use]
+    pub fn with_default_sigma(size: usize) -> Self {
+        let sigma = 0.3 * ((size as f64 - 1.0) * 0.5 - 1.0) + 0.8;
+        Self::new(size, sigma)
+    }
+
+    /// Number of taps.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// Always false: kernels have at least one tap.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The standard deviation the kernel was built with.
+    #[must_use]
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// The normalized taps.
+    #[must_use]
+    pub fn taps(&self) -> &[f32] {
+        &self.taps
+    }
+
+    /// Half-width (`size / 2`), the paper's `middle`.
+    #[must_use]
+    pub fn middle(&self) -> usize {
+        self.taps.len() / 2
+    }
+
+    /// The separable outer product — the full 2-D kernel of the naïve
+    /// variants, row-major `size × size`.
+    #[must_use]
+    pub fn outer_product(&self) -> Gaussian2D {
+        let n = self.taps.len();
+        let mut taps = vec![0.0_f32; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                taps[i * n + j] = self.taps[i] * self.taps[j];
+            }
+        }
+        Gaussian2D {
+            size: n,
+            taps,
+            sigma: self.sigma,
+        }
+    }
+}
+
+/// A normalized two-dimensional Gaussian kernel, row-major.
+///
+/// Used by the "Naive" and "Unit-stride" blur variants, which apply the
+/// full `F × F` stencil per output pixel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gaussian2D {
+    size: usize,
+    taps: Vec<f32>,
+    sigma: f64,
+}
+
+impl Gaussian2D {
+    /// A `size × size` kernel with standard deviation `sigma`, built as
+    /// the outer product of the 1-D kernel (exactly Eq. 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Gaussian1D::new`].
+    #[must_use]
+    pub fn new(size: usize, sigma: f64) -> Self {
+        Gaussian1D::new(size, sigma).outer_product()
+    }
+
+    /// Side length in taps.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The standard deviation the kernel was built with.
+    #[must_use]
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Row-major taps (`size * size` of them).
+    #[must_use]
+    pub fn taps(&self) -> &[f32] {
+        &self.taps
+    }
+
+    /// Tap at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[must_use]
+    pub fn tap(&self, row: usize, col: usize) -> f32 {
+        assert!(row < self.size && col < self.size);
+        self.taps[row * self.size + col]
+    }
+
+    /// Half-width (`size / 2`).
+    #[must_use]
+    pub fn middle(&self) -> usize {
+        self.size / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_d_kernel_normalizes_and_is_symmetric() {
+        let k = Gaussian1D::new(19, 3.0);
+        let sum: f32 = k.taps().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        for i in 0..k.len() {
+            assert!((k.taps()[i] - k.taps()[k.len() - 1 - i]).abs() < 1e-7);
+        }
+        // Peak at the centre.
+        let mid = k.middle();
+        assert!(k.taps().iter().all(|&t| t <= k.taps()[mid]));
+    }
+
+    #[test]
+    fn single_tap_kernel_is_identity() {
+        let k = Gaussian1D::new(1, 1.0);
+        assert_eq!(k.taps(), &[1.0]);
+        assert_eq!(k.middle(), 0);
+    }
+
+    #[test]
+    fn two_d_kernel_is_outer_product_of_one_d() {
+        let k1 = Gaussian1D::new(5, 1.2);
+        let k2 = k1.outer_product();
+        for i in 0..5 {
+            for j in 0..5 {
+                let expected = k1.taps()[i] * k1.taps()[j];
+                assert!((k2.tap(i, j) - expected).abs() < 1e-8);
+            }
+        }
+        let sum: f32 = k2.taps().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5, "2-D kernel sums to 1: {sum}");
+    }
+
+    #[test]
+    fn two_d_direct_construction_matches_outer_product() {
+        let a = Gaussian2D::new(7, 2.0);
+        let b = Gaussian1D::new(7, 2.0).outer_product();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wider_sigma_flattens_the_kernel() {
+        let narrow = Gaussian1D::new(9, 0.8);
+        let wide = Gaussian1D::new(9, 4.0);
+        assert!(narrow.taps()[4] > wide.taps()[4]);
+        assert!(narrow.taps()[0] < wide.taps()[0]);
+    }
+
+    #[test]
+    fn default_sigma_matches_opencv_formula() {
+        let k = Gaussian1D::with_default_sigma(19);
+        assert!((k.sigma() - 3.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_kernel_rejected() {
+        let _ = Gaussian1D::new(4, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be positive")]
+    fn non_positive_sigma_rejected() {
+        let _ = Gaussian1D::new(3, 0.0);
+    }
+}

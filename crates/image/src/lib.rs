@@ -1,0 +1,35 @@
+//! `membound-image` — the image/tensor substrate for the Gaussian-blur
+//! benchmark of the PACT 2023 RISC-V memory-bound-kernels reproduction.
+//!
+//! Provides:
+//!
+//! * [`Image`] — `H × W × C` interleaved-channel `f32` images with exactly
+//!   the paper's memory layout (`data[(i * w + j) * channels + c]`);
+//! * [`Gaussian1D`] / [`Gaussian2D`] — normalized Gaussian kernels built
+//!   per Eq. 1 of the paper (the 2-D kernel is the outer product of two
+//!   1-D kernels, which is what makes the "1D_kernels" optimization valid);
+//! * [`generate`] — deterministic synthetic stand-ins for the paper's
+//!   2544 × 2027 photograph.
+//!
+//! # Example
+//!
+//! ```
+//! use membound_image::{generate, Gaussian1D};
+//!
+//! let img = generate::test_pattern(32, 48, 3);
+//! let kernel = Gaussian1D::with_default_sigma(19);
+//! assert_eq!(kernel.len(), 19);
+//! assert_eq!(img.channels(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generate;
+mod image;
+mod kernel;
+pub mod ppm;
+
+pub use image::{Image, ImageError};
+pub use kernel::{Gaussian1D, Gaussian2D};
+pub use ppm::PpmError;

@@ -1,0 +1,231 @@
+//! Binary PPM (P6) input/output.
+//!
+//! The paper filters a real 2544 × 2027 photograph; users who want to
+//! reproduce that with their own image can load any 8-bit binary PPM
+//! (`convert photo.jpg photo.ppm` with ImageMagick) and save the blurred
+//! result. Intensities are normalized to `[0, 1]` on load, exactly as
+//! §4.3 describes ("from 0 to 1, if normalization is performed"), and
+//! clamped back to 8-bit on save.
+
+use crate::image::Image;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Errors from PPM parsing and writing.
+#[derive(Debug)]
+pub enum PpmError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Not a `P6` file, or malformed header fields.
+    BadHeader(String),
+    /// Pixel data ended early.
+    Truncated,
+}
+
+impl fmt::Display for PpmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PpmError::Io(e) => write!(f, "ppm i/o failed: {e}"),
+            PpmError::BadHeader(why) => write!(f, "invalid ppm header: {why}"),
+            PpmError::Truncated => write!(f, "ppm pixel data ended early"),
+        }
+    }
+}
+
+impl std::error::Error for PpmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PpmError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PpmError {
+    fn from(e: std::io::Error) -> Self {
+        PpmError::Io(e)
+    }
+}
+
+/// Read one whitespace/comment-delimited header token.
+fn token<R: BufRead>(r: &mut R) -> Result<String, PpmError> {
+    let mut tok = String::new();
+    let mut in_comment = false;
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte)? {
+            0 => {
+                if tok.is_empty() {
+                    return Err(PpmError::BadHeader("unexpected end of header".into()));
+                }
+                return Ok(tok);
+            }
+            _ => {
+                let c = byte[0] as char;
+                if in_comment {
+                    if c == '\n' {
+                        in_comment = false;
+                    }
+                } else if c == '#' {
+                    in_comment = true;
+                } else if c.is_ascii_whitespace() {
+                    if !tok.is_empty() {
+                        return Ok(tok);
+                    }
+                } else {
+                    tok.push(c);
+                }
+            }
+        }
+    }
+}
+
+/// Parse a binary `P6` PPM into a normalized 3-channel [`Image`].
+///
+/// # Errors
+///
+/// Fails on I/O errors, non-`P6` input, malformed header numbers,
+/// unsupported max values (> 255) or truncated pixel data.
+///
+/// # Example
+///
+/// ```
+/// use membound_image::ppm;
+///
+/// // A 1x2 image: one red pixel, one black pixel.
+/// let data: Vec<u8> = [b"P6 2 1 255\n".as_slice(), &[255, 0, 0, 0, 0, 0]].concat();
+/// let img = ppm::read_ppm(&mut data.as_slice())?;
+/// assert_eq!((img.height(), img.width()), (1, 2));
+/// assert_eq!(img.get(0, 0, 0), 1.0);
+/// assert_eq!(img.get(0, 1, 0), 0.0);
+/// # Ok::<(), membound_image::PpmError>(())
+/// ```
+pub fn read_ppm<R: BufRead>(r: &mut R) -> Result<Image, PpmError> {
+    let magic = token(r)?;
+    if magic != "P6" {
+        return Err(PpmError::BadHeader(format!("expected P6, got {magic}")));
+    }
+    let parse = |tok: String, what: &str| {
+        tok.parse::<usize>()
+            .map_err(|_| PpmError::BadHeader(format!("bad {what}: {tok}")))
+    };
+    let width = parse(token(r)?, "width")?;
+    let height = parse(token(r)?, "height")?;
+    let maxval = parse(token(r)?, "maxval")?;
+    if width == 0 || height == 0 {
+        return Err(PpmError::BadHeader("zero dimension".into()));
+    }
+    if maxval == 0 || maxval > 255 {
+        return Err(PpmError::BadHeader(format!(
+            "unsupported maxval {maxval} (only 8-bit supported)"
+        )));
+    }
+    let mut pixels = vec![0u8; width * height * 3];
+    r.read_exact(&mut pixels).map_err(|_| PpmError::Truncated)?;
+    let scale = 1.0 / maxval as f32;
+    let data: Vec<f32> = pixels.into_iter().map(|b| f32::from(b) * scale).collect();
+    Image::from_vec(height, width, 3, data)
+        .map_err(|e| PpmError::BadHeader(format!("inconsistent image: {e}")))
+}
+
+/// Write a 3-channel [`Image`] as a binary `P6` PPM, clamping intensities
+/// to `[0, 1]` and quantizing to 8 bits.
+///
+/// # Errors
+///
+/// Fails on I/O errors or when given a single-channel image.
+pub fn write_ppm<W: Write>(img: &Image, w: &mut W) -> Result<(), PpmError> {
+    if img.channels() != 3 {
+        return Err(PpmError::BadHeader(
+            "PPM P6 requires a 3-channel image".into(),
+        ));
+    }
+    writeln!(w, "P6\n{} {}\n255", img.width(), img.height())?;
+    let bytes: Vec<u8> = img
+        .as_slice()
+        .iter()
+        .map(|&v| (v.clamp(0.0, 1.0) * 255.0).round() as u8)
+        .collect();
+    w.write_all(&bytes)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn round_trip_within_quantization() {
+        let img = generate::test_pattern(13, 17, 3);
+        let mut bytes = Vec::new();
+        write_ppm(&img, &mut bytes).unwrap();
+        let back = read_ppm(&mut bytes.as_slice()).unwrap();
+        assert_eq!((back.height(), back.width()), (13, 17));
+        assert!(
+            img.max_abs_diff(&back) <= 0.5 / 255.0 + 1e-6,
+            "quantization error bound"
+        );
+    }
+
+    #[test]
+    fn header_comments_and_whitespace_tolerated() {
+        let data: Vec<u8> = [
+            b"P6 # a comment\n# another\n 2\t1 \n255\n".as_slice(),
+            &[1, 2, 3, 4, 5, 6],
+        ]
+        .concat();
+        let img = read_ppm(&mut data.as_slice()).unwrap();
+        assert_eq!((img.height(), img.width()), (1, 2));
+        assert!((img.get(0, 1, 2) - 6.0 / 255.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn non_p6_rejected() {
+        let data = b"P3 1 1 255\n1 2 3".to_vec();
+        assert!(matches!(
+            read_ppm(&mut data.as_slice()),
+            Err(PpmError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_pixels_rejected() {
+        let data: Vec<u8> = [b"P6 2 2 255\n".as_slice(), &[0u8; 5]].concat();
+        assert!(matches!(
+            read_ppm(&mut data.as_slice()),
+            Err(PpmError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn sixteen_bit_maxval_rejected() {
+        let data = b"P6 1 1 65535\n".to_vec();
+        assert!(matches!(
+            read_ppm(&mut data.as_slice()),
+            Err(PpmError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn single_channel_write_rejected() {
+        let img = crate::Image::zeros(2, 2, 1);
+        let mut out = Vec::new();
+        assert!(matches!(
+            write_ppm(&img, &mut out),
+            Err(PpmError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn values_clamp_on_write() {
+        let mut img = crate::Image::zeros(1, 1, 3);
+        img.set(0, 0, 0, 2.0); // over-range partial blur sums
+        img.set(0, 0, 1, -1.0);
+        let mut bytes = Vec::new();
+        write_ppm(&img, &mut bytes).unwrap();
+        let back = read_ppm(&mut bytes.as_slice()).unwrap();
+        assert_eq!(back.get(0, 0, 0), 1.0);
+        assert_eq!(back.get(0, 0, 1), 0.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for the image substrate and Gaussian kernels.
+
+use membound_image::{generate, Gaussian1D, Gaussian2D, Image};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every 1-D kernel is normalized, symmetric and unimodal for any odd
+    /// size and positive sigma.
+    #[test]
+    fn kernels_are_normalized_symmetric_unimodal(
+        half in 0usize..24,
+        sigma in 0.2f64..12.0,
+    ) {
+        let size = 2 * half + 1;
+        let k = Gaussian1D::new(size, sigma);
+        let sum: f32 = k.taps().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-5, "sum {sum}");
+        for i in 0..size {
+            prop_assert!((k.taps()[i] - k.taps()[size - 1 - i]).abs() < 1e-6);
+        }
+        // Non-increasing away from the centre.
+        for i in half..size - 1 {
+            prop_assert!(k.taps()[i] >= k.taps()[i + 1] - 1e-7);
+        }
+        prop_assert!(k.taps().iter().all(|&t| t >= 0.0));
+    }
+
+    /// The 2-D kernel equals the outer product and is itself normalized.
+    #[test]
+    fn two_d_kernel_is_separable(half in 0usize..10, sigma in 0.3f64..8.0) {
+        let size = 2 * half + 1;
+        let k1 = Gaussian1D::new(size, sigma);
+        let k2 = Gaussian2D::new(size, sigma);
+        for i in 0..size {
+            for j in 0..size {
+                let expected = k1.taps()[i] * k1.taps()[j];
+                prop_assert!((k2.tap(i, j) - expected).abs() < 1e-7);
+            }
+        }
+        let sum: f32 = k2.taps().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+    }
+
+    /// Image get/set round-trips at arbitrary coordinates.
+    #[test]
+    fn image_get_set_round_trip(
+        h in 1usize..40,
+        w in 1usize..40,
+        c3 in any::<bool>(),
+        coords in proptest::collection::vec((0usize..40, 0usize..40, 0usize..3), 0..30),
+    ) {
+        let channels = if c3 { 3 } else { 1 };
+        let mut img = Image::zeros(h, w, channels);
+        for (i, (r, col, ch)) in coords.into_iter().enumerate() {
+            let (r, col, ch) = (r % h, col % w, ch % channels);
+            let v = i as f32 * 0.25;
+            img.set(r, col, ch, v);
+            prop_assert_eq!(img.get(r, col, ch), v);
+        }
+    }
+
+    /// The flat index is a bijection over the image shape.
+    #[test]
+    fn index_is_bijective(h in 1usize..16, w in 1usize..16) {
+        let img = Image::zeros(h, w, 3);
+        let mut seen = vec![false; h * w * 3];
+        for r in 0..h {
+            for c in 0..w {
+                for ch in 0..3 {
+                    let idx = img.index_of(r, c, ch);
+                    prop_assert!(!seen[idx], "index collision at ({r},{c},{ch})");
+                    seen[idx] = true;
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Generators stay within [0, 1] and are deterministic.
+    #[test]
+    fn generators_are_bounded_and_deterministic(
+        h in 20usize..48,
+        w in 20usize..48,
+        seed in any::<u64>(),
+    ) {
+        let a = generate::noise(h, w, 3, seed);
+        let b = generate::noise(h, w, 3, seed);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        let p = generate::test_pattern(h, w, 3);
+        prop_assert!(p.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    /// Interior-diff with margin zero equals the full diff.
+    #[test]
+    fn interior_diff_with_zero_margin_is_full_diff(
+        h in 3usize..12,
+        w in 3usize..12,
+        seed in any::<u64>(),
+    ) {
+        let a = generate::noise(h, w, 1, seed);
+        let b = generate::noise(h, w, 1, seed.wrapping_add(1));
+        prop_assert_eq!(a.max_abs_diff(&b), a.max_abs_diff_interior(&b, 0));
+    }
+}

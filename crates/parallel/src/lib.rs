@@ -1,0 +1,47 @@
+//! `membound-parallel` — an OpenMP-`parallel for` stand-in.
+//!
+//! The paper parallelizes its kernels with exactly two OpenMP features:
+//! `#pragma omp parallel for` (default static schedule) and
+//! `schedule(dynamic)` for the triangular transpose loop. This crate
+//! provides those semantics twice over:
+//!
+//! * **natively** — [`Pool`] runs real scoped threads with a shared work
+//!   queue, so the host-execution path of `membound-core` parallelizes
+//!   exactly like the paper's C++;
+//! * **deterministically** — [`Schedule::plan`] computes the
+//!   iteration→thread assignment each schedule would produce (greedy
+//!   earliest-idle-thread simulation for dynamic/guided), which the
+//!   simulator uses to generate one reference stream per simulated core.
+//!
+//! [`SharedSlice`] is the crate's single unsafe construct: a raw shared
+//! view of a mutable slice for in-place parallel kernels whose
+//! disjointness is arithmetic rather than structural (see its module docs).
+//!
+//! # Example
+//!
+//! ```
+//! use membound_parallel::{Pool, Schedule};
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//!
+//! // A triangular loop, balanced with the dynamic schedule like the
+//! // paper's "Dynamic" transpose variant.
+//! let n = 64u64;
+//! let work = AtomicU64::new(0);
+//! Pool::new(4).parallel_for(0..n, Schedule::Dynamic(1), |i| {
+//!     for _j in i + 1..n {
+//!         work.fetch_add(1, Ordering::Relaxed);
+//!     }
+//! });
+//! assert_eq!(work.into_inner(), n * (n - 1) / 2);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+mod pool;
+mod schedule;
+mod shared;
+
+pub use pool::Pool;
+pub use schedule::Schedule;
+pub use shared::SharedSlice;

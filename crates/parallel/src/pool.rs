@@ -1,0 +1,231 @@
+//! Native parallel-for execution.
+//!
+//! A deliberately small OpenMP-`parallel for` stand-in: scoped threads, a
+//! shared work queue of chunks, and the [`Schedule`] semantics from
+//! [`crate::schedule`]. Threads are spawned per region (the kernels under
+//! study run for seconds; spawn cost is noise).
+
+use crate::schedule::Schedule;
+use crossbeam::utils::CachePadded;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A parallel execution context with a fixed thread count.
+///
+/// # Example
+///
+/// ```
+/// use membound_parallel::{Pool, Schedule};
+/// use std::sync::atomic::{AtomicU64, Ordering};
+///
+/// let pool = Pool::new(4);
+/// let sum = AtomicU64::new(0);
+/// pool.parallel_for(0..1000, Schedule::Static, |i| {
+///     sum.fetch_add(i, Ordering::Relaxed);
+/// });
+/// assert_eq!(sum.into_inner(), 999 * 1000 / 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pool {
+    threads: u32,
+}
+
+impl Pool {
+    /// A pool with `threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    #[must_use]
+    pub fn new(threads: u32) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        Self { threads }
+    }
+
+    /// A pool sized to the host's available parallelism.
+    #[must_use]
+    pub fn host() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get() as u32)
+            .unwrap_or(1);
+        Self::new(n)
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn threads(&self) -> u32 {
+        self.threads
+    }
+
+    /// Run `body(tid)` once on each of the pool's threads, concurrently
+    /// (an OpenMP `parallel` region).
+    pub fn run<F>(&self, body: F)
+    where
+        F: Fn(u32) + Sync,
+    {
+        if self.threads == 1 {
+            body(0);
+            return;
+        }
+        std::thread::scope(|scope| {
+            for tid in 0..self.threads {
+                let body = &body;
+                scope.spawn(move || body(tid));
+            }
+        });
+    }
+
+    /// Parallel loop over `range` under `schedule`, calling `body(i)` for
+    /// every iteration exactly once (OpenMP `parallel for`).
+    pub fn parallel_for<F>(&self, range: Range<u64>, schedule: Schedule, body: F)
+    where
+        F: Fn(u64) + Sync,
+    {
+        self.parallel_for_chunks(range, schedule, |chunk| {
+            for i in chunk {
+                body(i);
+            }
+        });
+    }
+
+    /// Parallel loop handing each worker whole chunks (useful when the
+    /// body can amortize per-chunk setup).
+    ///
+    /// Static schedules give every thread its precomputed chunk list;
+    /// dynamic/guided schedules share an atomic work queue, so the actual
+    /// chunk→thread mapping is timing-dependent exactly as in OpenMP.
+    pub fn parallel_for_chunks<F>(&self, range: Range<u64>, schedule: Schedule, body: F)
+    where
+        F: Fn(Range<u64>) + Sync,
+    {
+        let total = range.end.saturating_sub(range.start);
+        if total == 0 {
+            return;
+        }
+        let offset = range.start;
+        match schedule {
+            Schedule::Static | Schedule::StaticChunk(_) => {
+                let plan = schedule.plan(total, self.threads, |_| 1.0);
+                self.run(|tid| {
+                    for chunk in &plan[tid as usize] {
+                        body(chunk.start + offset..chunk.end + offset);
+                    }
+                });
+            }
+            Schedule::Dynamic(_) | Schedule::Guided(_) => {
+                let chunks = schedule.chunks(total, self.threads);
+                let next = CachePadded::new(AtomicUsize::new(0));
+                self.run(|_tid| loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    match chunks.get(k) {
+                        Some(chunk) => body(chunk.start + offset..chunk.end + offset),
+                        None => break,
+                    }
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Mutex;
+
+    fn check_covers(schedule: Schedule, threads: u32, total: u64) {
+        let pool = Pool::new(threads);
+        let hits: Vec<AtomicU64> = (0..total).map(|_| AtomicU64::new(0)).collect();
+        pool.parallel_for(0..total, schedule, |i| {
+            hits[i as usize].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "iteration {i} under {schedule:?}");
+        }
+    }
+
+    #[test]
+    fn every_schedule_covers_every_iteration_exactly_once() {
+        for schedule in [
+            Schedule::Static,
+            Schedule::StaticChunk(3),
+            Schedule::Dynamic(1),
+            Schedule::Dynamic(7),
+            Schedule::Guided(2),
+        ] {
+            for threads in [1, 2, 4] {
+                check_covers(schedule, threads, 100);
+            }
+        }
+    }
+
+    #[test]
+    fn nonzero_range_offset_respected() {
+        let pool = Pool::new(3);
+        let seen = Mutex::new(Vec::new());
+        pool.parallel_for(10..20, Schedule::Dynamic(2), |i| {
+            seen.lock().unwrap().push(i);
+        });
+        let mut v = seen.into_inner().unwrap();
+        v.sort_unstable();
+        assert_eq!(v, (10..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_range_is_a_no_op() {
+        let pool = Pool::new(2);
+        let count = AtomicU64::new(0);
+        pool.parallel_for(5..5, Schedule::Static, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.into_inner(), 0);
+    }
+
+    #[test]
+    fn run_executes_once_per_thread() {
+        let pool = Pool::new(4);
+        let count = AtomicU64::new(0);
+        let tid_sum = AtomicU64::new(0);
+        pool.run(|tid| {
+            count.fetch_add(1, Ordering::Relaxed);
+            tid_sum.fetch_add(u64::from(tid), Ordering::Relaxed);
+        });
+        assert_eq!(count.into_inner(), 4);
+        assert_eq!(tid_sum.into_inner(), 6); // 0 + 1 + 2 + 3
+    }
+
+    #[test]
+    fn chunk_bodies_receive_disjoint_chunks() {
+        let pool = Pool::new(4);
+        let seen = Mutex::new(vec![0u8; 64]);
+        pool.parallel_for_chunks(0..64, Schedule::Guided(1), |chunk| {
+            let mut guard = seen.lock().unwrap();
+            for i in chunk {
+                guard[i as usize] += 1;
+            }
+        });
+        assert!(seen.into_inner().unwrap().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn single_thread_pool_runs_the_body() {
+        let pool = Pool::new(1);
+        let called = AtomicU64::new(0);
+        pool.run(|tid| {
+            assert_eq!(tid, 0);
+            called.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(called.into_inner(), 1);
+    }
+
+    #[test]
+    fn host_pool_has_at_least_one_thread() {
+        assert!(Pool::host().threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = Pool::new(0);
+    }
+}

@@ -1,0 +1,310 @@
+//! OpenMP-style loop schedules and deterministic scheduling plans.
+//!
+//! The paper uses exactly two scheduling modes: the OpenMP default
+//! (`schedule(static)`) for the "Parallel"/"Blocking"/"Manual_blocking"
+//! variants, and `schedule(dynamic)` for the "Dynamic" transpose variant,
+//! which §4.2 introduces to fix the triangular-loop imbalance.
+//!
+//! Native execution uses these schedules with real threads (see
+//! [`crate::Pool`]). Simulated execution needs a *deterministic* iteration
+//! → core assignment, so [`Schedule::plan`] reproduces each schedule's
+//! assignment given a per-iteration weight function: static assignment is
+//! computed exactly, and dynamic/guided assignment is derived by greedy
+//! earliest-finishing-thread simulation — the same outcome an ideal
+//! work-queue would produce.
+
+use std::ops::Range;
+
+/// An OpenMP-style loop schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// Contiguous near-equal blocks, one per thread (OpenMP
+    /// `schedule(static)` without a chunk size).
+    Static,
+    /// Fixed-size chunks dealt round-robin (OpenMP `schedule(static, c)`).
+    StaticChunk(u64),
+    /// Fixed-size chunks grabbed by idle threads (OpenMP
+    /// `schedule(dynamic, c)`; `Dynamic(1)` is the paper's choice).
+    Dynamic(u64),
+    /// Exponentially shrinking chunks grabbed by idle threads (OpenMP
+    /// `schedule(guided)` with the given minimum chunk).
+    Guided(u64),
+}
+
+impl Schedule {
+    /// Display name matching the paper's variant labels.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Schedule::Static => "static",
+            Schedule::StaticChunk(_) => "static,chunk",
+            Schedule::Dynamic(_) => "dynamic",
+            Schedule::Guided(_) => "guided",
+        }
+    }
+
+    /// Split `0..total` into this schedule's chunk sequence, in the order a
+    /// work queue would hand them out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero or a chunked schedule has chunk size 0.
+    #[must_use]
+    pub fn chunks(self, total: u64, threads: u32) -> Vec<Range<u64>> {
+        assert!(threads > 0, "need at least one thread");
+        match self {
+            Schedule::Static => {
+                let t = u64::from(threads);
+                let base = total / t;
+                let extra = total % t;
+                let mut out = Vec::with_capacity(threads as usize);
+                let mut lo = 0;
+                for i in 0..t {
+                    let len = base + u64::from(i < extra);
+                    if len > 0 {
+                        out.push(lo..lo + len);
+                    }
+                    lo += len;
+                }
+                out
+            }
+            Schedule::StaticChunk(c) | Schedule::Dynamic(c) => {
+                assert!(c > 0, "chunk size must be nonzero");
+                split_fixed(total, c)
+            }
+            Schedule::Guided(min) => {
+                assert!(min > 0, "minimum chunk size must be nonzero");
+                let mut out = Vec::new();
+                let mut lo = 0;
+                while lo < total {
+                    let remaining = total - lo;
+                    let c = (remaining / (2 * u64::from(threads))).max(min).min(remaining);
+                    out.push(lo..lo + c);
+                    lo += c;
+                }
+                out
+            }
+        }
+    }
+
+    /// Deterministic per-thread chunk assignment: `plan(...)[t]` is the
+    /// ordered list of ranges thread `t` executes.
+    ///
+    /// `weight(i)` is the relative cost of iteration `i` (use `|_| 1.0`
+    /// for uniform loops; the triangular transpose loop passes
+    /// `|i| (n - i) as f64`). Static schedules ignore weights for the
+    /// *assignment* (exactly like OpenMP); dynamic and guided schedules
+    /// assign each chunk, in order, to the thread that becomes idle first
+    /// — an idealized work queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Schedule::chunks`].
+    #[must_use]
+    pub fn plan<W>(self, total: u64, threads: u32, weight: W) -> Vec<Vec<Range<u64>>>
+    where
+        W: Fn(u64) -> f64,
+    {
+        let chunks = self.chunks(total, threads);
+        let t = threads as usize;
+        let mut plan = vec![Vec::new(); t];
+        match self {
+            Schedule::Static => {
+                for (i, ch) in chunks.into_iter().enumerate() {
+                    plan[i].push(ch);
+                }
+            }
+            Schedule::StaticChunk(_) => {
+                for (i, ch) in chunks.into_iter().enumerate() {
+                    plan[i % t].push(ch);
+                }
+            }
+            Schedule::Dynamic(_) | Schedule::Guided(_) => {
+                // Greedy list scheduling: next chunk to the earliest-idle
+                // thread.
+                let mut busy_until = vec![0.0_f64; t];
+                for ch in chunks {
+                    let w: f64 = ch.clone().map(&weight).sum();
+                    let (idlest, _) = busy_until
+                        .iter()
+                        .enumerate()
+                        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite weights"))
+                        .expect("at least one thread");
+                    busy_until[idlest] += w;
+                    plan[idlest].push(ch);
+                }
+            }
+        }
+        plan
+    }
+
+    /// The maximum over threads of total weighted work, divided by the
+    /// mean — a load-imbalance factor (1.0 = perfectly balanced).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Schedule::chunks`].
+    #[must_use]
+    pub fn imbalance<W>(self, total: u64, threads: u32, weight: W) -> f64
+    where
+        W: Fn(u64) -> f64,
+    {
+        let plan = self.plan(total, threads, &weight);
+        let loads: Vec<f64> = plan
+            .iter()
+            .map(|ranges| ranges.iter().flat_map(|r| r.clone()).map(&weight).sum())
+            .collect();
+        let max = loads.iter().cloned().fold(0.0_f64, f64::max);
+        let mean = loads.iter().sum::<f64>() / loads.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+fn split_fixed(total: u64, chunk: u64) -> Vec<Range<u64>> {
+    let mut out = Vec::with_capacity(total.div_ceil(chunk) as usize);
+    let mut lo = 0;
+    while lo < total {
+        let hi = (lo + chunk).min(total);
+        out.push(lo..hi);
+        lo = hi;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn covers_exactly(plan: &[Vec<Range<u64>>], total: u64) -> bool {
+        let mut seen = vec![false; total as usize];
+        for ranges in plan {
+            for r in ranges {
+                for i in r.clone() {
+                    if seen[i as usize] {
+                        return false; // duplicate
+                    }
+                    seen[i as usize] = true;
+                }
+            }
+        }
+        seen.iter().all(|&s| s)
+    }
+
+    #[test]
+    fn static_blocks_are_contiguous_and_cover() {
+        let plan = Schedule::Static.plan(10, 3, |_| 1.0);
+        assert!(covers_exactly(&plan, 10));
+        assert_eq!(plan[0], vec![0..4]);
+        assert_eq!(plan[1], vec![4..7]);
+        assert_eq!(plan[2], vec![7..10]);
+    }
+
+    #[test]
+    fn static_handles_fewer_iterations_than_threads() {
+        let plan = Schedule::Static.plan(2, 4, |_| 1.0);
+        assert!(covers_exactly(&plan, 2));
+        assert_eq!(plan[2], Vec::<Range<u64>>::new());
+    }
+
+    #[test]
+    fn static_chunk_deals_round_robin() {
+        let plan = Schedule::StaticChunk(2).plan(10, 2, |_| 1.0);
+        assert!(covers_exactly(&plan, 10));
+        assert_eq!(plan[0], vec![0..2, 4..6, 8..10]);
+        assert_eq!(plan[1], vec![2..4, 6..8]);
+    }
+
+    #[test]
+    fn dynamic_covers_exactly() {
+        let plan = Schedule::Dynamic(1).plan(100, 4, |_| 1.0);
+        assert!(covers_exactly(&plan, 100));
+    }
+
+    #[test]
+    fn guided_chunks_shrink() {
+        let chunks = Schedule::Guided(1).chunks(100, 4);
+        assert!(chunks.len() > 4);
+        let sizes: Vec<u64> = chunks.iter().map(|c| c.end - c.start).collect();
+        assert!(sizes.windows(2).all(|w| w[0] >= w[1]), "{sizes:?}");
+        assert_eq!(sizes.iter().sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn dynamic_balances_triangular_weights_better_than_static() {
+        // The transpose outer loop: row i costs (n - i).
+        let n = 1024u64;
+        let w = |i: u64| (n - i) as f64;
+        let static_imb = Schedule::Static.imbalance(n, 4, w);
+        let dynamic_imb = Schedule::Dynamic(8).imbalance(n, 4, w);
+        assert!(
+            static_imb > 1.5,
+            "static on a triangle is imbalanced: {static_imb}"
+        );
+        assert!(
+            dynamic_imb < 1.05,
+            "dynamic fixes the imbalance: {dynamic_imb}"
+        );
+        assert!(dynamic_imb < static_imb);
+    }
+
+    #[test]
+    fn uniform_weights_static_is_balanced() {
+        let imb = Schedule::Static.imbalance(1000, 4, |_| 1.0);
+        assert!(imb < 1.01, "{imb}");
+    }
+
+    #[test]
+    fn empty_loop_yields_empty_plans() {
+        for s in [
+            Schedule::Static,
+            Schedule::StaticChunk(4),
+            Schedule::Dynamic(4),
+            Schedule::Guided(2),
+        ] {
+            let plan = s.plan(0, 3, |_| 1.0);
+            assert!(plan.iter().all(Vec::is_empty), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn single_thread_gets_everything() {
+        for s in [
+            Schedule::Static,
+            Schedule::StaticChunk(7),
+            Schedule::Dynamic(3),
+            Schedule::Guided(1),
+        ] {
+            let plan = s.plan(50, 1, |_| 1.0);
+            assert_eq!(plan.len(), 1);
+            assert!(covers_exactly(&plan, 50), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn chunks_preserve_order_for_fixed_splits() {
+        let chunks = Schedule::Dynamic(3).chunks(10, 2);
+        assert_eq!(chunks, vec![0..3, 3..6, 6..9, 9..10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be nonzero")]
+    fn zero_chunk_rejected() {
+        let _ = Schedule::Dynamic(0).chunks(10, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = Schedule::Static.chunks(10, 0);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Schedule::Static.name(), "static");
+        assert_eq!(Schedule::Dynamic(1).name(), "dynamic");
+    }
+}

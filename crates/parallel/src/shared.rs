@@ -1,0 +1,223 @@
+//! Unsafe shared-slice escape hatch for in-place parallel kernels.
+//!
+//! The paper's parallel in-place transposition mutates one matrix from
+//! several threads. The accesses are disjoint by construction (each thread
+//! owns a distinct set of `(block-row, block-column)` pairs), but that
+//! disjointness is arithmetic, not structural, so the borrow checker
+//! cannot see it — the same situation `rayon`'s internals or OpenMP C++
+//! code face. [`SharedSlice`] makes the contract explicit: cloning the
+//! handle is safe; every element access is `unsafe` and the caller vouches
+//! for data-race freedom.
+
+use std::marker::PhantomData;
+
+/// A raw view of a mutable slice that can be sent to multiple threads.
+///
+/// # Example
+///
+/// ```
+/// use membound_parallel::{Pool, Schedule, SharedSlice};
+///
+/// let mut data = vec![0u64; 100];
+/// {
+///     let shared = SharedSlice::new(&mut data);
+///     Pool::new(4).parallel_for(0..100, Schedule::Static, |i| {
+///         // SAFETY: each index is written by exactly one iteration.
+///         unsafe { shared.write(i as usize, i * 2) };
+///     });
+/// }
+/// assert_eq!(data[7], 14);
+/// ```
+#[derive(Debug)]
+pub struct SharedSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: the pointer is valid for the lifetime 'a; concurrent access
+// discipline is delegated to the unsafe read/write callers.
+unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
+unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
+
+impl<T> Clone for SharedSlice<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SharedSlice<'_, T> {}
+
+impl<'a, T> SharedSlice<'a, T> {
+    /// Wrap a mutable slice. The handle borrows the slice for `'a`, so the
+    /// original binding is inaccessible while handles exist.
+    #[must_use]
+    pub fn new(slice: &'a mut [T]) -> Self {
+        Self {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Length of the underlying slice.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the underlying slice is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    ///
+    /// # Safety
+    ///
+    /// No other thread may be concurrently *writing* element `i`.
+    #[must_use]
+    pub unsafe fn read(&self, i: usize) -> T
+    where
+        T: Copy,
+    {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        // SAFETY: bounds checked above; caller guarantees race freedom.
+        unsafe { *self.ptr.add(i) }
+    }
+
+    /// Write element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    ///
+    /// # Safety
+    ///
+    /// No other thread may be concurrently reading or writing element `i`.
+    pub unsafe fn write(&self, i: usize, value: T) {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        // SAFETY: bounds checked above; caller guarantees race freedom.
+        unsafe { *self.ptr.add(i) = value };
+    }
+
+    /// A mutable view of `start..start + len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    ///
+    /// # Safety
+    ///
+    /// For the lifetime of the returned slice, no other thread may access
+    /// any element of `start..start + len`, and the calling thread must
+    /// not create a second overlapping view. Disjoint ranges on different
+    /// threads are fine — that is the intended use (e.g. one image row per
+    /// loop iteration).
+    #[must_use]
+    pub unsafe fn slice_mut(&self, start: usize, len: usize) -> &'a mut [T] {
+        assert!(
+            start.checked_add(len).is_some_and(|end| end <= self.len),
+            "range {start}..{} out of bounds (len {})",
+            start + len,
+            self.len
+        );
+        // SAFETY: bounds checked above; exclusivity guaranteed by the
+        // caller.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), len) }
+    }
+
+    /// Swap elements `i` and `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    ///
+    /// # Safety
+    ///
+    /// No other thread may be concurrently accessing elements `i` or `j`.
+    pub unsafe fn swap(&self, i: usize, j: usize) {
+        assert!(i < self.len && j < self.len, "swap indices out of bounds");
+        if i == j {
+            return;
+        }
+        // SAFETY: bounds checked above, i != j, caller guarantees race
+        // freedom.
+        unsafe { std::ptr::swap(self.ptr.add(i), self.ptr.add(j)) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Pool, Schedule};
+
+    #[test]
+    fn single_thread_read_write_round_trip() {
+        let mut v = vec![1u32, 2, 3];
+        let s = SharedSlice::new(&mut v);
+        unsafe {
+            assert_eq!(s.read(1), 2);
+            s.write(1, 42);
+            assert_eq!(s.read(1), 42);
+        }
+        assert_eq!(v, vec![1, 42, 3]);
+    }
+
+    #[test]
+    fn swap_exchanges_and_self_swap_is_noop() {
+        let mut v = vec![10u8, 20];
+        let s = SharedSlice::new(&mut v);
+        unsafe {
+            s.swap(0, 1);
+            s.swap(0, 0);
+        }
+        assert_eq!(v, vec![20, 10]);
+    }
+
+    #[test]
+    fn disjoint_parallel_writes_land() {
+        let mut v = vec![0u64; 1024];
+        {
+            let s = SharedSlice::new(&mut v);
+            Pool::new(8).parallel_for(0..1024, Schedule::Dynamic(16), |i| unsafe {
+                s.write(i as usize, i + 1);
+            });
+        }
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64 + 1));
+    }
+
+    #[test]
+    fn parallel_pairwise_swaps_are_an_involution() {
+        // Swap (i, n-1-i) pairs in parallel: disjoint by construction.
+        let n = 1000usize;
+        let mut v: Vec<u64> = (0..n as u64).collect();
+        {
+            let s = SharedSlice::new(&mut v);
+            Pool::new(4).parallel_for(0..(n as u64 / 2), Schedule::Static, |i| unsafe {
+                s.swap(i as usize, n - 1 - i as usize);
+            });
+        }
+        assert!(v.iter().enumerate().all(|(i, &x)| x == (n - 1 - i) as u64));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_read_panics() {
+        let mut v = vec![0u8; 4];
+        let s = SharedSlice::new(&mut v);
+        let _ = unsafe { s.read(4) };
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut v: Vec<u8> = Vec::new();
+        let s = SharedSlice::new(&mut v);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+}

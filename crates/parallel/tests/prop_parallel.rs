@@ -1,0 +1,125 @@
+//! Property tests for schedules and the pool.
+
+use membound_parallel::{Pool, Schedule, SharedSlice};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn schedule_strategy() -> impl Strategy<Value = Schedule> {
+    prop_oneof![
+        Just(Schedule::Static),
+        (1u64..16).prop_map(Schedule::StaticChunk),
+        (1u64..16).prop_map(Schedule::Dynamic),
+        (1u64..8).prop_map(Schedule::Guided),
+    ]
+}
+
+proptest! {
+    /// Every schedule's plan partitions the iteration space exactly: each
+    /// iteration appears in exactly one thread's chunk list.
+    #[test]
+    fn plans_partition_the_iteration_space(
+        schedule in schedule_strategy(),
+        total in 0u64..500,
+        threads in 1u32..9,
+    ) {
+        let plan = schedule.plan(total, threads, |_| 1.0);
+        prop_assert_eq!(plan.len(), threads as usize);
+        let mut seen = vec![0u32; total as usize];
+        for ranges in &plan {
+            for r in ranges {
+                prop_assert!(r.start <= r.end);
+                prop_assert!(r.end <= total);
+                for i in r.clone() {
+                    seen[i as usize] += 1;
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1), "each iteration exactly once");
+    }
+
+    /// Chunk sequences are ordered and contiguous.
+    #[test]
+    fn chunks_tile_the_range_in_order(
+        schedule in schedule_strategy(),
+        total in 0u64..500,
+        threads in 1u32..9,
+    ) {
+        let chunks = schedule.chunks(total, threads);
+        let mut expected = 0;
+        for c in &chunks {
+            prop_assert_eq!(c.start, expected);
+            prop_assert!(c.end > c.start);
+            expected = c.end;
+        }
+        prop_assert_eq!(expected, total);
+    }
+
+    /// On decreasing workloads (the transpose triangle), the dynamic
+    /// schedule never balances worse than the single-block static one.
+    #[test]
+    fn dynamic_never_balances_worse_than_static(
+        total in 8u64..400,
+        threads in 2u32..9,
+    ) {
+        let weight = |i: u64| (total - i) as f64;
+        let s = Schedule::Static.imbalance(total, threads, weight);
+        let d = Schedule::Dynamic(1).imbalance(total, threads, weight);
+        prop_assert!(d <= s + 1e-9, "dynamic {d} vs static {s}");
+    }
+
+    /// The pool really executes every iteration exactly once under every
+    /// schedule and thread count.
+    #[test]
+    fn pool_covers_iterations(
+        schedule in schedule_strategy(),
+        total in 0u64..300,
+        threads in 1u32..5,
+    ) {
+        let hits: Vec<AtomicU64> = (0..total).map(|_| AtomicU64::new(0)).collect();
+        Pool::new(threads).parallel_for(0..total, schedule, |i| {
+            hits[i as usize].fetch_add(1, Ordering::Relaxed);
+        });
+        for h in &hits {
+            prop_assert_eq!(h.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    /// Disjoint parallel writes through a SharedSlice land exactly like
+    /// sequential ones.
+    #[test]
+    fn shared_slice_parallel_writes_match_sequential(
+        len in 1usize..500,
+        threads in 1u32..5,
+    ) {
+        let mut parallel_out = vec![0u64; len];
+        {
+            let s = SharedSlice::new(&mut parallel_out);
+            Pool::new(threads).parallel_for(0..len as u64, Schedule::Dynamic(7), |i| {
+                // SAFETY: each index written exactly once.
+                unsafe { s.write(i as usize, i * i) };
+            });
+        }
+        let sequential: Vec<u64> = (0..len as u64).map(|i| i * i).collect();
+        prop_assert_eq!(parallel_out, sequential);
+    }
+
+    /// Guided chunks never fall below the requested minimum (except the
+    /// final remainder) and shrink monotonically.
+    #[test]
+    fn guided_chunks_shrink_and_respect_min(
+        total in 1u64..2000,
+        threads in 1u32..9,
+        min in 1u64..16,
+    ) {
+        let chunks = Schedule::Guided(min).chunks(total, threads);
+        let sizes: Vec<u64> = chunks.iter().map(|c| c.end - c.start).collect();
+        for w in sizes.windows(2) {
+            prop_assert!(w[0] >= w[1], "sizes must not grow: {sizes:?}");
+        }
+        for (i, &s) in sizes.iter().enumerate() {
+            if i + 1 < sizes.len() {
+                prop_assert!(s >= min);
+            }
+        }
+    }
+}

@@ -1,0 +1,479 @@
+//! Set-associative cache model: write-back, write-allocate.
+
+use crate::assoc::{AssocArray, InsertOutcome, FLAG_DIRTY, FLAG_PREFETCHED};
+use crate::replacement::ReplacementPolicy;
+use crate::stats::LevelStats;
+use serde::{Deserialize, Serialize};
+
+/// Geometry and policy of one cache level.
+///
+/// # Example
+///
+/// ```
+/// use membound_sim::{CacheConfig, ReplacementPolicy};
+///
+/// // The XuanTie C906 L1 D-cache from §3.1 of the paper:
+/// let l1 = CacheConfig::new("L1D", 32 * 1024, 4, 64)
+///     .policy(ReplacementPolicy::Lru)
+///     .latency(4)
+///     .bytes_per_cycle(4.0);
+/// assert_eq!(l1.sets(), 128);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Display name ("L1D", "L2", ...).
+    pub name: String,
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: u16,
+    /// Line size in bytes (a power of two).
+    pub line_bytes: u32,
+    /// Replacement policy.
+    pub replacement: ReplacementPolicy,
+    /// Load-to-use latency of a hit, in core cycles.
+    pub latency_cycles: u32,
+    /// Sustained fill bandwidth this level can *supply* to the level above,
+    /// in bytes per core cycle.
+    pub bytes_per_cycle: f64,
+    /// Whether this level is shared between cores. Shared levels are
+    /// capacity-partitioned between active cores during parallel simulation
+    /// (see `Machine`), and their supply bandwidth is shared.
+    pub shared: bool,
+}
+
+impl CacheConfig {
+    /// A cache level with the given name, capacity, associativity and line
+    /// size; LRU, 4-cycle latency, 8 B/cycle, private by default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (zero sizes, non-power-of-two
+    /// line size, capacity not divisible by `ways * line_bytes`).
+    #[must_use]
+    pub fn new(name: &str, size_bytes: u64, ways: u16, line_bytes: u32) -> Self {
+        assert!(size_bytes > 0, "cache size must be nonzero");
+        assert!(ways > 0, "cache must have at least one way");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert_eq!(
+            size_bytes % (u64::from(ways) * u64::from(line_bytes)),
+            0,
+            "capacity must divide evenly into ways x lines"
+        );
+        let cfg = Self {
+            name: name.to_owned(),
+            size_bytes,
+            ways,
+            line_bytes,
+            replacement: ReplacementPolicy::Lru,
+            latency_cycles: 4,
+            bytes_per_cycle: 8.0,
+            shared: false,
+        };
+        assert!(cfg.sets() > 0, "cache must have at least one set");
+        cfg
+    }
+
+    /// Set the replacement policy.
+    #[must_use]
+    pub fn policy(mut self, policy: ReplacementPolicy) -> Self {
+        self.replacement = policy;
+        self
+    }
+
+    /// Set the hit latency in cycles.
+    #[must_use]
+    pub fn latency(mut self, cycles: u32) -> Self {
+        self.latency_cycles = cycles;
+        self
+    }
+
+    /// Set the supply bandwidth in bytes per core cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bpc` is not finite and positive.
+    #[must_use]
+    pub fn bytes_per_cycle(mut self, bpc: f64) -> Self {
+        assert!(bpc.is_finite() && bpc > 0.0, "bandwidth must be positive");
+        self.bytes_per_cycle = bpc;
+        self
+    }
+
+    /// Mark the level as shared between cores.
+    #[must_use]
+    pub fn shared(mut self) -> Self {
+        self.shared = true;
+        self
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / (u64::from(self.ways) * u64::from(self.line_bytes))
+    }
+
+    /// A copy of this config with capacity divided by `n` (used to
+    /// partition shared levels between active cores). Associativity is
+    /// kept; capacity never drops below one set row.
+    #[must_use]
+    pub fn partitioned(&self, n: u64) -> Self {
+        let mut cfg = self.clone();
+        if n <= 1 {
+            return cfg;
+        }
+        let min_size = u64::from(cfg.ways) * u64::from(cfg.line_bytes);
+        let target = (cfg.size_bytes / n).max(min_size);
+        let rows = (target / min_size).max(1);
+        cfg.size_bytes = rows * min_size;
+        cfg
+    }
+}
+
+/// What happened on a cache lookup-with-fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheAccessResult {
+    /// The access hit (data present before the access).
+    pub hit: bool,
+    /// The hit was served by a line the prefetcher brought in (first demand
+    /// touch after a prefetch fill).
+    pub prefetch_hit: bool,
+    /// A dirty line had to be written back; contains its line address.
+    pub writeback: Option<u64>,
+}
+
+/// A set-associative cache with write-back + write-allocate semantics.
+///
+/// The cache stores *line addresses* (byte address >> line shift); callers
+/// split byte accesses into lines (see `membound_trace::MemAccess::lines`).
+///
+/// # Example
+///
+/// ```
+/// use membound_sim::{Cache, CacheConfig};
+///
+/// let mut c = Cache::new(CacheConfig::new("L1D", 1024, 2, 64));
+/// assert!(!c.access(0, false).hit); // cold miss
+/// c.fill(0, false, false);          // fetch from the level below
+/// assert!(c.access(0, false).hit);  // now resident
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    array: AssocArray,
+    stats: LevelStats,
+    line_shift: u32,
+}
+
+impl Cache {
+    /// Build a cache from its configuration.
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Self {
+        let array = AssocArray::new(
+            config.sets() as usize,
+            config.ways as usize,
+            config.replacement,
+            0x243f_6a88_85a3_08d3,
+        );
+        Self {
+            array,
+            stats: LevelStats::default(),
+            line_shift: config.line_bytes.trailing_zeros(),
+            config,
+        }
+    }
+
+    /// The configuration this cache was built from.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> LevelStats {
+        self.stats
+    }
+
+    /// Reset counters (state is kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = LevelStats::default();
+    }
+
+    /// Line size in bytes.
+    #[must_use]
+    pub fn line_bytes(&self) -> u32 {
+        self.config.line_bytes
+    }
+
+    /// Convert a byte address to this cache's line address.
+    #[must_use]
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr >> self.line_shift
+    }
+
+    /// Whether `line_addr` is currently resident (no state change).
+    #[must_use]
+    pub fn contains(&self, line_addr: u64) -> bool {
+        self.array.peek(line_addr).is_some()
+    }
+
+    /// Demand access to `line_addr`. On a miss the line is *not* filled —
+    /// call [`Cache::fill`] after fetching from below, mirroring the
+    /// request/response flow of a real hierarchy.
+    ///
+    /// `is_write` marks the resident line dirty on a hit.
+    pub fn access(&mut self, line_addr: u64, is_write: bool) -> CacheAccessResult {
+        if let Some(way) = self.array.lookup(line_addr) {
+            let set = self.array.set_of(line_addr);
+            let flags = self.array.flags_of(set, way);
+            let prefetch_hit = flags & FLAG_PREFETCHED != 0;
+            if prefetch_hit {
+                self.array.clear_flags(set, way, FLAG_PREFETCHED);
+                self.stats.prefetch_hits += 1;
+            }
+            if is_write {
+                self.array.set_flags(set, way, FLAG_DIRTY);
+            }
+            self.stats.hits += 1;
+            CacheAccessResult {
+                hit: true,
+                prefetch_hit,
+                writeback: None,
+            }
+        } else {
+            self.stats.misses += 1;
+            CacheAccessResult {
+                hit: false,
+                prefetch_hit: false,
+                writeback: None,
+            }
+        }
+    }
+
+    /// Install `line_addr` (after fetching it from the level below),
+    /// evicting a victim if the set is full. Returns the line address of a
+    /// dirty victim that must be written back, if any.
+    ///
+    /// `is_write` marks the new line dirty (write-allocate store miss);
+    /// `prefetched` tags it as a prefetch fill for accuracy accounting.
+    pub fn fill(&mut self, line_addr: u64, is_write: bool, prefetched: bool) -> Option<u64> {
+        let mut flags = 0u8;
+        if is_write {
+            flags |= FLAG_DIRTY;
+        }
+        if prefetched {
+            flags |= FLAG_PREFETCHED;
+        }
+        match self.array.insert(line_addr, flags) {
+            InsertOutcome::AlreadyPresent(_) => None,
+            outcome => {
+                if prefetched {
+                    self.stats.prefetches_issued += 1;
+                }
+                self.stats.fill_bytes += u64::from(self.config.line_bytes);
+                match outcome {
+                    InsertOutcome::Evicted {
+                        old_tag, old_flags, ..
+                    } => {
+                        self.stats.evictions += 1;
+                        if old_flags & FLAG_DIRTY != 0 {
+                            self.stats.writebacks += 1;
+                            self.stats.writeback_bytes += u64::from(self.config.line_bytes);
+                            Some(old_tag)
+                        } else {
+                            None
+                        }
+                    }
+                    _ => None,
+                }
+            }
+        }
+    }
+
+    /// Number of valid lines currently resident (test/diagnostic helper).
+    #[must_use]
+    pub fn resident_lines(&self) -> usize {
+        self.array.valid_entries()
+    }
+
+    /// Invalidate everything (state and dirty bits are dropped; counters
+    /// are kept).
+    pub fn flush(&mut self) {
+        self.array.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets x 2 ways x 64B lines = 256 B.
+        Cache::new(CacheConfig::new("t", 256, 2, 64))
+    }
+
+    #[test]
+    fn cold_miss_then_hit_after_fill() {
+        let mut c = tiny();
+        assert!(!c.access(7, false).hit);
+        assert_eq!(c.fill(7, false, false), None);
+        let r = c.access(7, false);
+        assert!(r.hit);
+        assert!(!r.prefetch_hit);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn conflict_eviction_within_a_set() {
+        let mut c = tiny(); // lines mapping to set 0: even line addresses
+        c.fill(0, false, false);
+        c.fill(2, false, false);
+        assert_eq!(c.resident_lines(), 2);
+        // Third even line forces an eviction in set 0.
+        assert_eq!(c.fill(4, false, false), None); // clean victim
+        assert_eq!(c.resident_lines(), 2);
+        assert_eq!(c.stats().evictions, 1);
+        // LRU: line 0 was oldest and must be gone.
+        assert!(!c.contains(0));
+        assert!(c.contains(2));
+        assert!(c.contains(4));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = tiny();
+        c.fill(0, true, false); // dirty fill
+        c.fill(2, false, false);
+        let wb = c.fill(4, false, false);
+        assert_eq!(wb, Some(0), "dirty line 0 must be written back");
+        assert_eq!(c.stats().writebacks, 1);
+        assert_eq!(c.stats().writeback_bytes, 64);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = tiny();
+        c.fill(0, false, false);
+        c.access(0, true); // dirty it via store hit
+        c.fill(2, false, false);
+        let wb = c.fill(4, false, false);
+        assert_eq!(wb, Some(0));
+    }
+
+    #[test]
+    fn prefetch_hit_detected_once() {
+        let mut c = tiny();
+        c.fill(0, false, true); // prefetch fill
+        let r1 = c.access(0, false);
+        assert!(r1.hit && r1.prefetch_hit);
+        let r2 = c.access(0, false);
+        assert!(r2.hit && !r2.prefetch_hit, "flag clears after first touch");
+        assert_eq!(c.stats().prefetches_issued, 1);
+        assert_eq!(c.stats().prefetch_hits, 1);
+    }
+
+    #[test]
+    fn fill_of_resident_line_does_not_duplicate() {
+        let mut c = tiny();
+        c.fill(0, false, false);
+        c.fill(0, true, false);
+        assert_eq!(c.resident_lines(), 1);
+        // And the duplicate fill dirtied it.
+        c.fill(2, false, false);
+        assert_eq!(c.fill(4, false, false), Some(0));
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut c = tiny();
+        for l in 0..100 {
+            c.fill(l, false, false);
+        }
+        assert!(c.resident_lines() <= 4);
+    }
+
+    #[test]
+    fn lru_within_set_respects_touch_order() {
+        let mut c = tiny();
+        c.fill(0, false, false);
+        c.fill(2, false, false);
+        c.access(0, false); // 0 is now MRU; 2 is the LRU victim
+        c.fill(4, false, false);
+        assert!(c.contains(0));
+        assert!(!c.contains(2));
+    }
+
+    #[test]
+    fn flush_clears_state_but_not_counters() {
+        let mut c = tiny();
+        c.fill(0, false, false);
+        c.access(0, false);
+        c.flush();
+        assert_eq!(c.resident_lines(), 0);
+        assert_eq!(c.stats().hits, 1);
+        assert!(!c.access(0, false).hit);
+    }
+
+    #[test]
+    fn sets_geometry() {
+        let cfg = CacheConfig::new("L1", 32 * 1024, 4, 64);
+        assert_eq!(cfg.sets(), 128);
+        let c = Cache::new(cfg);
+        assert_eq!(c.line_of(0x1000), 0x40);
+    }
+
+    #[test]
+    fn partitioned_halves_capacity_and_keeps_geometry_valid() {
+        let cfg = CacheConfig::new("L2", 1024 * 1024, 16, 64).shared();
+        let half = cfg.partitioned(2);
+        assert_eq!(half.size_bytes, 512 * 1024);
+        assert_eq!(half.ways, 16);
+        assert!(half.sets() > 0);
+        // Partitioning by more cores than way-rows clamps to one set row.
+        let tiny = CacheConfig::new("x", 2048, 2, 64).partitioned(1000);
+        assert_eq!(tiny.size_bytes, 128);
+    }
+
+    #[test]
+    fn partitioned_by_one_is_identity() {
+        let cfg = CacheConfig::new("L2", 128 * 1024, 8, 64);
+        assert_eq!(cfg.partitioned(1), cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn bad_geometry_rejected() {
+        let _ = CacheConfig::new("bad", 1000, 3, 64);
+    }
+
+    #[test]
+    fn random_policy_cache_stays_within_capacity() {
+        let mut c = Cache::new(
+            CacheConfig::new("r", 4096, 4, 64).policy(ReplacementPolicy::Random),
+        );
+        for l in 0..10_000u64 {
+            c.access(l % 97, true);
+            c.fill(l % 97, true, false);
+        }
+        assert!(c.resident_lines() <= 64);
+    }
+
+    #[test]
+    fn repeated_hits_use_the_hint_path_consistently() {
+        let mut c = tiny();
+        c.fill(0, false, false);
+        c.fill(2, false, false);
+        for _ in 0..100 {
+            assert!(c.access(0, false).hit);
+            assert!(c.access(0, false).hit);
+            assert!(c.access(2, false).hit);
+        }
+        assert_eq!(c.stats().hits, 300);
+        assert_eq!(c.stats().misses, 0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Core (pipeline) timing model.
+//!
+//! The model is deliberately coarse: it answers "how many cycles does the
+//! front-end need to issue this loop?" and "how much of a miss's latency
+//! does the core actually eat?". §3.1 of the paper gives the pipeline
+//! shapes we encode: the C906 is a 5-stage single-issue in-order core, the
+//! U74 an 8-stage dual-issue in-order core, the Cortex-A72 a 3-wide
+//! out-of-order core, and the Ice Lake server core a wide out-of-order
+//! design with effective auto-vectorization.
+
+use membound_trace::IterCost;
+use serde::{Deserialize, Serialize};
+
+/// Static description of one core's execution resources.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Microarchitecture name ("XuanTie C906", ...).
+    pub name: String,
+    /// Clock frequency in GHz; converts cycles to seconds.
+    pub freq_ghz: f64,
+    /// Instructions issued per cycle (scalar slots).
+    pub issue_width: u32,
+    /// Vector register width in bytes; `0` disables vectorization (the
+    /// paper compiled plain C for the RISC-V boards — no RVV codegen).
+    pub vector_bytes: u32,
+    /// Memory-level parallelism: how many outstanding misses the core
+    /// sustains, i.e. the divisor applied to miss latency. In-order cores
+    /// sit near 1; big out-of-order cores reach 8–16.
+    pub mlp: f64,
+}
+
+impl CoreConfig {
+    /// Create a core model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if frequency or MLP is not positive/finite, or issue width
+    /// is zero.
+    #[must_use]
+    pub fn new(name: &str, freq_ghz: f64, issue_width: u32, vector_bytes: u32, mlp: f64) -> Self {
+        assert!(freq_ghz.is_finite() && freq_ghz > 0.0, "frequency must be positive");
+        assert!(issue_width > 0, "issue width must be nonzero");
+        assert!(mlp.is_finite() && mlp >= 1.0, "MLP must be at least 1");
+        Self {
+            name: name.to_owned(),
+            freq_ghz,
+            issue_width,
+            vector_bytes,
+            mlp,
+        }
+    }
+
+    /// How many loop iterations one vector operation covers for the given
+    /// cost descriptor (1 when the loop is not vectorizable or the core has
+    /// no vector unit).
+    #[must_use]
+    pub fn vector_factor(&self, cost: &IterCost) -> u32 {
+        if cost.vectorizable && self.vector_bytes > 0 {
+            (self.vector_bytes / cost.elem_bytes.max(1)).max(1)
+        } else {
+            1
+        }
+    }
+
+    /// Front-end cycles needed to issue `iters` iterations of a loop with
+    /// per-iteration cost `cost`.
+    ///
+    /// Vectorizable loops retire `vector_factor` iterations per pass over
+    /// the loop body; the body's op count is charged once per pass.
+    #[must_use]
+    pub fn issue_cycles(&self, cost: &IterCost, iters: u64) -> f64 {
+        let vf = u64::from(self.vector_factor(cost));
+        let passes = iters.div_ceil(vf);
+        let slots = passes as f64 * f64::from(cost.total_ops());
+        slots / f64::from(self.issue_width)
+    }
+
+    /// The portion of a `latency`-cycle miss the core stalls for, after
+    /// memory-level parallelism overlaps the rest.
+    #[must_use]
+    pub fn exposed_latency(&self, latency: u32) -> f64 {
+        f64::from(latency) / self.mlp
+    }
+
+    /// Convert core cycles to seconds.
+    #[must_use]
+    pub fn cycles_to_seconds(&self, cycles: f64) -> f64 {
+        cycles / (self.freq_ghz * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar_core() -> CoreConfig {
+        CoreConfig::new("test-inorder", 1.0, 1, 0, 1.0)
+    }
+
+    fn vector_core() -> CoreConfig {
+        CoreConfig::new("test-ooo", 2.0, 4, 32, 8.0)
+    }
+
+    #[test]
+    fn scalar_issue_is_ops_over_width() {
+        let cost = IterCost::new(2, 1).mem(1, 1); // 5 slots/iter
+        let c = scalar_core();
+        assert!((c.issue_cycles(&cost, 100) - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wider_issue_divides() {
+        let cost = IterCost::new(2, 1).mem(1, 1);
+        let c = CoreConfig::new("w2", 1.0, 2, 0, 1.0);
+        assert!((c.issue_cycles(&cost, 100) - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vectorization_reduces_passes() {
+        // 8-byte elements in a 32-byte vector: 4 iterations per pass.
+        let cost = IterCost::new(2, 2).mem(2, 1).elem_bytes(8).vectorizable(true);
+        let c = vector_core();
+        assert_eq!(c.vector_factor(&cost), 4);
+        // 100 iters -> 25 passes x 7 slots / 4-wide = 43.75 cycles.
+        assert!((c.issue_cycles(&cost, 100) - 43.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_vectorizable_loop_ignores_vector_unit() {
+        let cost = IterCost::new(2, 2).mem(2, 1);
+        assert_eq!(vector_core().vector_factor(&cost), 1);
+    }
+
+    #[test]
+    fn scalar_core_ignores_vectorizable_flag() {
+        let cost = IterCost::new(1, 1).vectorizable(true);
+        assert_eq!(scalar_core().vector_factor(&cost), 1);
+    }
+
+    #[test]
+    fn f32_elements_double_the_vector_factor() {
+        let cost = IterCost::new(1, 1).elem_bytes(4).vectorizable(true);
+        assert_eq!(vector_core().vector_factor(&cost), 8);
+    }
+
+    #[test]
+    fn exposed_latency_divided_by_mlp() {
+        assert!((scalar_core().exposed_latency(100) - 100.0).abs() < 1e-9);
+        assert!((vector_core().exposed_latency(100) - 12.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cycles_to_seconds_uses_frequency() {
+        assert!((scalar_core().cycles_to_seconds(1e9) - 1.0).abs() < 1e-12);
+        assert!((vector_core().cycles_to_seconds(1e9) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_final_vector_pass_rounds_up() {
+        let cost = IterCost::new(0, 1).elem_bytes(8).vectorizable(true);
+        let c = vector_core(); // vf = 4
+        // 10 iters -> 3 passes.
+        assert!((c.issue_cycles(&cost, 10) - 3.0 / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "MLP must be at least 1")]
+    fn sub_one_mlp_rejected() {
+        let _ = CoreConfig::new("bad", 1.0, 1, 0, 0.5);
+    }
+}

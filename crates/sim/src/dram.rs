@@ -1,0 +1,103 @@
+//! DRAM channel model.
+
+use serde::{Deserialize, Serialize};
+
+/// DRAM timing and bandwidth, expressed in core cycles so the whole device
+/// model shares one clock.
+///
+/// # Example
+///
+/// ```
+/// use membound_sim::DramConfig;
+///
+/// // A 1 GHz core in front of ~1.6 GB/s DDR3L (Mango Pi MQ-Pro):
+/// let dram = DramConfig::new(160, 1.6, 1);
+/// assert!((dram.gbps_at(1.0) - 1.6).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Idle-load latency of a line fetch, in core cycles.
+    pub latency_cycles: u32,
+    /// Aggregate sustained bandwidth across all channels, in bytes per
+    /// core cycle.
+    pub bytes_per_cycle: f64,
+    /// Number of independent memory channels (reported in the device table
+    /// and used by the §4.3 discussion of parallel-speedup limits).
+    pub channels: u32,
+}
+
+impl DramConfig {
+    /// Create a DRAM model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if bandwidth is not positive/finite or `channels` is zero.
+    #[must_use]
+    pub fn new(latency_cycles: u32, bytes_per_cycle: f64, channels: u32) -> Self {
+        assert!(
+            bytes_per_cycle.is_finite() && bytes_per_cycle > 0.0,
+            "DRAM bandwidth must be positive"
+        );
+        assert!(channels > 0, "DRAM needs at least one channel");
+        Self {
+            latency_cycles,
+            bytes_per_cycle,
+            channels,
+        }
+    }
+
+    /// Convenience: build from a bandwidth in GB/s and a core frequency in
+    /// GHz (`bytes_per_cycle = GBps / GHz`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either quantity is not positive/finite or `channels` is 0.
+    #[must_use]
+    pub fn from_gbps(latency_cycles: u32, gbps: f64, freq_ghz: f64, channels: u32) -> Self {
+        assert!(freq_ghz.is_finite() && freq_ghz > 0.0, "frequency must be positive");
+        Self::new(latency_cycles, gbps / freq_ghz, channels)
+    }
+
+    /// The modelled peak bandwidth in GB/s at the given core frequency.
+    #[must_use]
+    pub fn gbps_at(&self, freq_ghz: f64) -> f64 {
+        self.bytes_per_cycle * freq_ghz
+    }
+
+    /// Cycles of channel occupancy for transferring `bytes`.
+    #[must_use]
+    pub fn occupancy_cycles(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.bytes_per_cycle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_gbps_converts() {
+        let d = DramConfig::from_gbps(200, 60.0, 3.0, 8);
+        assert!((d.bytes_per_cycle - 20.0).abs() < 1e-12);
+        assert!((d.gbps_at(3.0) - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn occupancy_is_linear_in_bytes() {
+        let d = DramConfig::new(100, 2.0, 1);
+        assert!((d.occupancy_cycles(64) - 32.0).abs() < 1e-12);
+        assert!((d.occupancy_cycles(128) - 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = DramConfig::new(100, 0.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn zero_channels_rejected() {
+        let _ = DramConfig::new(100, 1.0, 0);
+    }
+}

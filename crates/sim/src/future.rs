@@ -1,0 +1,167 @@
+//! Speculative device models for the paper's outlook questions.
+//!
+//! The paper closes on RISC-V's prospects ("the prospects look quite
+//! real"), and §3.1 notes hardware the benchmarks never exploited — the
+//! C906's 512-bit vector unit sat idle because GCC 12 emitted scalar
+//! code. The models here quantify those what-ifs:
+//!
+//! * [`with_vectorization`] — any device with a given vector width
+//!   enabled in the core model (an ideal RVV-autovectorizing compiler);
+//! * [`visionfive2`] — the StarFive VisionFive 2 (JH7110), the direct
+//!   successor of the paper's VisionFive: four U74 cores at 1.5 GHz, a
+//!   2 MB shared L2 and commodity DDR4;
+//! * [`riscv_server_class`] — a BOOM/SonicBOOM-class out-of-order RISC-V
+//!   core scaled to server frequencies, the paper's §2 endpoint.
+//!
+//! These are *not* reproductions of measured hardware; they are clearly
+//! labelled projections for the `whatif_*` benches.
+
+use crate::cache::CacheConfig;
+use crate::core::CoreConfig;
+use crate::dram::DramConfig;
+use crate::machine::DeviceSpec;
+use crate::prefetch::PrefetcherConfig;
+use crate::replacement::ReplacementPolicy;
+use crate::tlb::{PageWalk, TlbConfig};
+
+/// A copy of `spec` whose core vectorizes with `vector_bytes`-wide
+/// registers (0 disables vectorization again).
+///
+/// # Example
+///
+/// ```
+/// use membound_sim::{future, Device};
+///
+/// // The C906's RVV unit is 512-bit; the paper's binaries never used it.
+/// let rvv = future::with_vectorization(Device::MangoPiMqPro.spec(), 64);
+/// assert_eq!(rvv.core.vector_bytes, 64);
+/// assert!(rvv.name.contains("vectorized"));
+/// ```
+#[must_use]
+pub fn with_vectorization(mut spec: DeviceSpec, vector_bytes: u32) -> DeviceSpec {
+    spec.core.vector_bytes = vector_bytes;
+    if vector_bytes > 0 {
+        spec.name = format!("{} [vectorized {}b]", spec.name, vector_bytes * 8);
+    }
+    spec
+}
+
+/// StarFive VisionFive 2 (JH7110): 4× U74 @ 1.5 GHz, per-core 32 KB L1s,
+/// a 2 MB shared L2 and much healthier DDR4 bandwidth than the original
+/// VisionFive. Geometry from StarFive's public documentation; bandwidths
+/// are ballpark figures from public STREAM reports (~2.8 GB/s).
+#[must_use]
+pub fn visionfive2() -> DeviceSpec {
+    let freq = 1.5;
+    DeviceSpec {
+        name: "StarFive VisionFive 2 (JH7110, 4x U74) [projection]".into(),
+        isa: "RV64GC".into(),
+        cores: 4,
+        core: CoreConfig::new("SiFive U74", freq, 2, 0, 2.0),
+        caches: vec![
+            CacheConfig::new("L1D", 32 * 1024, 4, 64)
+                .policy(ReplacementPolicy::Random)
+                .latency(3)
+                .bytes_per_cycle(16.0),
+            CacheConfig::new("L2", 2 * 1024 * 1024, 16, 64)
+                .policy(ReplacementPolicy::Random)
+                .latency(20)
+                .bytes_per_cycle(12.0)
+                .shared(),
+        ],
+        prefetchers: vec![PrefetcherConfig::u74(), PrefetcherConfig::None],
+        dtlb: TlbConfig::fully_associative("DTLB", 40),
+        l2tlb: Some(TlbConfig::direct_mapped("L2 TLB", 512).latency(8)),
+        walk: PageWalk {
+            levels: 3,
+            overhead_cycles: 30,
+        },
+        dram: DramConfig::from_gbps(160, 2.8, freq, 1),
+        dram_capacity_bytes: 8 << 30,
+        tlb_enabled: true,
+    }
+}
+
+/// A BOOM/SonicBOOM-class out-of-order RISC-V core (§2 cites BROOM and
+/// SonicBOOM as "performance competitive with commercial high-performance
+/// out-of-order cores") scaled to a plausible server part: 8 wide-ish
+/// cores at 2.5 GHz with RVV-256, a proper three-level cache hierarchy
+/// and multi-channel DDR4.
+#[must_use]
+pub fn riscv_server_class() -> DeviceSpec {
+    let freq = 2.5;
+    DeviceSpec {
+        name: "SonicBOOM-class RISC-V server (8 cores) [projection]".into(),
+        isa: "RV64GCV".into(),
+        cores: 8,
+        core: CoreConfig::new("SonicBOOM-class OoO", freq, 4, 32, 10.0),
+        caches: vec![
+            CacheConfig::new("L1D", 32 * 1024, 8, 64)
+                .latency(4)
+                .bytes_per_cycle(32.0),
+            CacheConfig::new("L2", 512 * 1024, 8, 64)
+                .latency(14)
+                .bytes_per_cycle(24.0),
+            CacheConfig::new("L3", 8 * 1024 * 1024, 16, 64)
+                .latency(40)
+                .bytes_per_cycle(24.0)
+                .shared(),
+        ],
+        prefetchers: vec![
+            PrefetcherConfig::stream(8),
+            PrefetcherConfig::stream(12),
+            PrefetcherConfig::None,
+        ],
+        dtlb: TlbConfig::set_associative("DTLB", 64, 4),
+        l2tlb: Some(TlbConfig::set_associative("L2 TLB", 1024, 8).latency(7)),
+        walk: PageWalk {
+            levels: 3,
+            overhead_cycles: 25,
+        },
+        dram: DramConfig::from_gbps(220, 25.0, freq, 4),
+        dram_capacity_bytes: 32 << 30,
+        tlb_enabled: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::Device;
+    use crate::machine::Machine;
+
+    #[test]
+    fn projections_are_structurally_valid() {
+        let _ = Machine::new(visionfive2());
+        let _ = Machine::new(riscv_server_class());
+        let _ = Machine::new(with_vectorization(Device::MangoPiMqPro.spec(), 64));
+    }
+
+    #[test]
+    fn vectorization_override_round_trips() {
+        let spec = with_vectorization(Device::StarFiveVisionFive.spec(), 16);
+        assert_eq!(spec.core.vector_bytes, 16);
+        let back = with_vectorization(spec, 0);
+        assert_eq!(back.core.vector_bytes, 0);
+    }
+
+    #[test]
+    fn projections_are_labelled_as_such() {
+        assert!(visionfive2().name.contains("projection"));
+        assert!(riscv_server_class().name.contains("projection"));
+        assert!(
+            with_vectorization(Device::MangoPiMqPro.spec(), 64)
+                .name
+                .contains("vectorized")
+        );
+    }
+
+    #[test]
+    fn visionfive2_improves_on_visionfive1() {
+        let v1 = Device::StarFiveVisionFive.spec();
+        let v2 = visionfive2();
+        assert!(v2.dram_gbps() > v1.dram_gbps());
+        assert!(v2.cores > v1.cores);
+        assert!(v2.caches[1].size_bytes > v1.caches[1].size_bytes);
+    }
+}

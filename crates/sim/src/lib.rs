@@ -1,0 +1,70 @@
+//! `membound-sim` — a trace-driven, cycle-approximate multicore
+//! memory-hierarchy simulator.
+//!
+//! This crate is the hardware substitute for the reproduction of *"Case
+//! Study for Running Memory-Bound Kernels on RISC-V CPUs"* (PACT 2023):
+//! the paper's two RISC-V boards (and its ARM and x86 comparison machines)
+//! are modelled as [`DeviceSpec`]s — caches, TLBs, hardware prefetchers,
+//! DRAM channels and a coarse core-pipeline model — and kernels are
+//! replayed against them as memory-reference traces.
+//!
+//! # Model summary
+//!
+//! * [`Cache`] — set-associative, write-back + write-allocate, pluggable
+//!   [`ReplacementPolicy`] (the U74 really does use random replacement).
+//! * [`Tlb`] + [`PageWalk`] — two TLB levels and an Sv39-style radix walk
+//!   whose PTE loads are replayed through the data caches.
+//! * [`Prefetcher`] — stride/stream detectors per cache level, matching
+//!   the C906's ≤16-line stride prefetch and the U74's ramping-distance
+//!   prefetch.
+//! * [`CoreConfig`] — issue width, vector width and memory-level
+//!   parallelism; converts `membound_trace::IterCost` into issue cycles
+//!   and decides how much miss latency is exposed.
+//! * [`DramConfig`] — latency + aggregate channel bandwidth.
+//! * [`Machine`] — runs one trace stream per simulated core, partitions
+//!   shared cache capacity, aligns barrier phases, and reports the
+//!   limiting [`Bottleneck`] per phase.
+//!
+//! # Example
+//!
+//! ```
+//! use membound_sim::{Device, Machine};
+//! use membound_trace::TraceSink;
+//!
+//! // Stream 1 MiB through the Mango Pi model and look at the traffic.
+//! let machine = Machine::new(Device::MangoPiMqPro.spec());
+//! let report = machine.simulate(1, |_tid, sink| {
+//!     for i in 0..(1 << 14) {
+//!         sink.load(i * 64, 64);
+//!     }
+//! });
+//! assert!(report.dram.bytes_read >= 1 << 20);
+//! assert!(report.seconds > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod assoc;
+mod cache;
+mod core;
+mod devices;
+mod dram;
+pub mod future;
+mod hierarchy;
+mod machine;
+mod prefetch;
+mod replacement;
+mod stats;
+mod tlb;
+
+pub use cache::{Cache, CacheAccessResult, CacheConfig};
+pub use core::CoreConfig;
+pub use devices::Device;
+pub use dram::DramConfig;
+pub use hierarchy::{CorePipeline, PhaseAccum};
+pub use machine::{Bottleneck, DeviceSpec, Machine, PhaseReport, SimReport};
+pub use prefetch::{Prefetcher, PrefetcherConfig};
+pub use replacement::ReplacementPolicy;
+pub use stats::{CycleBreakdown, DramStats, LevelStats};
+pub use tlb::{PageWalk, Tlb, TlbConfig};

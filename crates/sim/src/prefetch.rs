@@ -1,0 +1,345 @@
+//! Hardware data-prefetcher models.
+//!
+//! §3.1 of the paper describes three distinct prefetchers:
+//!
+//! * **C906** (Mango Pi): "two prefetch methods: forward and backward
+//!   consecutive and stride-based prefetch with stride less or equal 16
+//!   cache lines";
+//! * **U74** (VisionFive): "forward and backward stride-based prefetch with
+//!   large strides and automatically increased prefetch distance";
+//! * the A72 and Ice Lake cores have conventional aggressive stream
+//!   prefetchers.
+//!
+//! We model all of them as a table of stride trackers over cache-line
+//! addresses with configurable maximum stride, degree and optional
+//! distance ramping. The model is PC-less (traces carry no program
+//! counter), so streams are matched by address proximity.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a per-cache-level prefetcher.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PrefetcherConfig {
+    /// No prefetching at this level.
+    None,
+    /// Always prefetch the next `degree` sequential lines after an access
+    /// (the C906's instruction-side behaviour; also an ablation point).
+    NextLine {
+        /// Lines fetched ahead.
+        degree: u32,
+    },
+    /// Stride detector with a stream table.
+    Stride {
+        /// Largest detectable stride, in lines (C906: 16).
+        max_stride_lines: u32,
+        /// Maximum prefetch distance, in strides ahead.
+        degree: u32,
+        /// Ramp the distance up as confidence grows (U74 behaviour) instead
+        /// of jumping straight to `degree`.
+        ramp: bool,
+        /// Number of concurrent streams tracked.
+        streams: u32,
+    },
+}
+
+impl PrefetcherConfig {
+    /// The C906 data prefetcher: forward/backward, stride ≤ 16 lines.
+    #[must_use]
+    pub fn c906() -> Self {
+        PrefetcherConfig::Stride {
+            max_stride_lines: 16,
+            degree: 2,
+            ramp: false,
+            streams: 4,
+        }
+    }
+
+    /// The U74 data prefetcher: large strides, ramping distance.
+    #[must_use]
+    pub fn u74() -> Self {
+        PrefetcherConfig::Stride {
+            max_stride_lines: 256,
+            degree: 8,
+            ramp: true,
+            streams: 8,
+        }
+    }
+
+    /// A conventional aggressive stream prefetcher (A72 / Ice Lake).
+    #[must_use]
+    pub fn stream(degree: u32) -> Self {
+        PrefetcherConfig::Stride {
+            max_stride_lines: 32,
+            degree,
+            ramp: true,
+            streams: 16,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct StreamEntry {
+    last_line: u64,
+    stride: i64,
+    confidence: u32,
+    last_used: u64,
+    valid: bool,
+}
+
+impl StreamEntry {
+    const INVALID: StreamEntry = StreamEntry {
+        last_line: 0,
+        stride: 0,
+        confidence: 0,
+        last_used: 0,
+        valid: false,
+    };
+}
+
+/// Runtime state of one prefetcher.
+#[derive(Debug, Clone)]
+pub struct Prefetcher {
+    config: PrefetcherConfig,
+    table: Vec<StreamEntry>,
+    clock: u64,
+}
+
+impl Prefetcher {
+    /// Build a prefetcher from its configuration.
+    #[must_use]
+    pub fn new(config: PrefetcherConfig) -> Self {
+        let streams = match config {
+            PrefetcherConfig::Stride { streams, .. } => streams as usize,
+            _ => 0,
+        };
+        Self {
+            config,
+            table: vec![StreamEntry::INVALID; streams],
+            clock: 0,
+        }
+    }
+
+    /// The configuration this prefetcher was built from.
+    #[must_use]
+    pub fn config(&self) -> PrefetcherConfig {
+        self.config
+    }
+
+    /// Observe a demand access to `line` and append predicted line
+    /// addresses to `out`. The caller decides whether each prediction
+    /// results in a fill (it skips lines already resident).
+    pub fn observe(&mut self, line: u64, out: &mut Vec<u64>) {
+        self.clock += 1;
+        match self.config {
+            PrefetcherConfig::None => {}
+            PrefetcherConfig::NextLine { degree } => {
+                for d in 1..=u64::from(degree) {
+                    out.push(line + d);
+                }
+            }
+            PrefetcherConfig::Stride {
+                max_stride_lines,
+                degree,
+                ramp,
+                ..
+            } => {
+                let max_stride = i64::from(max_stride_lines);
+                // Find the tracker this access extends: previous line within
+                // max_stride in either direction.
+                let mut found = None;
+                for (i, e) in self.table.iter().enumerate() {
+                    if !e.valid {
+                        continue;
+                    }
+                    let delta = line as i64 - e.last_line as i64;
+                    if delta != 0 && delta.abs() <= max_stride {
+                        found = Some((i, delta));
+                        break;
+                    }
+                    if delta == 0 {
+                        // Same line touched again: refresh recency, no
+                        // stride information.
+                        found = Some((i, 0));
+                        break;
+                    }
+                }
+                match found {
+                    Some((i, 0)) => {
+                        self.table[i].last_used = self.clock;
+                    }
+                    Some((i, delta)) => {
+                        let e = &mut self.table[i];
+                        if delta == e.stride {
+                            e.confidence += 1;
+                        } else {
+                            e.stride = delta;
+                            e.confidence = 1;
+                        }
+                        e.last_line = line;
+                        e.last_used = self.clock;
+                        if e.confidence >= 2 {
+                            let dist = if ramp {
+                                degree.min(e.confidence - 1)
+                            } else {
+                                degree
+                            };
+                            for d in 1..=i64::from(dist) {
+                                let target = line as i64 + e.stride * d;
+                                if target >= 0 {
+                                    out.push(target as u64);
+                                }
+                            }
+                        }
+                    }
+                    None => {
+                        // Allocate the least-recently-used tracker.
+                        let slot = self
+                            .table
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, e)| if e.valid { e.last_used } else { 0 })
+                            .map(|(i, _)| i);
+                        if let Some(i) = slot {
+                            self.table[i] = StreamEntry {
+                                last_line: line,
+                                stride: 0,
+                                confidence: 0,
+                                last_used: self.clock,
+                                valid: true,
+                            };
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(p: &mut Prefetcher, lines: &[u64]) -> Vec<Vec<u64>> {
+        lines
+            .iter()
+            .map(|&l| {
+                let mut out = Vec::new();
+                p.observe(l, &mut out);
+                out
+            })
+            .collect()
+    }
+
+    #[test]
+    fn none_never_predicts() {
+        let mut p = Prefetcher::new(PrefetcherConfig::None);
+        let preds = drive(&mut p, &[0, 1, 2, 3]);
+        assert!(preds.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn next_line_predicts_sequentially() {
+        let mut p = Prefetcher::new(PrefetcherConfig::NextLine { degree: 2 });
+        let mut out = Vec::new();
+        p.observe(10, &mut out);
+        assert_eq!(out, vec![11, 12]);
+    }
+
+    #[test]
+    fn forward_unit_stride_detected_after_two_deltas() {
+        let mut p = Prefetcher::new(PrefetcherConfig::c906());
+        let preds = drive(&mut p, &[100, 101, 102, 103]);
+        assert!(preds[0].is_empty(), "first touch allocates");
+        assert!(preds[1].is_empty(), "one delta: confidence 1");
+        assert_eq!(preds[2], vec![103, 104], "two equal deltas: prefetch");
+        assert_eq!(preds[3], vec![104, 105]);
+    }
+
+    #[test]
+    fn backward_stride_detected() {
+        let mut p = Prefetcher::new(PrefetcherConfig::c906());
+        let preds = drive(&mut p, &[100, 99, 98]);
+        assert_eq!(preds[2], vec![97, 96], "backward consecutive prefetch");
+    }
+
+    #[test]
+    fn large_stride_beyond_c906_limit_not_detected() {
+        let mut p = Prefetcher::new(PrefetcherConfig::c906());
+        // Stride of 20 lines exceeds the 16-line limit.
+        let preds = drive(&mut p, &[0, 20, 40, 60, 80]);
+        assert!(
+            preds.iter().all(Vec::is_empty),
+            "C906 must not track strides > 16 lines: {preds:?}"
+        );
+    }
+
+    #[test]
+    fn large_stride_detected_by_u74() {
+        let mut p = Prefetcher::new(PrefetcherConfig::u74());
+        let preds = drive(&mut p, &[0, 100, 200, 300]);
+        assert_eq!(preds[2], vec![300], "ramp starts at distance 1");
+        assert_eq!(preds[3], vec![400, 500], "distance ramps up");
+    }
+
+    #[test]
+    fn ramping_caps_at_degree() {
+        let mut p = Prefetcher::new(PrefetcherConfig::Stride {
+            max_stride_lines: 4,
+            degree: 3,
+            ramp: true,
+            streams: 4,
+        });
+        let lines: Vec<u64> = (0..10).collect();
+        let preds = drive(&mut p, &lines);
+        assert!(preds[9].len() <= 3, "distance must cap at degree");
+        assert_eq!(preds[9], vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn stride_change_resets_confidence() {
+        let mut p = Prefetcher::new(PrefetcherConfig::Stride {
+            max_stride_lines: 16,
+            degree: 2,
+            ramp: false,
+            streams: 4,
+        });
+        let preds = drive(&mut p, &[0, 1, 2, 4, 6]);
+        assert_eq!(preds[2], vec![3, 4]); // unit stride confirmed
+        assert!(preds[3].is_empty(), "stride changed 1->2: confidence resets");
+        assert_eq!(preds[4], vec![8, 10], "new stride confirmed");
+    }
+
+    #[test]
+    fn multiple_streams_tracked_independently() {
+        let mut p = Prefetcher::new(PrefetcherConfig::u74());
+        // Interleave two unit-stride streams far apart.
+        let mut out = Vec::new();
+        for i in 0..4u64 {
+            out.clear();
+            p.observe(1000 + i, &mut out);
+            let a = out.clone();
+            out.clear();
+            p.observe(900_000 + i, &mut out);
+            let b = out.clone();
+            if i >= 2 {
+                assert!(!a.is_empty(), "stream A at step {i}");
+                assert!(!b.is_empty(), "stream B at step {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_same_line_does_not_predict() {
+        let mut p = Prefetcher::new(PrefetcherConfig::c906());
+        let preds = drive(&mut p, &[5, 5, 5, 5]);
+        assert!(preds.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn negative_targets_clipped() {
+        let mut p = Prefetcher::new(PrefetcherConfig::c906());
+        let preds = drive(&mut p, &[3, 2, 1]);
+        // Prefetch targets 0 and -1; only 0 survives.
+        assert_eq!(preds[2], vec![0]);
+    }
+}

@@ -1,0 +1,73 @@
+//! Replacement policies for set-associative structures.
+//!
+//! The paper's devices use two policies: LRU-like (C906 L1, A72, Ice Lake)
+//! and *random* replacement (the U74's L1 and L2 — §3.1 calls it "RRP").
+//! FIFO and tree-PLRU are included for the ablation benches. The policy
+//! state machines themselves live in the shared set-associative engine
+//! (`crate::assoc`).
+
+use serde::{Deserialize, Serialize};
+
+/// Which replacement policy a set-associative structure uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReplacementPolicy {
+    /// Evict the least-recently-used way.
+    Lru,
+    /// Evict the way filled longest ago, ignoring touches.
+    Fifo,
+    /// Evict a pseudo-random way (deterministic xorshift per structure).
+    Random,
+    /// Tree pseudo-LRU over a power-of-two number of ways.
+    TreePlru,
+}
+
+impl ReplacementPolicy {
+    /// Human-readable name used in reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ReplacementPolicy::Lru => "LRU",
+            ReplacementPolicy::Fifo => "FIFO",
+            ReplacementPolicy::Random => "random",
+            ReplacementPolicy::TreePlru => "tree-PLRU",
+        }
+    }
+
+    /// All four policies (ablation sweeps).
+    #[must_use]
+    pub fn all() -> [ReplacementPolicy; 4] {
+        [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::Fifo,
+            ReplacementPolicy::Random,
+            ReplacementPolicy::TreePlru,
+        ]
+    }
+}
+
+impl std::fmt::Display for ReplacementPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(ReplacementPolicy::Lru.to_string(), "LRU");
+        assert_eq!(ReplacementPolicy::Random.to_string(), "random");
+        assert_eq!(ReplacementPolicy::Fifo.to_string(), "FIFO");
+        assert_eq!(ReplacementPolicy::TreePlru.to_string(), "tree-PLRU");
+    }
+
+    #[test]
+    fn all_lists_each_policy_once() {
+        let all = ReplacementPolicy::all();
+        for p in all {
+            assert_eq!(all.iter().filter(|&&q| q == p).count(), 1);
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Hit/miss/traffic counters and cycle accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters for one cache or TLB level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LevelStats {
+    /// Demand accesses that hit in this level.
+    pub hits: u64,
+    /// Demand accesses that missed in this level.
+    pub misses: u64,
+    /// Lines (or entries) evicted to make room.
+    pub evictions: u64,
+    /// Dirty lines written back to the level below.
+    pub writebacks: u64,
+    /// Prefetch fills this level's prefetcher requested.
+    pub prefetches_issued: u64,
+    /// Demand hits on lines that were brought in by the prefetcher.
+    pub prefetch_hits: u64,
+    /// Bytes filled into this level from the level below (demand + prefetch).
+    pub fill_bytes: u64,
+    /// Bytes written back from this level to the level below.
+    pub writeback_bytes: u64,
+}
+
+impl LevelStats {
+    /// Total demand accesses observed.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Demand hit rate in `[0, 1]`; `1.0` for an untouched level.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of issued prefetches that later served a demand hit.
+    #[must_use]
+    pub fn prefetch_accuracy(&self) -> f64 {
+        if self.prefetches_issued == 0 {
+            0.0
+        } else {
+            self.prefetch_hits as f64 / self.prefetches_issued as f64
+        }
+    }
+
+    /// Accumulate another level's counters into this one.
+    pub fn merge(&mut self, other: &LevelStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.writebacks += other.writebacks;
+        self.prefetches_issued += other.prefetches_issued;
+        self.prefetch_hits += other.prefetch_hits;
+        self.fill_bytes += other.fill_bytes;
+        self.writeback_bytes += other.writeback_bytes;
+    }
+}
+
+/// DRAM traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramStats {
+    /// Bytes read from DRAM (demand fills and prefetch fills).
+    pub bytes_read: u64,
+    /// Bytes written to DRAM (writebacks).
+    pub bytes_written: u64,
+    /// Number of line reads.
+    pub reads: u64,
+    /// Number of line writes.
+    pub writes: u64,
+}
+
+impl DramStats {
+    /// Total bytes moved over the memory channels.
+    #[must_use]
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Accumulate another counter set into this one.
+    pub fn merge(&mut self, other: &DramStats) {
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        self.reads += other.reads;
+        self.writes += other.writes;
+    }
+}
+
+/// Cycle accounting for one simulated core over one phase (between
+/// barriers).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CycleBreakdown {
+    /// Cycles spent issuing instructions (compute + memory ops).
+    pub issue_cycles: f64,
+    /// Cycles stalled waiting on cache/TLB/DRAM latency (after MLP overlap).
+    pub stall_cycles: f64,
+}
+
+impl CycleBreakdown {
+    /// Total cycles of this breakdown.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.issue_cycles + self.stall_cycles
+    }
+
+    /// Accumulate another breakdown.
+    pub fn merge(&mut self, other: &CycleBreakdown) {
+        self.issue_cycles += other.issue_cycles;
+        self.stall_cycles += other.stall_cycles;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_of_untouched_level_is_one() {
+        assert_eq!(LevelStats::default().hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn hit_rate_counts_hits_over_accesses() {
+        let s = LevelStats {
+            hits: 3,
+            misses: 1,
+            ..LevelStats::default()
+        };
+        assert_eq!(s.accesses(), 4);
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefetch_accuracy_zero_when_none_issued() {
+        assert_eq!(LevelStats::default().prefetch_accuracy(), 0.0);
+    }
+
+    #[test]
+    fn prefetch_accuracy_ratio() {
+        let s = LevelStats {
+            prefetches_issued: 10,
+            prefetch_hits: 7,
+            ..LevelStats::default()
+        };
+        assert!((s.prefetch_accuracy() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates_all_fields() {
+        let a = LevelStats {
+            hits: 1,
+            misses: 2,
+            evictions: 3,
+            writebacks: 4,
+            prefetches_issued: 5,
+            prefetch_hits: 6,
+            fill_bytes: 7,
+            writeback_bytes: 8,
+        };
+        let mut b = a;
+        b.merge(&a);
+        assert_eq!(b.hits, 2);
+        assert_eq!(b.writeback_bytes, 16);
+    }
+
+    #[test]
+    fn dram_totals_and_merge() {
+        let mut d = DramStats {
+            bytes_read: 100,
+            bytes_written: 50,
+            reads: 2,
+            writes: 1,
+        };
+        assert_eq!(d.bytes_total(), 150);
+        d.merge(&d.clone());
+        assert_eq!(d.bytes_total(), 300);
+        assert_eq!(d.writes, 2);
+    }
+
+    #[test]
+    fn cycle_breakdown_totals() {
+        let mut c = CycleBreakdown {
+            issue_cycles: 10.0,
+            stall_cycles: 5.0,
+        };
+        assert_eq!(c.total(), 15.0);
+        c.merge(&CycleBreakdown {
+            issue_cycles: 1.0,
+            stall_cycles: 2.0,
+        });
+        assert_eq!(c.total(), 18.0);
+    }
+}

@@ -1,0 +1,222 @@
+//! Property tests for the simulator: model-based checking of the cache
+//! against a brute-force reference, plus global invariants of the
+//! machine-level accounting.
+
+use membound_sim::{Cache, CacheConfig, Device, Machine, ReplacementPolicy, Tlb, TlbConfig};
+use membound_trace::TraceSink;
+use proptest::prelude::*;
+
+/// A brute-force fully-explicit reference model of a set-associative LRU
+/// cache, against which the production cache is checked access by access.
+struct ReferenceLru {
+    sets: Vec<Vec<(u64, bool)>>, // per set: (line, dirty), front = MRU
+    ways: usize,
+}
+
+impl ReferenceLru {
+    fn new(sets: usize, ways: usize) -> Self {
+        Self {
+            sets: vec![Vec::new(); sets],
+            ways,
+        }
+    }
+
+    /// Returns (hit, writeback).
+    fn access_and_fill(&mut self, line: u64, write: bool) -> (bool, Option<u64>) {
+        let si = (line % self.sets.len() as u64) as usize;
+        let set = &mut self.sets[si];
+        if let Some(pos) = set.iter().position(|&(l, _)| l == line) {
+            let (l, d) = set.remove(pos);
+            set.insert(0, (l, d || write));
+            return (true, None);
+        }
+        set.insert(0, (line, write));
+        if set.len() > self.ways {
+            let (victim, dirty) = set.pop().expect("overfull set");
+            (false, dirty.then_some(victim))
+        } else {
+            (false, None)
+        }
+    }
+}
+
+proptest! {
+    /// The production cache agrees with the reference LRU model on hits,
+    /// misses and writebacks for arbitrary access sequences.
+    #[test]
+    fn cache_matches_reference_lru(
+        accesses in proptest::collection::vec((0u64..64, any::<bool>()), 1..400),
+        ways in 1u16..5,
+    ) {
+        let sets = 8u64;
+        let size = sets * u64::from(ways) * 64;
+        let mut cache = Cache::new(CacheConfig::new("t", size, ways, 64));
+        let mut reference = ReferenceLru::new(sets as usize, ways as usize);
+        for (line, write) in accesses {
+            let result = cache.access(line, write);
+            let (ref_hit, ref_wb) = reference.access_and_fill(line, write);
+            prop_assert_eq!(result.hit, ref_hit, "hit status diverged on line {}", line);
+            if !result.hit {
+                let wb = cache.fill(line, write, false);
+                prop_assert_eq!(wb, ref_wb, "writeback diverged on line {}", line);
+            }
+        }
+    }
+
+    /// No replacement policy ever exceeds capacity or loses the
+    /// just-filled line.
+    #[test]
+    fn capacity_and_presence_invariants(
+        lines in proptest::collection::vec(0u64..1000, 1..300),
+        policy_idx in 0usize..4,
+    ) {
+        let policy = [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::Fifo,
+            ReplacementPolicy::Random,
+            ReplacementPolicy::TreePlru,
+        ][policy_idx];
+        let mut cache = Cache::new(
+            CacheConfig::new("t", 4096, 4, 64).policy(policy),
+        );
+        for line in lines {
+            if !cache.access(line, false).hit {
+                cache.fill(line, false, false);
+            }
+            prop_assert!(cache.resident_lines() <= 64);
+            prop_assert!(cache.contains(line), "just-touched line must be resident");
+        }
+    }
+
+    /// Dirty data is never silently dropped: every dirty fill is either
+    /// still resident or was announced as a writeback.
+    #[test]
+    fn dirty_lines_are_never_lost(
+        lines in proptest::collection::vec(0u64..100, 1..300),
+    ) {
+        let mut cache = Cache::new(CacheConfig::new("t", 2048, 2, 64));
+        let mut dirty_somewhere: std::collections::HashSet<u64> = Default::default();
+        for line in lines {
+            let res = cache.access(line, true);
+            if !res.hit {
+                if let Some(wb) = cache.fill(line, true, false) {
+                    prop_assert!(
+                        dirty_somewhere.remove(&wb),
+                        "writeback of a line never dirtied: {}", wb
+                    );
+                }
+            }
+            dirty_somewhere.insert(line);
+        }
+        for &line in &dirty_somewhere {
+            prop_assert!(
+                cache.contains(line),
+                "dirty line {} vanished without a writeback", line
+            );
+        }
+    }
+
+    /// The TLB honours its reach: after touching exactly `entries`
+    /// distinct pages, all of them still translate.
+    #[test]
+    fn fully_associative_tlb_reach(entries in 1u32..64) {
+        let mut tlb = Tlb::new(TlbConfig::fully_associative("t", entries));
+        for vpn in 0..u64::from(entries) {
+            tlb.lookup(vpn);
+            tlb.fill(vpn);
+        }
+        for vpn in 0..u64::from(entries) {
+            prop_assert!(tlb.lookup(vpn), "page {} within reach must hit", vpn);
+        }
+    }
+
+    /// Simulation is deterministic: the same trace yields bit-identical
+    /// reports.
+    #[test]
+    fn simulation_is_deterministic(
+        addrs in proptest::collection::vec(0u64..1 << 24, 1..200),
+    ) {
+        let machine = Machine::new(Device::StarFiveVisionFive.spec());
+        let run = || {
+            machine.simulate(2, |tid, sink| {
+                for &a in &addrs {
+                    sink.load(a.wrapping_add(u64::from(tid) << 32), 8);
+                }
+            })
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.cycles, b.cycles);
+        prop_assert_eq!(a.dram, b.dram);
+    }
+
+    /// Traffic conservation: bytes filled into L1 equal bytes supplied by
+    /// the level below it (no bus invents or loses data).
+    #[test]
+    fn fills_are_conserved_across_levels(
+        addrs in proptest::collection::vec(0u64..1 << 22, 1..300),
+    ) {
+        let machine = Machine::new(Device::MangoPiMqPro.spec());
+        let report = machine.simulate(1, |_tid, sink| {
+            for &a in &addrs {
+                sink.load(a, 8);
+            }
+        });
+        // Single-level device: every L1 fill comes straight from DRAM.
+        let l1 = report.cache_stats[0];
+        prop_assert_eq!(l1.fill_bytes, report.dram.bytes_read);
+        prop_assert_eq!(l1.writeback_bytes, report.dram.bytes_written);
+    }
+
+    /// Cross-validation against an independent analysis: a fully
+    /// associative LRU cache must miss exactly the accesses whose
+    /// reuse (stack) distance is at least its capacity — the classic
+    /// stack-distance theorem, with the histogram computed by
+    /// `membound_trace::reuse` and the misses by the production cache.
+    #[test]
+    fn cache_misses_match_stack_distance_theory(
+        lines in proptest::collection::vec(0u64..200, 1..600),
+        ways in 1u16..32,
+    ) {
+        use membound_trace::reuse::ReuseHistogram;
+        // Fully associative: one set of `ways` lines.
+        let mut cache = Cache::new(CacheConfig::new(
+            "fa",
+            u64::from(ways) * 64,
+            ways,
+            64,
+        ));
+        let mut hist = ReuseHistogram::new(64);
+        let mut misses = 0u64;
+        for &line in &lines {
+            hist.record(line * 64);
+            if !cache.access(line, false).hit {
+                misses += 1;
+                cache.fill(line, false, false);
+            }
+        }
+        prop_assert_eq!(
+            misses,
+            hist.misses_for_capacity(u64::from(ways)),
+            "cache model disagrees with the stack-distance theorem"
+        );
+    }
+
+    /// More work never takes less simulated time (monotonicity).
+    #[test]
+    fn time_is_monotone_in_work(extra in 1u64..2000) {
+        let machine = Machine::new(Device::RaspberryPi4.spec());
+        let run = |count: u64| {
+            machine
+                .simulate(1, |_tid, sink| {
+                    for i in 0..count {
+                        sink.load(i * 64, 64);
+                    }
+                })
+                .cycles
+        };
+        let base = run(2000);
+        let more = run(2000 + extra);
+        prop_assert!(more >= base);
+    }
+}

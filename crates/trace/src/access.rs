@@ -1,0 +1,202 @@
+//! Single memory references.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of a memory reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A data load.
+    Load,
+    /// A data store.
+    Store,
+    /// An instruction fetch. Only emitted by code-layout experiments; the
+    /// kernel ladders emit data references only.
+    Fetch,
+}
+
+impl AccessKind {
+    /// Whether this reference writes memory.
+    #[must_use]
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Store)
+    }
+
+    /// Whether this reference reads memory (loads and fetches).
+    #[must_use]
+    pub fn is_read(self) -> bool {
+        !self.is_write()
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AccessKind::Load => "load",
+            AccessKind::Store => "store",
+            AccessKind::Fetch => "fetch",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One memory reference: a virtual address, an access size in bytes and a
+/// kind.
+///
+/// Addresses are virtual; the simulator's TLB model translates them. Sizes
+/// are small (1–64 bytes: scalar through one vector register), and a single
+/// reference may straddle a cache-line boundary — the cache model splits it.
+///
+/// # Example
+///
+/// ```
+/// use membound_trace::{AccessKind, MemAccess};
+///
+/// let a = MemAccess::load(0xdead_b000, 8);
+/// assert_eq!(a.kind, AccessKind::Load);
+/// assert_eq!(a.end(), 0xdead_b008);
+/// assert!(!a.kind.is_write());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemAccess {
+    /// Virtual byte address of the first byte touched.
+    pub addr: u64,
+    /// Number of bytes touched.
+    pub size: u32,
+    /// Load, store or fetch.
+    pub kind: AccessKind,
+}
+
+impl MemAccess {
+    /// Create a reference of the given kind.
+    #[must_use]
+    pub fn new(addr: u64, size: u32, kind: AccessKind) -> Self {
+        Self { addr, size, kind }
+    }
+
+    /// Create a load.
+    #[must_use]
+    pub fn load(addr: u64, size: u32) -> Self {
+        Self::new(addr, size, AccessKind::Load)
+    }
+
+    /// Create a store.
+    #[must_use]
+    pub fn store(addr: u64, size: u32) -> Self {
+        Self::new(addr, size, AccessKind::Store)
+    }
+
+    /// Create an instruction fetch.
+    #[must_use]
+    pub fn fetch(addr: u64, size: u32) -> Self {
+        Self::new(addr, size, AccessKind::Fetch)
+    }
+
+    /// One-past-the-end address of the reference.
+    #[must_use]
+    pub fn end(&self) -> u64 {
+        self.addr.saturating_add(u64::from(self.size))
+    }
+
+    /// The cache-line index of the first byte for lines of `line_size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_size` is not a power of two.
+    #[must_use]
+    pub fn line(&self, line_size: u64) -> u64 {
+        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        self.addr >> line_size.trailing_zeros()
+    }
+
+    /// Iterate over the cache-line indices this reference touches.
+    ///
+    /// Almost always yields a single line; unaligned vector references may
+    /// straddle two.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_size` is not a power of two.
+    pub fn lines(&self, line_size: u64) -> impl Iterator<Item = u64> {
+        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        let shift = line_size.trailing_zeros();
+        let first = self.addr >> shift;
+        let last = if self.size == 0 {
+            first
+        } else {
+            (self.end() - 1) >> shift
+        };
+        first..=last
+    }
+}
+
+impl fmt::Display for MemAccess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {:#x}+{}", self.kind, self.addr, self.size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_classify_reads_and_writes() {
+        assert!(AccessKind::Store.is_write());
+        assert!(!AccessKind::Load.is_write());
+        assert!(AccessKind::Load.is_read());
+        assert!(AccessKind::Fetch.is_read());
+        assert!(!AccessKind::Fetch.is_write());
+    }
+
+    #[test]
+    fn end_is_exclusive() {
+        let a = MemAccess::store(100, 8);
+        assert_eq!(a.end(), 108);
+    }
+
+    #[test]
+    fn end_saturates_at_address_space_top() {
+        let a = MemAccess::load(u64::MAX - 2, 8);
+        assert_eq!(a.end(), u64::MAX);
+    }
+
+    #[test]
+    fn line_index_uses_power_of_two_shift() {
+        let a = MemAccess::load(130, 4);
+        assert_eq!(a.line(64), 2);
+        assert_eq!(a.line(128), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn line_rejects_non_power_of_two() {
+        let _ = MemAccess::load(0, 4).line(48);
+    }
+
+    #[test]
+    fn aligned_access_touches_one_line() {
+        let a = MemAccess::load(128, 64);
+        assert_eq!(a.lines(64).collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn straddling_access_touches_two_lines() {
+        let a = MemAccess::load(60, 8);
+        assert_eq!(a.lines(64).collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn zero_size_access_touches_its_line_only() {
+        let a = MemAccess::load(64, 0);
+        assert_eq!(a.lines(64).collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn display_is_nonempty_and_hex() {
+        let a = MemAccess::store(0x40, 8);
+        let s = a.to_string();
+        assert!(s.contains("store"));
+        assert!(s.contains("0x40"));
+    }
+}

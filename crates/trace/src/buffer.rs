@@ -1,0 +1,268 @@
+//! In-memory trace recording.
+
+use crate::{AccessKind, IterCost, MemAccess, TraceSink};
+use serde::{Deserialize, Serialize};
+
+/// Aggregate statistics over a recorded trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Number of load references.
+    pub loads: u64,
+    /// Number of store references.
+    pub stores: u64,
+    /// Number of instruction fetches.
+    pub fetches: u64,
+    /// Total bytes loaded.
+    pub bytes_loaded: u64,
+    /// Total bytes stored.
+    pub bytes_stored: u64,
+    /// Total compute iterations charged via [`TraceSink::compute`].
+    pub compute_iters: u64,
+    /// Number of barriers observed.
+    pub barriers: u64,
+}
+
+impl TraceStats {
+    /// Total number of data references (loads + stores).
+    #[must_use]
+    pub fn data_refs(&self) -> u64 {
+        self.loads + self.stores
+    }
+
+    /// Total bytes moved in either direction.
+    #[must_use]
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_loaded + self.bytes_stored
+    }
+}
+
+/// A [`TraceSink`] that records every reference in order.
+///
+/// Used by tests that need to inspect exact access sequences, and as the
+/// hand-off format when a trace is generated once and replayed against
+/// several device models.
+///
+/// # Example
+///
+/// ```
+/// use membound_trace::{MemAccess, TraceBuffer, TraceSink};
+///
+/// let mut buf = TraceBuffer::new();
+/// for i in 0..4u64 {
+///     buf.load(i * 8, 8);
+/// }
+/// assert_eq!(buf.len(), 4);
+/// assert_eq!(buf.stats().bytes_loaded, 32);
+/// assert!(buf.iter().all(|a| a.size == 8));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceBuffer {
+    accesses: Vec<MemAccess>,
+    stats: TraceStats,
+}
+
+impl TraceBuffer {
+    /// Create an empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an empty buffer with room for `cap` references.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            accesses: Vec::with_capacity(cap),
+            stats: TraceStats::default(),
+        }
+    }
+
+    /// Number of recorded references.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// Whether no references have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+
+    /// Aggregate statistics of the recorded references.
+    #[must_use]
+    pub fn stats(&self) -> TraceStats {
+        self.stats
+    }
+
+    /// Iterate over the recorded references in order.
+    pub fn iter(&self) -> std::slice::Iter<'_, MemAccess> {
+        self.accesses.iter()
+    }
+
+    /// View the recorded references as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[MemAccess] {
+        &self.accesses
+    }
+
+    /// Replay every recorded reference into another sink, in order.
+    pub fn replay_into<S: TraceSink + ?Sized>(&self, sink: &mut S) {
+        for &a in &self.accesses {
+            sink.access(a);
+        }
+    }
+
+    /// Drop all recorded references and reset statistics.
+    pub fn clear(&mut self) {
+        self.accesses.clear();
+        self.stats = TraceStats::default();
+    }
+}
+
+impl TraceSink for TraceBuffer {
+    fn access(&mut self, access: MemAccess) {
+        match access.kind {
+            AccessKind::Load => {
+                self.stats.loads += 1;
+                self.stats.bytes_loaded += u64::from(access.size);
+            }
+            AccessKind::Store => {
+                self.stats.stores += 1;
+                self.stats.bytes_stored += u64::from(access.size);
+            }
+            AccessKind::Fetch => self.stats.fetches += 1,
+        }
+        self.accesses.push(access);
+    }
+
+    fn compute(&mut self, _cost: IterCost, iters: u64) {
+        self.stats.compute_iters += iters;
+    }
+
+    fn barrier(&mut self) {
+        self.stats.barriers += 1;
+    }
+}
+
+impl Extend<MemAccess> for TraceBuffer {
+    fn extend<T: IntoIterator<Item = MemAccess>>(&mut self, iter: T) {
+        for a in iter {
+            self.access(a);
+        }
+    }
+}
+
+impl FromIterator<MemAccess> for TraceBuffer {
+    fn from_iter<T: IntoIterator<Item = MemAccess>>(iter: T) -> Self {
+        let mut buf = Self::new();
+        buf.extend(iter);
+        buf
+    }
+}
+
+impl<'a> IntoIterator for &'a TraceBuffer {
+    type Item = &'a MemAccess;
+    type IntoIter = std::slice::Iter<'a, MemAccess>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl IntoIterator for TraceBuffer {
+    type Item = MemAccess;
+    type IntoIter = std::vec::IntoIter<MemAccess>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.accesses.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let mut buf = TraceBuffer::new();
+        buf.load(0, 8);
+        buf.store(8, 8);
+        buf.access(MemAccess::fetch(16, 4));
+        let kinds: Vec<_> = buf.iter().map(|a| a.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![AccessKind::Load, AccessKind::Store, AccessKind::Fetch]
+        );
+    }
+
+    #[test]
+    fn stats_track_each_kind() {
+        let mut buf = TraceBuffer::new();
+        buf.load(0, 8);
+        buf.load(8, 4);
+        buf.store(16, 8);
+        buf.access(MemAccess::fetch(0x1000, 4));
+        let s = buf.stats();
+        assert_eq!(s.loads, 2);
+        assert_eq!(s.stores, 1);
+        assert_eq!(s.fetches, 1);
+        assert_eq!(s.bytes_loaded, 12);
+        assert_eq!(s.bytes_stored, 8);
+        assert_eq!(s.data_refs(), 3);
+        assert_eq!(s.bytes_total(), 20);
+    }
+
+    #[test]
+    fn compute_and_barriers_are_counted() {
+        let mut buf = TraceBuffer::new();
+        buf.compute(IterCost::default(), 10);
+        buf.barrier();
+        buf.barrier();
+        assert_eq!(buf.stats().compute_iters, 10);
+        assert_eq!(buf.stats().barriers, 2);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut buf = TraceBuffer::new();
+        buf.load(0, 8);
+        buf.barrier();
+        buf.clear();
+        assert!(buf.is_empty());
+        assert_eq!(buf.stats(), TraceStats::default());
+    }
+
+    #[test]
+    fn replay_preserves_sequence_and_stats() {
+        let mut a = TraceBuffer::new();
+        a.load(0, 8);
+        a.store(64, 8);
+        let mut b = TraceBuffer::new();
+        a.replay_into(&mut b);
+        assert_eq!(a.as_slice(), b.as_slice());
+        assert_eq!(a.stats().bytes_total(), b.stats().bytes_total());
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let buf: TraceBuffer = (0..8u64).map(|i| MemAccess::load(i * 64, 8)).collect();
+        assert_eq!(buf.len(), 8);
+        assert_eq!(buf.stats().loads, 8);
+    }
+
+    #[test]
+    fn into_iterator_round_trips() {
+        let mut buf = TraceBuffer::new();
+        buf.load(0, 8);
+        buf.store(8, 8);
+        let v: Vec<MemAccess> = buf.clone().into_iter().collect();
+        assert_eq!(v.len(), 2);
+        let borrowed: Vec<&MemAccess> = (&buf).into_iter().collect();
+        assert_eq!(borrowed.len(), 2);
+    }
+
+    #[test]
+    fn with_capacity_preallocates() {
+        let buf = TraceBuffer::with_capacity(1024);
+        assert!(buf.is_empty());
+    }
+}

@@ -1,0 +1,215 @@
+//! Compact binary (de)serialization of traces.
+//!
+//! Recording a kernel's reference stream once and replaying it against
+//! several device models is the simulator's cheapest workflow; this
+//! module gives [`TraceBuffer`] a stable on-disk format for that:
+//!
+//! ```text
+//! magic  b"MBTRACE1"
+//! count  u64 LE
+//! then per access: kind u8 (0 load / 1 store / 2 fetch),
+//!                  size u32 LE, addr u64 LE
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use membound_trace::{TraceBuffer, TraceSink};
+//!
+//! let mut buf = TraceBuffer::new();
+//! buf.load(0x1000, 8);
+//! buf.store(0x2000, 8);
+//! let mut bytes = Vec::new();
+//! buf.write_binary(&mut bytes)?;
+//! let back = TraceBuffer::read_binary(&mut bytes.as_slice())?;
+//! assert_eq!(buf.as_slice(), back.as_slice());
+//! # Ok::<(), membound_trace::CodecError>(())
+//! ```
+
+use crate::{AccessKind, MemAccess, TraceBuffer, TraceSink};
+use std::fmt;
+use std::io::{Read, Write};
+
+const MAGIC: &[u8; 8] = b"MBTRACE1";
+
+/// Errors from reading or writing binary traces.
+#[derive(Debug)]
+pub enum CodecError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The input does not start with the trace magic.
+    BadMagic,
+    /// An access record carries an unknown kind byte.
+    BadKind(u8),
+    /// The input ended before `count` records were read.
+    Truncated,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Io(e) => write!(f, "trace i/o failed: {e}"),
+            CodecError::BadMagic => write!(f, "input is not a membound trace (bad magic)"),
+            CodecError::BadKind(k) => write!(f, "unknown access kind byte {k}"),
+            CodecError::Truncated => write!(f, "trace ended before the declared record count"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CodecError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CodecError {
+    fn from(e: std::io::Error) -> Self {
+        CodecError::Io(e)
+    }
+}
+
+fn kind_byte(kind: AccessKind) -> u8 {
+    match kind {
+        AccessKind::Load => 0,
+        AccessKind::Store => 1,
+        AccessKind::Fetch => 2,
+    }
+}
+
+fn byte_kind(b: u8) -> Result<AccessKind, CodecError> {
+    match b {
+        0 => Ok(AccessKind::Load),
+        1 => Ok(AccessKind::Store),
+        2 => Ok(AccessKind::Fetch),
+        other => Err(CodecError::BadKind(other)),
+    }
+}
+
+impl TraceBuffer {
+    /// Write the recorded accesses in the binary trace format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn write_binary<W: Write>(&self, w: &mut W) -> Result<(), CodecError> {
+        w.write_all(MAGIC)?;
+        w.write_all(&(self.len() as u64).to_le_bytes())?;
+        for a in self.iter() {
+            w.write_all(&[kind_byte(a.kind)])?;
+            w.write_all(&a.size.to_le_bytes())?;
+            w.write_all(&a.addr.to_le_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Read a binary trace produced by [`TraceBuffer::write_binary`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, a bad magic, unknown kind bytes, or a
+    /// truncated stream.
+    pub fn read_binary<R: Read>(r: &mut R) -> Result<Self, CodecError> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic).map_err(|_| CodecError::BadMagic)?;
+        if &magic != MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        let mut count_bytes = [0u8; 8];
+        r.read_exact(&mut count_bytes).map_err(|_| CodecError::Truncated)?;
+        let count = u64::from_le_bytes(count_bytes);
+        let mut buf = TraceBuffer::with_capacity(count.min(1 << 24) as usize);
+        let mut rec = [0u8; 13];
+        for _ in 0..count {
+            r.read_exact(&mut rec).map_err(|_| CodecError::Truncated)?;
+            let kind = byte_kind(rec[0])?;
+            let size = u32::from_le_bytes(rec[1..5].try_into().expect("4 bytes"));
+            let addr = u64::from_le_bytes(rec[5..13].try_into().expect("8 bytes"));
+            buf.access(MemAccess::new(addr, size, kind));
+        }
+        Ok(buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TraceBuffer {
+        let mut buf = TraceBuffer::new();
+        buf.load(0, 8);
+        buf.store(u64::MAX - 64, 64);
+        buf.access(MemAccess::fetch(0x4000, 4));
+        buf.load_range(100, 200);
+        buf
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let original = sample();
+        let mut bytes = Vec::new();
+        original.write_binary(&mut bytes).unwrap();
+        let back = TraceBuffer::read_binary(&mut bytes.as_slice()).unwrap();
+        assert_eq!(original.as_slice(), back.as_slice());
+        assert_eq!(original.stats(), back.stats());
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let empty = TraceBuffer::new();
+        let mut bytes = Vec::new();
+        empty.write_binary(&mut bytes).unwrap();
+        assert_eq!(bytes.len(), 16); // magic + count
+        let back = TraceBuffer::read_binary(&mut bytes.as_slice()).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let bytes = b"NOTATRACE_______".to_vec();
+        match TraceBuffer::read_binary(&mut bytes.as_slice()) {
+            Err(CodecError::BadMagic) => {}
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let mut bytes = Vec::new();
+        sample().write_binary(&mut bytes).unwrap();
+        bytes.truncate(bytes.len() - 5);
+        match TraceBuffer::read_binary(&mut bytes.as_slice()) {
+            Err(CodecError::Truncated) => {}
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let mut bytes = Vec::new();
+        sample().write_binary(&mut bytes).unwrap();
+        bytes[16] = 7; // first record's kind byte
+        match TraceBuffer::read_binary(&mut bytes.as_slice()) {
+            Err(CodecError::BadKind(7)) => {}
+            other => panic!("expected BadKind, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn record_size_is_13_bytes() {
+        let mut one = TraceBuffer::new();
+        one.load(42, 8);
+        let mut bytes = Vec::new();
+        one.write_binary(&mut bytes).unwrap();
+        assert_eq!(bytes.len(), 16 + 13);
+    }
+
+    #[test]
+    fn errors_display_meaningfully() {
+        assert!(CodecError::BadMagic.to_string().contains("magic"));
+        assert!(CodecError::BadKind(9).to_string().contains('9'));
+        assert!(CodecError::Truncated.to_string().contains("ended"));
+    }
+}

@@ -1,0 +1,285 @@
+//! Reuse-distance (LRU stack distance) analysis.
+//!
+//! The stack distance of an access is the number of *distinct* lines
+//! touched since the previous access to the same line (∞ for first
+//! touches). Its classic property: a fully associative LRU cache of
+//! capacity `C` lines misses exactly the accesses whose stack distance is
+//! ≥ `C` — which makes the histogram a simulator-independent way to read
+//! off cold/capacity miss counts for *every* capacity at once, and a
+//! cross-check for the cache model in `membound-sim` (see that crate's
+//! property tests).
+//!
+//! The implementation is the standard order-statistics-tree algorithm
+//! (O(N log M) for N accesses over M distinct lines), using an implicit
+//! Fenwick tree over access timestamps.
+//!
+//! # Example
+//!
+//! ```
+//! use membound_trace::reuse::ReuseHistogram;
+//!
+//! // Touch lines 0,1,2 then 0 again: the re-touch has distance 2.
+//! let mut h = ReuseHistogram::new(64);
+//! for line in [0u64, 1, 2, 0] {
+//!     h.record(line * 64);
+//! }
+//! assert_eq!(h.cold_misses(), 3);
+//! assert_eq!(h.distance_counts().get(&2), Some(&1));
+//! // A 2-line LRU cache would miss all 4; a 4-line cache only the 3 cold.
+//! assert_eq!(h.misses_for_capacity(2), 4);
+//! assert_eq!(h.misses_for_capacity(4), 3);
+//! ```
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Streaming reuse-distance histogram over cache-line-granular accesses.
+#[derive(Debug, Clone)]
+pub struct ReuseHistogram {
+    line_bytes: u64,
+    /// Fenwick tree over timestamps: 1 where a line's most recent access
+    /// sits, 0 elsewhere.
+    fenwick: Vec<u64>,
+    /// line -> timestamp of its most recent access (1-based).
+    last_access: HashMap<u64, usize>,
+    /// time counter (number of accesses so far).
+    time: usize,
+    /// distance -> count (finite distances only).
+    histogram: BTreeMap<u64, u64>,
+    cold: u64,
+}
+
+impl ReuseHistogram {
+    /// An empty histogram over lines of `line_bytes` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is not a power of two.
+    #[must_use]
+    pub fn new(line_bytes: u64) -> Self {
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        Self {
+            line_bytes,
+            fenwick: vec![0; 1024],
+            last_access: HashMap::new(),
+            time: 0,
+            histogram: BTreeMap::new(),
+            cold: 0,
+        }
+    }
+
+    fn fenwick_add(&mut self, mut i: usize, delta: i64) {
+        while i < self.fenwick.len() {
+            self.fenwick[i] = self.fenwick[i].wrapping_add_signed(delta);
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    fn fenwick_sum(&self, mut i: usize) -> u64 {
+        let mut s = 0;
+        while i > 0 {
+            s += self.fenwick[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+
+    /// Double the Fenwick tree. New nodes span old timestamps, so the
+    /// tree is rebuilt from the live last-access positions (amortized
+    /// O(log) per access overall).
+    fn grow(&mut self) {
+        self.fenwick = vec![0; self.fenwick.len() * 2];
+        let stamps: Vec<usize> = self.last_access.values().copied().collect();
+        for t in stamps {
+            self.fenwick_add(t, 1);
+        }
+    }
+
+    /// Record an access to the line containing byte address `addr`.
+    pub fn record(&mut self, addr: u64) {
+        let line = addr / self.line_bytes;
+        self.time += 1;
+        if self.time >= self.fenwick.len() {
+            self.grow();
+        }
+        match self.last_access.insert(line, self.time) {
+            None => {
+                self.cold += 1;
+            }
+            Some(prev) => {
+                // Distinct lines touched strictly after `prev`:
+                let later = self.fenwick_sum(self.time - 1) - self.fenwick_sum(prev);
+                *self.histogram.entry(later).or_insert(0) += 1;
+                self.fenwick_add(prev, -1);
+            }
+        }
+        self.fenwick_add(self.time, 1);
+    }
+
+    /// Total accesses recorded.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.time as u64
+    }
+
+    /// First-touch (cold/compulsory) accesses — also the number of
+    /// distinct lines seen.
+    #[must_use]
+    pub fn cold_misses(&self) -> u64 {
+        self.cold
+    }
+
+    /// The histogram of finite reuse distances.
+    #[must_use]
+    pub fn distance_counts(&self) -> &BTreeMap<u64, u64> {
+        &self.histogram
+    }
+
+    /// Misses a fully associative LRU cache of `capacity_lines` lines
+    /// would take on this trace: cold misses plus every reuse at distance
+    /// ≥ capacity.
+    #[must_use]
+    pub fn misses_for_capacity(&self, capacity_lines: u64) -> u64 {
+        let capacity_reuses: u64 = self
+            .histogram
+            .range(capacity_lines..)
+            .map(|(_, &c)| c)
+            .sum();
+        self.cold + capacity_reuses
+    }
+
+    /// The smallest LRU capacity (in lines) whose miss ratio does not
+    /// exceed `target` — the knee of the miss-ratio curve; `None` if even
+    /// a cache holding every line misses too often (cold misses dominate).
+    #[must_use]
+    pub fn capacity_for_miss_ratio(&self, target: f64) -> Option<u64> {
+        if self.time == 0 {
+            return Some(0);
+        }
+        let total = self.accesses() as f64;
+        if self.cold as f64 / total > target {
+            return None;
+        }
+        // Candidate capacities: each distinct distance + 1 (and 0).
+        let mut candidates: Vec<u64> = std::iter::once(0)
+            .chain(self.histogram.keys().map(|&d| d + 1))
+            .collect();
+        candidates.sort_unstable();
+        candidates
+            .into_iter()
+            .find(|&c| self.misses_for_capacity(c) as f64 / total <= target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record_lines(h: &mut ReuseHistogram, lines: &[u64]) {
+        for &l in lines {
+            h.record(l * 64);
+        }
+    }
+
+    #[test]
+    fn first_touches_are_cold() {
+        let mut h = ReuseHistogram::new(64);
+        record_lines(&mut h, &[1, 2, 3, 4]);
+        assert_eq!(h.cold_misses(), 4);
+        assert!(h.distance_counts().is_empty());
+    }
+
+    #[test]
+    fn immediate_reuse_has_distance_zero() {
+        let mut h = ReuseHistogram::new(64);
+        record_lines(&mut h, &[5, 5, 5]);
+        assert_eq!(h.cold_misses(), 1);
+        assert_eq!(h.distance_counts().get(&0), Some(&2));
+        // Any cache with >= 1 line hits the re-touches.
+        assert_eq!(h.misses_for_capacity(1), 1);
+    }
+
+    #[test]
+    fn textbook_example() {
+        // a b c b a: reuse(b) = 1 (c), reuse(a) = 2 (b, c distinct).
+        let mut h = ReuseHistogram::new(64);
+        record_lines(&mut h, &[10, 11, 12, 11, 10]);
+        assert_eq!(h.cold_misses(), 3);
+        assert_eq!(h.distance_counts().get(&1), Some(&1));
+        assert_eq!(h.distance_counts().get(&2), Some(&1));
+    }
+
+    #[test]
+    fn repeated_touches_do_not_inflate_distance() {
+        // a b b b a: distance of the final a is 1 (only b distinct).
+        let mut h = ReuseHistogram::new(64);
+        record_lines(&mut h, &[1, 2, 2, 2, 1]);
+        assert_eq!(h.distance_counts().get(&1), Some(&1));
+        assert_eq!(h.distance_counts().get(&0), Some(&2));
+    }
+
+    #[test]
+    fn cyclic_sweep_distances_equal_working_set() {
+        // Sweeping N lines cyclically: every reuse has distance N-1.
+        let n = 50u64;
+        let mut h = ReuseHistogram::new(64);
+        for _round in 0..4 {
+            record_lines(&mut h, &(0..n).collect::<Vec<_>>());
+        }
+        assert_eq!(h.cold_misses(), n);
+        assert_eq!(h.distance_counts().get(&(n - 1)), Some(&(3 * n)));
+        // LRU of exactly n lines hits; n-1 misses everything (the classic
+        // LRU cliff).
+        assert_eq!(h.misses_for_capacity(n), n);
+        assert_eq!(h.misses_for_capacity(n - 1), 4 * n);
+    }
+
+    #[test]
+    fn miss_curve_is_monotone_in_capacity() {
+        let mut h = ReuseHistogram::new(64);
+        let pattern: Vec<u64> = (0..200).map(|i| (i * 37) % 64).collect();
+        record_lines(&mut h, &pattern);
+        let mut prev = u64::MAX;
+        for c in 0..70 {
+            let m = h.misses_for_capacity(c);
+            assert!(m <= prev, "miss curve must be non-increasing");
+            prev = m;
+        }
+        assert_eq!(h.misses_for_capacity(10_000), h.cold_misses());
+    }
+
+    #[test]
+    fn capacity_for_miss_ratio_finds_the_knee() {
+        let n = 32u64;
+        let mut h = ReuseHistogram::new(64);
+        for _ in 0..10 {
+            record_lines(&mut h, &(0..n).collect::<Vec<_>>());
+        }
+        // 10 rounds x 32 accesses; cold 32. Capacity 32 -> ratio 0.1.
+        assert_eq!(h.capacity_for_miss_ratio(0.11), Some(n));
+        assert_eq!(h.capacity_for_miss_ratio(0.05), None, "cold floor");
+    }
+
+    #[test]
+    fn addresses_within_one_line_are_one_line() {
+        let mut h = ReuseHistogram::new(64);
+        h.record(0);
+        h.record(63);
+        h.record(64);
+        assert_eq!(h.cold_misses(), 2);
+        assert_eq!(h.distance_counts().get(&0), Some(&1));
+    }
+
+    #[test]
+    fn grows_past_initial_fenwick_capacity() {
+        let mut h = ReuseHistogram::new(64);
+        for i in 0..5000u64 {
+            h.record((i % 100) * 64);
+        }
+        assert_eq!(h.accesses(), 5000);
+        assert_eq!(h.cold_misses(), 100);
+        assert_eq!(h.misses_for_capacity(100), 100);
+    }
+}

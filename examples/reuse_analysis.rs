@@ -1,0 +1,61 @@
+//! Reuse-distance analysis of the transposition ladder: *why* blocking
+//! works, shown without running any simulator at all.
+//!
+//! Each variant's traced reference stream is fed to a stack-distance
+//! histogram; the classic theorem says a fully associative LRU cache of
+//! capacity C misses exactly the accesses whose reuse distance is ≥ C.
+//! The blocked variants compress the naive column walk's huge distances
+//! into block-sized ones — visible here as miss counts at each device's
+//! L1 capacity, before any cache model runs.
+//!
+//! ```sh
+//! cargo run --release --example reuse_analysis
+//! ```
+
+use membound::core::{TransposeConfig, TransposeTrace, TransposeVariant};
+use membound::trace::reuse::ReuseHistogram;
+use membound::trace::{MemAccess, TraceSink};
+
+/// A sink that feeds every reference straight into the histogram.
+struct HistSink(ReuseHistogram);
+
+impl TraceSink for HistSink {
+    fn access(&mut self, access: MemAccess) {
+        self.0.record(access.addr);
+    }
+}
+
+fn main() {
+    let n = 512;
+    let cfg = TransposeConfig::with_block(n, 32);
+    let trace = TransposeTrace::new(cfg);
+    println!(
+        "== reuse-distance analysis: transpose {n} x {n}, block {} ==\n",
+        cfg.block
+    );
+    println!(
+        "{:16} {:>10} {:>12} {:>14} {:>14}",
+        "variant", "accesses", "cold misses", "misses @ 512L", "misses @ 32KiB"
+    );
+    // 512 lines = the paper's 32 KiB L1s; also show a tiny 512-line cache.
+    for variant in TransposeVariant::all() {
+        let mut sink = HistSink(ReuseHistogram::new(64));
+        trace.trace_outer(variant, &mut sink, 0, 0, trace.outer_iterations(variant));
+        let h = sink.0;
+        println!(
+            "{:16} {:>10} {:>12} {:>14} {:>14}",
+            variant.label(),
+            h.accesses(),
+            h.cold_misses(),
+            h.misses_for_capacity(512),
+            h.misses_for_capacity(32 * 1024 / 64),
+        );
+    }
+    println!(
+        "\nreading: the element-wise variants re-touch column lines at\n\
+         distances far beyond any L1 (misses >> cold), while the blocked\n\
+         variants' distances collapse to the block working set — their miss\n\
+         count approaches the compulsory (cold) floor. This is the paper's\n\
+         §4.2 effect derived purely from the access pattern."
+    );
+}

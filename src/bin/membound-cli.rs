@@ -1,0 +1,494 @@
+//! `membound-cli` — run any kernel × variant × device combination from
+//! the command line, natively or simulated.
+//!
+//! ```text
+//! membound-cli devices
+//! membound-cli stream    [--device xeon] [--op triad] [--level dram]
+//! membound-cli transpose [--device all] [--variant dynamic] [-n 2048] [--block 64]
+//! membound-cli blur      [--device starfive] [--variant memory] [--height 507 --width 636]
+//! membound-cli native-stream    [--elements 4194304] [--threads 0]
+//! membound-cli native-transpose [-n 1024] [--variant all] [--threads 0]
+//! membound-cli native-blur      [--height 317 --width 397] [--variant all]
+//! ```
+//!
+//! `--device all` (the default) sweeps the paper's four devices;
+//! `--variant all` sweeps a kernel's whole ladder; `--threads 0` means
+//! "all host cores". Add `--json` to print machine-readable rows instead
+//! of a table.
+
+use membound::core::experiment::{
+    simulate_blur, simulate_stream, simulate_stream_survey, simulate_transpose, stream_dram_gbps,
+};
+use membound::core::metrics::{attach_speedups, Measurement};
+use membound::core::report::{fmt_seconds, fmt_speedup, to_json, TextTable};
+use membound::core::{
+    blur_native, run_native_stream, transpose_native, BlurConfig, BlurVariant, SquareMatrix,
+    StreamOp, TransposeConfig, TransposeVariant,
+};
+use membound::image::generate;
+use membound::parallel::Pool;
+use membound::sim::Device;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: membound-cli <command> [options]\n\
+         commands:\n\
+         \x20 devices                         modelled device inventory\n\
+         \x20 stream                          simulated STREAM survey\n\
+         \x20 transpose                       simulated transposition ladder\n\
+         \x20 blur                            simulated Gaussian-blur ladder\n\
+         \x20 native-stream                   STREAM on this host\n\
+         \x20 native-transpose                transposition on this host\n\
+         \x20 native-blur                     Gaussian blur on this host\n\
+         common options:\n\
+         \x20 --device mangopi|starfive|rpi4|xeon|all   (default: all)\n\
+         \x20 --variant <ladder variant>|all            (default: all)\n\
+         \x20 --threads N                               native thread count (0 = host)\n\
+         \x20 --json                                    machine-readable output\n\
+         kernel options:\n\
+         \x20 stream:    --op copy|scale|add|triad|all  --level l1|l2|l3|dram|all\n\
+         \x20 transpose: -n SIZE  --block SIZE\n\
+         \x20 blur:      --height H --width W --filter F"
+    );
+    std::process::exit(2);
+}
+
+#[derive(Debug)]
+struct Opts {
+    flags: HashMap<String, String>,
+    json: bool,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Self {
+        let mut flags = HashMap::new();
+        let mut json = false;
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--json" => json = true,
+                "--help" | "-h" => usage(),
+                flag if flag.starts_with('-') => {
+                    let value = it.next().unwrap_or_else(|| {
+                        eprintln!("flag {flag} needs a value");
+                        usage()
+                    });
+                    flags.insert(flag.trim_start_matches('-').to_owned(), value.clone());
+                }
+                other => {
+                    eprintln!("unexpected argument: {other}");
+                    usage();
+                }
+            }
+        }
+        Self { flags, json }
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        match self.get(key) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("invalid value for --{key}: {v}");
+                usage()
+            }),
+        }
+    }
+
+    fn devices(&self) -> Vec<Device> {
+        match self.get("device").unwrap_or("all") {
+            "all" => Device::all().to_vec(),
+            "mangopi" | "mango" | "d1" => vec![Device::MangoPiMqPro],
+            "starfive" | "visionfive" | "jh7100" => vec![Device::StarFiveVisionFive],
+            "rpi4" | "raspberrypi" | "arm" => vec![Device::RaspberryPi4],
+            "xeon" | "x86" => vec![Device::IntelXeon4310T],
+            other => {
+                eprintln!("unknown device: {other}");
+                usage()
+            }
+        }
+    }
+
+    fn pool(&self) -> Pool {
+        match self.num::<u32>("threads", 0) {
+            0 => Pool::host(),
+            n => Pool::new(n),
+        }
+    }
+}
+
+fn transpose_variants(opts: &Opts) -> Vec<TransposeVariant> {
+    match opts.get("variant").unwrap_or("all") {
+        "all" => TransposeVariant::all().to_vec(),
+        "naive" => vec![TransposeVariant::Naive],
+        "parallel" => vec![TransposeVariant::Parallel],
+        "blocking" => vec![TransposeVariant::Blocking],
+        "manual" | "manual_blocking" => vec![TransposeVariant::ManualBlocking],
+        "dynamic" => vec![TransposeVariant::Dynamic],
+        other => {
+            eprintln!("unknown transpose variant: {other}");
+            usage()
+        }
+    }
+}
+
+fn blur_variants(opts: &Opts) -> Vec<BlurVariant> {
+    match opts.get("variant").unwrap_or("all") {
+        "all" => BlurVariant::all().to_vec(),
+        "naive" => vec![BlurVariant::Naive],
+        "unit-stride" | "unit_stride" | "unitstride" => vec![BlurVariant::UnitStride],
+        "1d" | "1d_kernels" | "onedim" => vec![BlurVariant::OneDimKernels],
+        "memory" => vec![BlurVariant::Memory],
+        "parallel" => vec![BlurVariant::Parallel],
+        other => {
+            eprintln!("unknown blur variant: {other}");
+            usage()
+        }
+    }
+}
+
+fn emit(opts: &Opts, table: TextTable, rows: &[Measurement]) {
+    if opts.json {
+        println!("{}", to_json(&rows));
+    } else {
+        println!("{}", table.render());
+    }
+}
+
+fn cmd_devices(opts: &Opts) {
+    let mut table = TextTable::new(
+        ["device", "ISA", "cores", "freq GHz", "DRAM GB/s", "RAM GB"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for device in opts.devices() {
+        let spec = device.spec();
+        table.row(vec![
+            device.label().into(),
+            spec.isa.clone(),
+            spec.cores.to_string(),
+            format!("{:.1}", spec.core.freq_ghz),
+            format!("{:.1}", spec.dram_gbps()),
+            (spec.dram_capacity_bytes >> 30).to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+fn cmd_stream(opts: &Opts) {
+    let level_filter = opts.get("level").unwrap_or("all").to_lowercase();
+    let op_filter = opts.get("op").unwrap_or("all").to_lowercase();
+    let mut table = TextTable::new(
+        ["device", "level", "op", "GB/s"].map(String::from).to_vec(),
+    );
+    for device in opts.devices() {
+        let spec = device.spec();
+        if level_filter == "all" && op_filter == "all" {
+            for row in simulate_stream_survey(&spec) {
+                for (op, g) in StreamOp::all().iter().zip(row.gbps) {
+                    table.row(vec![
+                        device.label().into(),
+                        row.level.clone(),
+                        op.label().into(),
+                        format!("{g:.2}"),
+                    ]);
+                }
+            }
+            continue;
+        }
+        let ops: Vec<StreamOp> = StreamOp::all()
+            .into_iter()
+            .filter(|o| op_filter == "all" || o.label().to_lowercase() == op_filter)
+            .collect();
+        if ops.is_empty() {
+            eprintln!("unknown op: {op_filter}");
+            usage();
+        }
+        let level = match level_filter.as_str() {
+            "dram" => None,
+            "l1" | "l1d" => Some(0),
+            "l2" => Some(1),
+            "l3" => Some(2),
+            other => {
+                eprintln!("unknown level: {other}");
+                usage()
+            }
+        };
+        if let Some(k) = level {
+            if k >= spec.caches.len() {
+                table.row(vec![
+                    device.label().into(),
+                    level_filter.to_uppercase(),
+                    "-".into(),
+                    "level not present".into(),
+                ]);
+                continue;
+            }
+        }
+        for op in ops {
+            let gbps = simulate_stream(&spec, op, level);
+            table.row(vec![
+                device.label().into(),
+                level_filter.to_uppercase(),
+                op.label().into(),
+                format!("{gbps:.2}"),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+}
+
+fn cmd_transpose(opts: &Opts) {
+    let n: usize = opts.num("n", 2048);
+    let block: usize = opts.num("block", 64);
+    let cfg = TransposeConfig::with_block(n, block);
+    let mut table = TextTable::new(
+        ["device", "variant", "threads", "time", "speedup", "BW util"]
+            .map(String::from)
+            .to_vec(),
+    );
+    let mut all_rows = Vec::new();
+    for device in opts.devices() {
+        let spec = device.spec();
+        let stream = stream_dram_gbps(&spec);
+        let mut ladder = Vec::new();
+        for variant in transpose_variants(opts) {
+            match simulate_transpose(&spec, variant, cfg) {
+                Some(r) => {
+                    let mut m =
+                        Measurement::new(variant.label(), device.label(), r.threads, r.seconds);
+                    m.bandwidth_utilization =
+                        Some(r.bandwidth_utilization(cfg.nominal_bytes(), stream));
+                    ladder.push(m);
+                }
+                None => table.row(vec![
+                    device.label().into(),
+                    variant.label().into(),
+                    "-".into(),
+                    "does not fit in memory".into(),
+                    "-".into(),
+                    "-".into(),
+                ]),
+            }
+        }
+        attach_speedups(&mut ladder);
+        for m in &ladder {
+            table.row(vec![
+                m.device.clone(),
+                m.variant.clone(),
+                m.threads.to_string(),
+                fmt_seconds(m.seconds),
+                fmt_speedup(m.speedup_vs_naive),
+                format!("{:.3}", m.bandwidth_utilization.unwrap_or(0.0)),
+            ]);
+        }
+        all_rows.extend(ladder);
+    }
+    emit(opts, table, &all_rows);
+}
+
+fn cmd_blur(opts: &Opts) {
+    let cfg = BlurConfig {
+        height: opts.num("height", 507),
+        width: opts.num("width", 636),
+        channels: 3,
+        filter_size: opts.num("filter", 19),
+        sigma: None,
+    };
+    let mut table = TextTable::new(
+        ["device", "variant", "threads", "time", "speedup", "BW util"]
+            .map(String::from)
+            .to_vec(),
+    );
+    let mut all_rows = Vec::new();
+    for device in opts.devices() {
+        let spec = device.spec();
+        let stream = stream_dram_gbps(&spec);
+        let mut ladder = Vec::new();
+        for variant in blur_variants(opts) {
+            let r = simulate_blur(&spec, variant, cfg);
+            let mut m = Measurement::new(variant.label(), device.label(), r.threads, r.seconds);
+            m.bandwidth_utilization = Some(r.bandwidth_utilization(cfg.nominal_bytes(), stream));
+            ladder.push(m);
+        }
+        attach_speedups(&mut ladder);
+        for m in &ladder {
+            table.row(vec![
+                m.device.clone(),
+                m.variant.clone(),
+                m.threads.to_string(),
+                fmt_seconds(m.seconds),
+                fmt_speedup(m.speedup_vs_naive),
+                format!("{:.3}", m.bandwidth_utilization.unwrap_or(0.0)),
+            ]);
+        }
+        all_rows.extend(ladder);
+    }
+    emit(opts, table, &all_rows);
+}
+
+fn cmd_native_stream(opts: &Opts) {
+    let elements: usize = opts.num("elements", 4 << 20);
+    let pool = opts.pool();
+    let mut table = TextTable::new(["op", "GB/s", "best pass"].map(String::from).to_vec());
+    for op in StreamOp::all() {
+        let r = run_native_stream(op, elements, 5, &pool);
+        table.row(vec![
+            op.label().into(),
+            format!("{:.2}", r.gbps),
+            fmt_seconds(r.best_seconds),
+        ]);
+    }
+    println!(
+        "host STREAM, {} threads, {} elements/array\n{}",
+        pool.threads(),
+        elements,
+        table.render()
+    );
+}
+
+fn cmd_native_transpose(opts: &Opts) {
+    let n: usize = opts.num("n", 1024);
+    let block: usize = opts.num("block", 64);
+    let cfg = TransposeConfig::with_block(n, block);
+    let pool = opts.pool();
+    let mut table = TextTable::new(["variant", "time", "speedup"].map(String::from).to_vec());
+    let mut ladder = Vec::new();
+    for variant in transpose_variants(opts) {
+        let mut m = SquareMatrix::indexed(n);
+        let t = transpose_native(&mut m, variant, cfg, &pool);
+        ladder.push(Measurement::new(
+            variant.label(),
+            "host",
+            pool.threads(),
+            t.as_secs_f64(),
+        ));
+    }
+    attach_speedups(&mut ladder);
+    for m in &ladder {
+        table.row(vec![
+            m.variant.clone(),
+            fmt_seconds(m.seconds),
+            fmt_speedup(m.speedup_vs_naive),
+        ]);
+    }
+    println!(
+        "host transpose {n}x{n}, block {block}, {} threads\n{}",
+        pool.threads(),
+        table.render()
+    );
+}
+
+fn cmd_native_blur(opts: &Opts) {
+    let cfg = BlurConfig {
+        height: opts.num("height", 317),
+        width: opts.num("width", 397),
+        channels: 3,
+        filter_size: opts.num("filter", 19),
+        sigma: None,
+    };
+    let pool = opts.pool();
+    let src = generate::test_pattern(cfg.height, cfg.width, cfg.channels);
+    let mut table = TextTable::new(["variant", "time", "speedup"].map(String::from).to_vec());
+    let mut ladder = Vec::new();
+    for variant in blur_variants(opts) {
+        let (_, t) = blur_native(&src, variant, &cfg, &pool);
+        ladder.push(Measurement::new(
+            variant.label(),
+            "host",
+            pool.threads(),
+            t.as_secs_f64(),
+        ));
+    }
+    attach_speedups(&mut ladder);
+    for m in &ladder {
+        table.row(vec![
+            m.variant.clone(),
+            fmt_seconds(m.seconds),
+            fmt_speedup(m.speedup_vs_naive),
+        ]);
+    }
+    println!(
+        "host blur {}x{}x3, F={}, {} threads\n{}",
+        cfg.height,
+        cfg.width,
+        cfg.filter_size,
+        pool.threads(),
+        table.render()
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let opts = Opts::parse(&args[1..]);
+    match cmd.as_str() {
+        "devices" => cmd_devices(&opts),
+        "stream" => cmd_stream(&opts),
+        "transpose" => cmd_transpose(&opts),
+        "blur" => cmd_blur(&opts),
+        "native-stream" => cmd_native_stream(&opts),
+        "native-transpose" => cmd_native_transpose(&opts),
+        "native-blur" => cmd_native_blur(&opts),
+        _ => usage(),
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(args: &[&str]) -> Opts {
+        let owned: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
+        Opts::parse(&owned)
+    }
+
+    #[test]
+    fn flags_parse_into_the_map() {
+        let o = opts(&["--device", "xeon", "-n", "512", "--json"]);
+        assert_eq!(o.get("device"), Some("xeon"));
+        assert_eq!(o.num::<usize>("n", 0), 512);
+        assert!(o.json);
+    }
+
+    #[test]
+    fn device_aliases_resolve() {
+        assert_eq!(opts(&["--device", "mango"]).devices(), vec![Device::MangoPiMqPro]);
+        assert_eq!(
+            opts(&["--device", "jh7100"]).devices(),
+            vec![Device::StarFiveVisionFive]
+        );
+        assert_eq!(opts(&["--device", "arm"]).devices(), vec![Device::RaspberryPi4]);
+        assert_eq!(opts(&[]).devices().len(), 4, "default sweeps all devices");
+    }
+
+    #[test]
+    fn variant_selectors_resolve() {
+        let o = opts(&["--variant", "manual"]);
+        assert_eq!(transpose_variants(&o), vec![TransposeVariant::ManualBlocking]);
+        let o = opts(&["--variant", "1d"]);
+        assert_eq!(blur_variants(&o), vec![BlurVariant::OneDimKernels]);
+        let o = opts(&[]);
+        assert_eq!(transpose_variants(&o).len(), 5);
+        assert_eq!(blur_variants(&o).len(), 5);
+    }
+
+    #[test]
+    fn numeric_defaults_apply() {
+        let o = opts(&[]);
+        assert_eq!(o.num::<usize>("n", 2048), 2048);
+        assert_eq!(o.num::<u32>("threads", 0), 0);
+    }
+
+    #[test]
+    fn pool_size_zero_means_host() {
+        assert!(opts(&["--threads", "0"]).pool().threads() >= 1);
+        assert_eq!(opts(&["--threads", "3"]).pool().threads(), 3);
+    }
+}
