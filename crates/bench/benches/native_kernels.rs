@@ -15,7 +15,9 @@ use membound_parallel::Pool;
 fn bench_stream(c: &mut Criterion) {
     let mut group = c.benchmark_group("stream_native");
     let elements = 1 << 21; // 16 MiB per array: beyond typical L2
-    group.throughput(Throughput::Bytes(StreamOp::Triad.nominal_bytes(elements as u64)));
+    group.throughput(Throughput::Bytes(
+        StreamOp::Triad.nominal_bytes(elements as u64),
+    ));
     let pool = Pool::host();
     for op in StreamOp::all() {
         group.bench_with_input(BenchmarkId::from_parameter(op.label()), &op, |b, &op| {

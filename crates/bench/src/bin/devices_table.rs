@@ -7,9 +7,18 @@ use membound_sim::Device;
 
 fn main() {
     let mut t = TextTable::new(
-        ["device", "ISA", "cores", "freq", "caches", "TLBs", "DRAM model", "RAM"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "device",
+            "ISA",
+            "cores",
+            "freq",
+            "caches",
+            "TLBs",
+            "DRAM model",
+            "RAM",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     for device in Device::all() {
         let spec = device.spec();

@@ -3,12 +3,13 @@
 //!
 //! Private levels are measured sequentially and scaled by the core count;
 //! shared levels and DRAM are measured with all cores, exactly as §4.1
-//! describes.
+//! describes. Every (device, level, op) measurement is one engine cell,
+//! so the whole survey fans out across `--jobs` workers.
 
 use membound_bench::{scale_banner, Args};
-use membound_core::experiment::{simulate_stream_survey, StreamLevelResult};
 use membound_core::report::{to_json, TextTable};
-use membound_sim::Device;
+use membound_core::runner::{Cell, CellOutcome, ExperimentMatrix};
+use membound_core::StreamOp;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -24,8 +25,32 @@ struct Row {
 
 fn main() {
     let args = Args::parse("fig1_stream");
+    let devices = args.devices();
+    let engine = args.engine();
     println!("FIG1: STREAM bandwidth per memory level per device (GB/s)");
-    println!("{}\n", scale_banner(args.full));
+    println!("{}", scale_banner(args.full));
+    println!("engine: {} jobs\n", engine.jobs());
+
+    // One cell per (device, level, op); panel = level name.
+    let mut matrix = ExperimentMatrix::new("fig1_stream");
+    for device in &devices {
+        let spec = device.spec();
+        for (k, cache) in spec.caches.iter().enumerate() {
+            for op in StreamOp::all() {
+                matrix.push(Cell::stream(
+                    cache.name.clone(),
+                    device.label(),
+                    &spec,
+                    op,
+                    Some(k),
+                ));
+            }
+        }
+        for op in StreamOp::all() {
+            matrix.push(Cell::stream("DRAM", device.label(), &spec, op, None));
+        }
+    }
+    let results = engine.run(&matrix);
 
     let mut table = TextTable::new(
         ["device", "level", "mode", "Copy", "Scale", "Add", "Triad"]
@@ -33,33 +58,43 @@ fn main() {
             .to_vec(),
     );
     let mut rows = Vec::new();
-    for device in Device::all() {
-        let spec = device.spec();
-        let survey: Vec<StreamLevelResult> = simulate_stream_survey(&spec);
-        for level in survey {
-            table.row(vec![
-                device.label().into(),
-                level.level.clone(),
-                if level.private_scaled {
-                    format!("seq x{}", spec.cores)
-                } else {
-                    format!("{} threads", spec.cores)
-                },
-                format!("{:.2}", level.gbps[0]),
-                format!("{:.2}", level.gbps[1]),
-                format!("{:.2}", level.gbps[2]),
-                format!("{:.2}", level.gbps[3]),
-            ]);
-            rows.push(Row {
-                device: device.label().into(),
-                level: level.level,
-                private_scaled: level.private_scaled,
-                copy_gbps: level.gbps[0],
-                scale_gbps: level.gbps[1],
-                add_gbps: level.gbps[2],
-                triad_gbps: level.gbps[3],
-            });
-        }
+    // Reassemble rows of four ops from the flat cell stream.
+    for chunk in results.cells.chunks(StreamOp::all().len()) {
+        let first = &chunk[0];
+        let spec = &first.cell.spec;
+        let private_scaled = spec
+            .caches
+            .iter()
+            .any(|c| c.name == first.cell.panel && !c.shared);
+        let gbps: Vec<f64> = chunk
+            .iter()
+            .map(|r| match r.outcome {
+                CellOutcome::Gbps(g) => g,
+                _ => 0.0,
+            })
+            .collect();
+        table.row(vec![
+            first.cell.device.clone(),
+            first.cell.panel.clone(),
+            if private_scaled {
+                format!("seq x{}", spec.cores)
+            } else {
+                format!("{} threads", spec.cores)
+            },
+            format!("{:.2}", gbps[0]),
+            format!("{:.2}", gbps[1]),
+            format!("{:.2}", gbps[2]),
+            format!("{:.2}", gbps[3]),
+        ]);
+        rows.push(Row {
+            device: first.cell.device.clone(),
+            level: first.cell.panel.clone(),
+            private_scaled,
+            copy_gbps: gbps[0],
+            scale_gbps: gbps[1],
+            add_gbps: gbps[2],
+            triad_gbps: gbps[3],
+        });
     }
     println!("{}", table.render());
     println!(
@@ -68,4 +103,5 @@ fn main() {
          of all four devices."
     );
     args.write_json(&to_json(&rows));
+    args.write_run_log(&results);
 }

@@ -2,13 +2,15 @@
 //! devices, for both matrix sizes (Fig. 2's two panels). Bar labels show
 //! the naïve time in seconds and each optimized variant's speedup, as in
 //! the paper.
+//!
+//! The full panel × device × variant matrix is executed through the
+//! parallel experiment engine (`--jobs`), and the per-cell telemetry is
+//! written as a JSONL run log next to the JSON rows.
 
 use membound_bench::{scale_banner, Args};
-use membound_core::experiment::simulate_transpose;
-use membound_core::metrics::{attach_speedups, Measurement};
 use membound_core::report::{fmt_seconds, fmt_speedup, to_json, BarChart, TextTable};
+use membound_core::runner::{Cell, CellOutcome, ExperimentMatrix};
 use membound_core::{TransposeConfig, TransposeVariant};
-use membound_sim::Device;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -25,10 +27,32 @@ struct Row {
 fn main() {
     let args = Args::parse("fig2_transpose");
     let (n1, n2) = args.transpose_sizes();
+    let devices = args.devices();
+    let engine = args.engine();
     println!("FIG2: in-place matrix transposition, five variants x four devices");
-    println!("{}\n", scale_banner(args.full));
+    println!("{}", scale_banner(args.full));
+    println!("engine: {} jobs\n", engine.jobs());
+
+    let mut matrix = ExperimentMatrix::new("fig2_transpose");
+    for n in [n1, n2] {
+        let cfg = TransposeConfig::new(n);
+        for device in &devices {
+            let spec = device.spec();
+            for variant in TransposeVariant::all() {
+                matrix.push(Cell::transpose(
+                    n.to_string(),
+                    device.label(),
+                    &spec,
+                    variant,
+                    cfg,
+                ));
+            }
+        }
+    }
+    let results = engine.run(&matrix);
 
     let mut rows = Vec::new();
+    let mut cells = results.cells.iter().peekable();
     for n in [n1, n2] {
         let cfg = TransposeConfig::new(n);
         println!(
@@ -41,67 +65,64 @@ fn main() {
                 .to_vec(),
         );
         let mut chart = BarChart::new("simulated time, normalized per device");
-        for device in Device::all() {
-            let spec = device.spec();
-            let mut ladder: Vec<Measurement> = Vec::new();
-            for variant in TransposeVariant::all() {
-                match simulate_transpose(&spec, variant, cfg) {
-                    Some(report) => {
-                        ladder.push(Measurement::new(
-                            variant.label(),
-                            device.label(),
-                            report.threads,
-                            report.seconds,
-                        ));
-                    }
-                    None => {
-                        table.row(vec![
-                            device.label().into(),
-                            variant.label().into(),
-                            "-".into(),
-                            "does not fit in memory".into(),
-                            "-".into(),
-                        ]);
-                        rows.push(Row {
-                            panel_n: n,
-                            device: device.label().into(),
-                            variant: variant.label().into(),
-                            threads: 0,
-                            seconds: f64::NAN,
-                            speedup_vs_naive: f64::NAN,
-                            fits_in_memory: false,
-                        });
-                    }
-                }
+        while let Some(r) = cells.peek() {
+            if r.cell.panel != n.to_string() {
+                break;
             }
-            attach_speedups(&mut ladder);
-            for m in &ladder {
-                table.row(vec![
-                    m.device.clone(),
-                    m.variant.clone(),
-                    m.threads.to_string(),
-                    fmt_seconds(m.seconds),
-                    fmt_speedup(m.speedup_vs_naive),
-                ]);
-                chart.bar(
-                    &m.device,
-                    &m.variant,
-                    m.seconds,
-                    &if m.variant == "Naive" {
-                        format!("{} s", fmt_seconds(m.seconds))
-                    } else {
-                        fmt_speedup(m.speedup_vs_naive)
-                    },
-                );
-                rows.push(Row {
-                    panel_n: n,
-                    device: m.device.clone(),
-                    variant: m.variant.clone(),
-                    threads: m.threads,
-                    seconds: m.seconds,
-                    speedup_vs_naive: m.speedup_vs_naive,
-                    fits_in_memory: true,
-                });
+            let r = cells.next().expect("peeked");
+            match &r.outcome {
+                CellOutcome::Report(report) => {
+                    let speedup = r.speedup_vs_naive.unwrap_or(0.0);
+                    table.row(vec![
+                        r.cell.device.clone(),
+                        r.cell.variant.clone(),
+                        report.threads.to_string(),
+                        fmt_seconds(report.seconds),
+                        fmt_speedup(speedup),
+                    ]);
+                    chart.bar(
+                        &r.cell.device,
+                        &r.cell.variant,
+                        report.seconds,
+                        &if r.cell.variant == "Naive" {
+                            format!("{} s", fmt_seconds(report.seconds))
+                        } else {
+                            fmt_speedup(speedup)
+                        },
+                    );
+                    rows.push(Row {
+                        panel_n: n,
+                        device: r.cell.device.clone(),
+                        variant: r.cell.variant.clone(),
+                        threads: report.threads,
+                        seconds: report.seconds,
+                        speedup_vs_naive: speedup,
+                        fits_in_memory: true,
+                    });
+                }
+                outcome => {
+                    let note = match outcome {
+                        CellOutcome::DoesNotFit => "does not fit in memory".to_string(),
+                        CellOutcome::Panicked(msg) => format!("panicked: {msg}"),
+                        CellOutcome::Report(_) | CellOutcome::Gbps(_) => unreachable!(),
+                    };
+                    table.row(vec![
+                        r.cell.device.clone(),
+                        r.cell.variant.clone(),
+                        "-".into(),
+                        note,
+                        "-".into(),
+                    ]);
+                    rows.push(Row {
+                        panel_n: n,
+                        device: r.cell.device.clone(),
+                        variant: r.cell.variant.clone(),
+                        threads: 0,
+                        seconds: f64::NAN,
+                        speedup_vs_naive: f64::NAN,
+                        fits_in_memory: false,
+                    });
+                }
             }
         }
         println!("{}", table.render());
@@ -113,4 +134,5 @@ fn main() {
          Dynamic beats plain Manual_blocking via better load balance."
     );
     args.write_json(&to_json(&rows));
+    args.write_run_log(&results);
 }

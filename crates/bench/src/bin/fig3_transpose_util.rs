@@ -1,11 +1,14 @@
 //! FIG3: relative memory-bandwidth utilization (§3.3 metric) of the naïve
 //! and the best optimized transposition, per device and matrix size.
+//!
+//! STREAM baselines and the transpose matrix both execute through the
+//! parallel experiment engine; the run log carries every cell's
+//! utilization.
 
 use membound_bench::{scale_banner, Args};
-use membound_core::experiment::{simulate_transpose, stream_dram_gbps};
 use membound_core::report::{to_json, TextTable};
+use membound_core::runner::{Cell, ExperimentMatrix};
 use membound_core::{TransposeConfig, TransposeVariant};
-use membound_sim::Device;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -21,21 +24,72 @@ struct Row {
 fn main() {
     let args = Args::parse("fig3_transpose_util");
     let (n1, n2) = args.transpose_sizes();
+    let devices = args.devices();
+    let engine = args.engine();
     println!("FIG3: relative memory-bandwidth utilization, transposition");
-    println!("{}\n", scale_banner(args.full));
+    println!("{}", scale_banner(args.full));
+    println!("engine: {} jobs\n", engine.jobs());
+
+    // The §3.3 denominator: each device's STREAM DRAM bandwidth,
+    // measured in parallel.
+    let baselines = engine.stream_baselines(
+        &devices
+            .iter()
+            .map(|d| (d.label().to_string(), d.spec()))
+            .collect::<Vec<_>>(),
+    );
+
+    let mut matrix = ExperimentMatrix::new("fig3_transpose_util");
+    for (label, gbps) in &baselines {
+        matrix.stream_baseline(label, *gbps);
+    }
+    for n in [n1, n2] {
+        let cfg = TransposeConfig::new(n);
+        for device in &devices {
+            let spec = device.spec();
+            for variant in TransposeVariant::all() {
+                matrix.push(Cell::transpose(
+                    n.to_string(),
+                    device.label(),
+                    &spec,
+                    variant,
+                    cfg,
+                ));
+            }
+        }
+    }
+    let results = engine.run(&matrix);
 
     let mut rows = Vec::new();
     for n in [n1, n2] {
-        let cfg = TransposeConfig::new(n);
         println!("panel: {n} x {n}");
         let mut table = TextTable::new(
-            ["device", "STREAM GB/s", "naive util", "best variant", "best util"]
-                .map(String::from)
-                .to_vec(),
+            [
+                "device",
+                "STREAM GB/s",
+                "naive util",
+                "best variant",
+                "best util",
+            ]
+            .map(String::from)
+            .to_vec(),
         );
-        for device in Device::all() {
-            let spec = device.spec();
-            if !spec.fits_in_memory(cfg.matrix_bytes()) {
+        for device in &devices {
+            let ladder: Vec<_> = results
+                .cells
+                .iter()
+                .filter(|r| r.cell.panel == n.to_string() && r.cell.device == device.label())
+                .collect();
+            let stream = baselines
+                .iter()
+                .find(|(l, _)| l == device.label())
+                .map(|(_, g)| *g)
+                .unwrap_or(0.0);
+            let naive = ladder
+                .iter()
+                .find(|r| r.cell.variant == "Naive")
+                .and_then(|r| r.bandwidth_utilization);
+            let Some(naive) = naive else {
                 table.row(vec![
                     device.label().into(),
                     "-".into(),
@@ -44,24 +98,18 @@ fn main() {
                     "-".into(),
                 ]);
                 continue;
-            }
-            let stream = stream_dram_gbps(&spec);
-            let util = |variant| {
-                simulate_transpose(&spec, variant, cfg)
-                    .map(|r| r.bandwidth_utilization(cfg.nominal_bytes(), stream))
             };
-            let naive = util(TransposeVariant::Naive).unwrap_or(0.0);
-            let (best_variant, best) = TransposeVariant::all()
-                .into_iter()
+            let (best_variant, best) = ladder
+                .iter()
                 .skip(1)
-                .filter_map(|v| util(v).map(|u| (v, u)))
+                .filter_map(|r| r.bandwidth_utilization.map(|u| (r.cell.variant.clone(), u)))
                 .max_by(|a, b| a.1.total_cmp(&b.1))
                 .expect("at least one optimized variant");
             table.row(vec![
                 device.label().into(),
                 format!("{stream:.2}"),
                 format!("{naive:.3}"),
-                best_variant.label().into(),
+                best_variant.clone(),
                 format!("{best:.3}"),
             ]);
             rows.push(Row {
@@ -69,7 +117,7 @@ fn main() {
                 device: device.label().into(),
                 stream_gbps: stream,
                 naive_utilization: naive,
-                best_variant: best_variant.label().into(),
+                best_variant,
                 best_utilization: best,
             });
         }
@@ -82,4 +130,5 @@ fn main() {
          Pi stays low (single cache level, modest L1)."
     );
     args.write_json(&to_json(&rows));
+    args.write_run_log(&results);
 }

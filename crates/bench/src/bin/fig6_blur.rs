@@ -1,12 +1,13 @@
 //! FIG6: computation time of the five Gaussian-blur variants on the four
 //! devices, with the paper's naïve-seconds + speedup bar labels.
+//!
+//! The device × variant matrix executes through the parallel experiment
+//! engine; per-cell telemetry lands in the JSONL run log.
 
 use membound_bench::{scale_banner, Args};
-use membound_core::experiment::simulate_blur;
-use membound_core::metrics::{attach_speedups, Measurement};
 use membound_core::report::{fmt_seconds, fmt_speedup, to_json, BarChart, TextTable};
+use membound_core::runner::{Cell, ExperimentMatrix};
 use membound_core::BlurVariant;
-use membound_sim::Device;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -21,11 +22,30 @@ struct Row {
 fn main() {
     let args = Args::parse("fig6_blur");
     let cfg = args.blur_config();
+    let devices = args.devices();
+    let engine = args.engine();
     println!(
         "FIG6: Gaussian blur ({}x{}x{} f32, F={}), five variants x four devices",
         cfg.height, cfg.width, cfg.channels, cfg.filter_size
     );
-    println!("{}\n", scale_banner(args.full));
+    println!("{}", scale_banner(args.full));
+    println!("engine: {} jobs\n", engine.jobs());
+
+    let panel = format!("{}x{}", cfg.height, cfg.width);
+    let mut matrix = ExperimentMatrix::new("fig6_blur");
+    for device in &devices {
+        let spec = device.spec();
+        for variant in BlurVariant::all() {
+            matrix.push(Cell::blur(
+                panel.clone(),
+                device.label(),
+                &spec,
+                variant,
+                cfg,
+            ));
+        }
+    }
+    let results = engine.run(&matrix);
 
     let mut table = TextTable::new(
         ["device", "variant", "threads", "time", "speedup"]
@@ -34,45 +54,33 @@ fn main() {
     );
     let mut rows = Vec::new();
     let mut chart = BarChart::new("simulated time, normalized per device");
-    for device in Device::all() {
-        let spec = device.spec();
-        let mut ladder: Vec<Measurement> = Vec::new();
-        for variant in BlurVariant::all() {
-            let report = simulate_blur(&spec, variant, cfg);
-            ladder.push(Measurement::new(
-                variant.label(),
-                device.label(),
-                report.threads,
-                report.seconds,
-            ));
-        }
-        attach_speedups(&mut ladder);
-        for m in &ladder {
-            table.row(vec![
-                m.device.clone(),
-                m.variant.clone(),
-                m.threads.to_string(),
-                fmt_seconds(m.seconds),
-                fmt_speedup(m.speedup_vs_naive),
-            ]);
-            chart.bar(
-                &m.device,
-                &m.variant,
-                m.seconds,
-                &if m.variant == "Naive" {
-                    format!("{} s", fmt_seconds(m.seconds))
-                } else {
-                    fmt_speedup(m.speedup_vs_naive)
-                },
-            );
-            rows.push(Row {
-                device: m.device.clone(),
-                variant: m.variant.clone(),
-                threads: m.threads,
-                seconds: m.seconds,
-                speedup_vs_naive: m.speedup_vs_naive,
-            });
-        }
+    for r in &results.cells {
+        let report = r.report().expect("blur cells always produce a report");
+        let speedup = r.speedup_vs_naive.unwrap_or(0.0);
+        table.row(vec![
+            r.cell.device.clone(),
+            r.cell.variant.clone(),
+            report.threads.to_string(),
+            fmt_seconds(report.seconds),
+            fmt_speedup(speedup),
+        ]);
+        chart.bar(
+            &r.cell.device,
+            &r.cell.variant,
+            report.seconds,
+            &if r.cell.variant == "Naive" {
+                format!("{} s", fmt_seconds(report.seconds))
+            } else {
+                fmt_speedup(speedup)
+            },
+        );
+        rows.push(Row {
+            device: r.cell.device.clone(),
+            variant: r.cell.variant.clone(),
+            threads: report.threads,
+            seconds: report.seconds,
+            speedup_vs_naive: speedup,
+        });
     }
     println!("{}", table.render());
     println!("{}", chart.render(48));
@@ -84,4 +92,5 @@ fn main() {
          gains are capped by memory channels."
     );
     args.write_json(&to_json(&rows));
+    args.write_run_log(&results);
 }

@@ -2,12 +2,14 @@
 //! blur variants (1D_kernels, Memory, Parallel), with the improvement
 //! labels computed against the 1D_kernels baseline exactly as the paper's
 //! Fig. 7 caption specifies.
+//!
+//! STREAM baselines and the blur cells run through the parallel
+//! experiment engine; utilizations come attached to the engine results.
 
 use membound_bench::{scale_banner, Args};
-use membound_core::experiment::{simulate_blur, stream_dram_gbps};
 use membound_core::report::{to_json, TextTable};
+use membound_core::runner::{Cell, ExperimentMatrix};
 use membound_core::BlurVariant;
-use membound_sim::Device;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -21,42 +23,75 @@ struct Row {
 fn main() {
     let args = Args::parse("fig7_blur_util");
     let cfg = args.blur_config();
+    let devices = args.devices();
+    let engine = args.engine();
     println!("FIG7: relative memory-bandwidth utilization, Gaussian blur");
-    println!("{}\n", scale_banner(args.full));
+    println!("{}", scale_banner(args.full));
+    println!("engine: {} jobs\n", engine.jobs());
 
     let variants = [
         BlurVariant::OneDimKernels,
         BlurVariant::Memory,
         BlurVariant::Parallel,
     ];
+
+    let baselines = engine.stream_baselines(
+        &devices
+            .iter()
+            .map(|d| (d.label().to_string(), d.spec()))
+            .collect::<Vec<_>>(),
+    );
+    let panel = format!("{}x{}", cfg.height, cfg.width);
+    let mut matrix = ExperimentMatrix::new("fig7_blur_util");
+    for (label, gbps) in &baselines {
+        matrix.stream_baseline(label, *gbps);
+    }
+    for device in &devices {
+        let spec = device.spec();
+        for variant in variants {
+            matrix.push(Cell::blur(
+                panel.clone(),
+                device.label(),
+                &spec,
+                variant,
+                cfg,
+            ));
+        }
+    }
+    let results = engine.run(&matrix);
+
     let mut table = TextTable::new(
         ["device", "variant", "utilization", "vs 1D_kernels"]
             .map(String::from)
             .to_vec(),
     );
     let mut rows = Vec::new();
-    for device in Device::all() {
-        let spec = device.spec();
-        let stream = stream_dram_gbps(&spec);
-        let utils: Vec<f64> = variants
+    for device in &devices {
+        let utils: Vec<(String, f64)> = results
+            .cells
             .iter()
-            .map(|&v| {
-                simulate_blur(&spec, v, cfg).bandwidth_utilization(cfg.nominal_bytes(), stream)
+            .filter(|r| r.cell.device == device.label())
+            .map(|r| {
+                (
+                    r.cell.variant.clone(),
+                    r.bandwidth_utilization.unwrap_or(0.0),
+                )
             })
             .collect();
-        let baseline = utils[0];
-        for (&variant, &u) in variants.iter().zip(&utils) {
+        let baseline = utils.first().map(|(_, u)| *u).unwrap_or(0.0);
+        for (variant, u) in utils {
+            let improvement = if baseline > 0.0 { u / baseline } else { 0.0 };
             table.row(vec![
                 device.label().into(),
-                variant.label().into(),
+                variant.clone(),
                 format!("{u:.3}"),
-                format!("x{:.1}", if baseline > 0.0 { u / baseline } else { 0.0 }),
+                format!("x{improvement:.1}"),
             ]);
             rows.push(Row {
                 device: device.label().into(),
-                variant: variant.label().into(),
+                variant,
                 utilization: u,
-                improvement_vs_1d: if baseline > 0.0 { u / baseline } else { 0.0 },
+                improvement_vs_1d: improvement,
             });
         }
     }
@@ -68,4 +103,5 @@ fn main() {
          thanks to its many memory channels."
     );
     args.write_json(&to_json(&rows));
+    args.write_run_log(&results);
 }

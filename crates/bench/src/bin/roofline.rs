@@ -38,9 +38,16 @@ fn main() {
     ];
 
     let mut table = TextTable::new(
-        ["device", "kernel", "I [flop/B]", "ridge", "attainable GF/s", "bound"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "device",
+            "kernel",
+            "I [flop/B]",
+            "ridge",
+            "attainable GF/s",
+            "bound",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     let mut rows = Vec::new();
     for device in Device::all() {
@@ -56,7 +63,11 @@ fn main() {
                 format!("{i:.3}"),
                 format!("{:.2}", roof.ridge_intensity()),
                 format!("{:.2}", roof.attainable_gflops(i)),
-                if memory_bound { "memory".into() } else { "compute".into() },
+                if memory_bound {
+                    "memory".into()
+                } else {
+                    "compute".into()
+                },
             ]);
             rows.push(Row {
                 device: device.label().into(),

@@ -8,12 +8,14 @@
 //! result: at full image width the F-row ring (~290 KiB) fits the Xeon's
 //! and the Pi's caches but not the RISC-V boards', so fusion helps
 //! exactly where the cache hierarchy can hold the window.
+//!
+//! Both variants and the STREAM baselines execute through the parallel
+//! experiment engine.
 
 use membound_bench::{scale_banner, Args};
-use membound_core::experiment::{simulate_blur, simulate_fused_blur, stream_dram_gbps};
 use membound_core::report::{fmt_seconds, to_json, TextTable};
+use membound_core::runner::{Cell, ExperimentMatrix};
 use membound_core::BlurVariant;
-use membound_sim::Device;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -31,8 +33,41 @@ struct Row {
 fn main() {
     let args = Args::parse("whatif_fused");
     let cfg = args.blur_config();
+    let devices = args.devices();
+    let engine = args.engine();
     println!("WHAT-IF: fused separable blur vs the paper's Parallel variant");
-    println!("{}\n", scale_banner(args.full));
+    println!("{}", scale_banner(args.full));
+    println!("engine: {} jobs\n", engine.jobs());
+
+    let baselines = engine.stream_baselines(
+        &devices
+            .iter()
+            .map(|d| (d.label().to_string(), d.spec()))
+            .collect::<Vec<_>>(),
+    );
+    let panel = format!("{}x{}", cfg.height, cfg.width);
+    let mut matrix = ExperimentMatrix::new("whatif_fused");
+    for (label, gbps) in &baselines {
+        matrix.stream_baseline(label, *gbps);
+    }
+    for device in &devices {
+        let spec = device.spec();
+        matrix.push(Cell::blur(
+            panel.clone(),
+            device.label(),
+            &spec,
+            BlurVariant::Parallel,
+            cfg,
+        ));
+        matrix.push(Cell::fused_blur(
+            panel.clone(),
+            device.label(),
+            &spec,
+            cfg,
+            spec.cores,
+        ));
+    }
+    let results = engine.run(&matrix);
 
     let mut table = TextTable::new(
         [
@@ -49,16 +84,15 @@ fn main() {
         .to_vec(),
     );
     let mut rows = Vec::new();
-    for device in Device::all() {
-        let spec = device.spec();
-        let stream = stream_dram_gbps(&spec);
-        let parallel = simulate_blur(&spec, BlurVariant::Parallel, cfg);
-        let fused = simulate_fused_blur(&spec, cfg, spec.cores);
+    for pair in results.cells.chunks(2) {
+        let parallel = pair[0].report().expect("parallel blur always runs");
+        let fused = pair[1].report().expect("fused blur always runs");
         let gain = parallel.seconds / fused.seconds;
-        let p_util = parallel.bandwidth_utilization(cfg.nominal_bytes(), stream);
-        let f_util = fused.bandwidth_utilization(cfg.nominal_bytes(), stream);
+        let p_util = pair[0].bandwidth_utilization.unwrap_or(0.0);
+        let f_util = pair[1].bandwidth_utilization.unwrap_or(0.0);
+        let device = pair[0].cell.device.clone();
         table.row(vec![
-            device.label().into(),
+            device.clone(),
             fmt_seconds(parallel.seconds),
             fmt_seconds(fused.seconds),
             format!("x{gain:.2}"),
@@ -68,7 +102,7 @@ fn main() {
             format!("{f_util:.3}"),
         ]);
         rows.push(Row {
-            device: device.label().into(),
+            device,
             parallel_seconds: parallel.seconds,
             fused_seconds: fused.seconds,
             fused_gain: gain,
@@ -86,4 +120,5 @@ fn main() {
          again, is the watershed."
     );
     args.write_json(&to_json(&rows));
+    args.write_run_log(&results);
 }

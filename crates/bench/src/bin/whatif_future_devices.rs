@@ -35,9 +35,14 @@ fn main() {
     specs.push(future::riscv_server_class());
 
     let mut table = TextTable::new(
-        ["device", "STREAM GB/s", "transpose Dynamic", "blur Parallel"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "device",
+            "STREAM GB/s",
+            "transpose Dynamic",
+            "blur Parallel",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     let mut rows = Vec::new();
     for spec in &specs {

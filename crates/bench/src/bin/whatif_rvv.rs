@@ -31,9 +31,15 @@ fn main() {
     println!("{}\n", scale_banner(args.full));
 
     let mut table = TextTable::new(
-        ["device", "vector", "1D_kernels", "Memory", "Memory speedup vs scalar"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "device",
+            "vector",
+            "1D_kernels",
+            "Memory",
+            "Memory speedup vs scalar",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     let mut rows = Vec::new();
     for device in [Device::MangoPiMqPro, Device::StarFiveVisionFive] {

@@ -3,11 +3,15 @@
 //! Every binary in `src/bin` regenerates one table or figure of the paper
 //! (see DESIGN.md's experiment index): it prints a text table with the
 //! same rows/series the paper plots, and writes machine-readable JSON
-//! next to it under `results/`.
+//! next to it under `results/`. The figure binaries additionally execute
+//! their experiment matrices through `membound_core::runner::Engine` and
+//! write a versioned JSONL run log (`membound_core::telemetry`).
 
 #![warn(missing_docs)]
 
+use membound_core::runner::{resolve_jobs, Engine};
 use membound_core::BlurConfig;
+use membound_sim::Device;
 use std::path::PathBuf;
 
 /// Common command-line options of the figure binaries.
@@ -18,12 +22,25 @@ use std::path::PathBuf;
 ///   (all working sets still exceed every modelled cache).
 /// * `--json <path>` — where to write the JSON rows (defaults to
 ///   `results/<name>.json`).
+/// * `--jobs <N>` — worker threads for the experiment engine (defaults
+///   to `MEMBOUND_JOBS`, then the host's core count). Any job count
+///   produces identical simulated results; only wall time changes.
+/// * `--device <label>` — restrict the device axis to one device
+///   (label or a case-insensitive prefix, e.g. `visionfive`).
+/// * `--run-log <path>` — where to write the JSONL telemetry run log
+///   (defaults to `results/<name>.jsonl`).
 #[derive(Debug, Clone)]
 pub struct Args {
     /// Run the paper's full workload sizes.
     pub full: bool,
     /// Output path for JSON rows.
     pub json_path: PathBuf,
+    /// Explicit `--jobs` value, if given.
+    pub jobs: Option<u32>,
+    /// Device filter, if given.
+    pub device_filter: Option<String>,
+    /// Output path for the JSONL run log.
+    pub run_log_path: PathBuf,
 }
 
 impl Args {
@@ -35,25 +52,88 @@ impl Args {
     /// Panics on an unknown flag (with a usage message).
     #[must_use]
     pub fn parse(name: &str) -> Self {
+        let usage = format!(
+            "usage: {name} [--full] [--json <path>] [--jobs <N>] [--device <label>] [--run-log <path>]"
+        );
         let mut full = false;
         let mut json_path = PathBuf::from(format!("results/{name}.json"));
+        let mut jobs = None;
+        let mut device_filter = None;
+        let mut run_log_path = PathBuf::from(format!("results/{name}.jsonl"));
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--full" => full = true,
                 "--json" => {
-                    json_path = PathBuf::from(
-                        args.next().expect("--json requires a path argument"),
-                    );
+                    json_path =
+                        PathBuf::from(args.next().expect("--json requires a path argument"));
+                }
+                "--jobs" => {
+                    let v = args.next().expect("--jobs requires a thread count");
+                    jobs = Some(v.parse().unwrap_or_else(|_| {
+                        panic!("--jobs requires a positive integer, got {v:?}")
+                    }));
+                }
+                "--device" => {
+                    device_filter = Some(args.next().expect("--device requires a device label"));
+                }
+                "--run-log" => {
+                    run_log_path =
+                        PathBuf::from(args.next().expect("--run-log requires a path argument"));
                 }
                 "--help" | "-h" => {
-                    println!("usage: {name} [--full] [--json <path>]");
+                    println!("{usage}");
                     std::process::exit(0);
                 }
-                other => panic!("unknown flag {other}; usage: {name} [--full] [--json <path>]"),
+                other => panic!("unknown flag {other}; {usage}"),
             }
         }
-        Self { full, json_path }
+        Self {
+            full,
+            json_path,
+            jobs,
+            device_filter,
+            run_log_path,
+        }
+    }
+
+    /// The experiment engine these options select: `--jobs`, else
+    /// `MEMBOUND_JOBS`, else the host core count.
+    #[must_use]
+    pub fn engine(&self) -> Engine {
+        Engine::new(resolve_jobs(self.jobs))
+    }
+
+    /// The devices the run covers: all four, or the one picked by
+    /// `--device` (matched case-insensitively as a substring of the
+    /// device label or preset name — `visionfive` selects the StarFive
+    /// VisionFive).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the filter matches no device.
+    #[must_use]
+    pub fn devices(&self) -> Vec<Device> {
+        let all = Device::all();
+        let Some(filter) = &self.device_filter else {
+            return all.to_vec();
+        };
+        let normalize = |s: &str| s.to_lowercase().replace([' ', '-', '_', '(', ')'], "");
+        let needle = normalize(filter);
+        let picked: Vec<Device> = all
+            .iter()
+            .copied()
+            .filter(|d| {
+                normalize(d.label()).contains(&needle)
+                    || normalize(&format!("{d:?}")).contains(&needle)
+            })
+            .collect();
+        assert!(
+            !picked.is_empty(),
+            "--device {filter:?} matches none of: {}",
+            all.iter().map(|d| d.label()).collect::<Vec<_>>().join(", ")
+        );
+        picked
     }
 
     /// The two matrix sizes of Fig. 2/3: the paper's 8192/16384 under
@@ -91,6 +171,24 @@ impl Args {
         std::fs::write(&self.json_path, json).expect("write JSON results");
         println!("\n[json rows written to {}]", self.json_path.display());
     }
+
+    /// Write an engine run's JSONL telemetry log, and report where.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written.
+    pub fn write_run_log(&self, results: &membound_core::runner::RunResults) {
+        results
+            .write_run_log(&self.run_log_path)
+            .expect("write run log");
+        println!(
+            "[run log ({} cells, jobs={}, digest {}) written to {}]",
+            results.cells.len(),
+            results.jobs,
+            results.combined_digest(),
+            self.run_log_path.display()
+        );
+    }
 }
 
 /// The workload-scale note printed at the top of every figure.
@@ -107,29 +205,57 @@ pub fn scale_banner(full: bool) -> &'static str {
 mod tests {
     use super::*;
 
+    fn args(full: bool) -> Args {
+        Args {
+            full,
+            json_path: PathBuf::from("x.json"),
+            jobs: None,
+            device_filter: None,
+            run_log_path: PathBuf::from("x.jsonl"),
+        }
+    }
+
     #[test]
     fn default_sizes_are_scaled_down() {
-        let args = Args {
-            full: false,
-            json_path: PathBuf::from("x.json"),
-        };
-        assert_eq!(args.transpose_sizes(), (2048, 4096));
-        assert_eq!(args.blur_config().width, 1272);
+        let a = args(false);
+        assert_eq!(a.transpose_sizes(), (2048, 4096));
+        assert_eq!(a.blur_config().width, 1272);
     }
 
     #[test]
     fn full_sizes_match_the_paper() {
-        let args = Args {
-            full: true,
-            json_path: PathBuf::from("x.json"),
-        };
-        assert_eq!(args.transpose_sizes(), (8192, 16384));
-        let cfg = args.blur_config();
+        let a = args(true);
+        assert_eq!(a.transpose_sizes(), (8192, 16384));
+        let cfg = a.blur_config();
         assert_eq!((cfg.height, cfg.width), (2027, 2544));
     }
 
     #[test]
     fn banners_differ() {
         assert_ne!(scale_banner(true), scale_banner(false));
+    }
+
+    #[test]
+    fn device_filter_selects_by_loose_substring() {
+        let mut a = args(false);
+        assert_eq!(a.devices().len(), Device::all().len());
+        a.device_filter = Some("visionfive".into());
+        let picked = a.devices();
+        assert_eq!(picked, vec![Device::StarFiveVisionFive]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matches none")]
+    fn unknown_device_filter_panics() {
+        let mut a = args(false);
+        a.device_filter = Some("cray-1".into());
+        let _ = a.devices();
+    }
+
+    #[test]
+    fn engine_respects_explicit_jobs() {
+        let mut a = args(false);
+        a.jobs = Some(3);
+        assert_eq!(a.engine().jobs(), 3);
     }
 }

@@ -13,8 +13,8 @@
 //! hierarchies at full image width. The `whatif_fused` bench quantifies
 //! exactly that cliff.
 
-use super::BlurConfig;
 use super::native::{horizontal_pass_row, vertical_tap_accumulate};
+use super::BlurConfig;
 use membound_image::Image;
 use membound_parallel::{Pool, Schedule, SharedSlice};
 use membound_trace::{IterCost, TraceSink};
@@ -141,12 +141,13 @@ impl FusedBlurTrace {
         let rb = self.row_bytes();
         let ring = self.ring_region + u64::from(tid) * (1 << 28);
         let ring_row = |r: u64| ring + (r % f) * rb;
-        let taps_h = (self.cfg.width - self.cfg.filter_size) as u64
-            * self.cfg.channels as u64
-            * f;
+        let taps_h = (self.cfg.width - self.cfg.filter_size) as u64 * self.cfg.channels as u64 * f;
         let taps_v = self.cfg.width as u64 * self.cfg.channels as u64 * f;
         let cost_h = IterCost::new(3, 2).mem(2, 0).elem_bytes(4);
-        let cost_v = IterCost::new(2, 2).mem(2, 1).elem_bytes(4).vectorizable(true);
+        let cost_v = IterCost::new(2, 2)
+            .mem(2, 1)
+            .elem_bytes(4)
+            .vectorizable(true);
 
         // Warm-up rows.
         for i in lo..lo + f - 1 {

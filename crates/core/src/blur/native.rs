@@ -293,10 +293,7 @@ mod tests {
         for variant in BlurVariant::all() {
             let out = run(variant, &cfg, 3);
             let diff = reference.max_abs_diff_interior(&out, cfg.filter_size);
-            assert!(
-                diff < 2e-5,
-                "{variant} diverges from naive by {diff}"
-            );
+            assert!(diff < 2e-5, "{variant} diverges from naive by {diff}");
         }
     }
 

@@ -100,10 +100,8 @@ impl BlurTrace {
         let middle = f / 2;
         let row_bytes = self.row_bytes();
         let line_steps = row_bytes.div_ceil(LINE);
-        let taps_per_row = (self.cfg.width - self.cfg.filter_size) as u64
-            * self.cfg.channels as u64
-            * f
-            * f;
+        let taps_per_row =
+            (self.cfg.width - self.cfg.filter_size) as u64 * self.cfg.channels as u64 * f * f;
         for i in lo..hi {
             for ls in 0..line_steps {
                 let off = ls * LINE;
@@ -155,8 +153,7 @@ impl BlurTrace {
         let middle = f / 2;
         let row_bytes = self.row_bytes();
         let line_steps = row_bytes.div_ceil(LINE);
-        let taps_per_row =
-            self.cfg.width as u64 * self.cfg.channels as u64 * f;
+        let taps_per_row = self.cfg.width as u64 * self.cfg.channels as u64 * f;
         match variant {
             BlurVariant::OneDimKernels => {
                 let cost = IterCost::new(4, 2).mem(2, 0).elem_bytes(4);
@@ -173,7 +170,10 @@ impl BlurTrace {
                 }
             }
             BlurVariant::Memory | BlurVariant::Parallel => {
-                let cost = IterCost::new(2, 2).mem(2, 1).elem_bytes(4).vectorizable(true);
+                let cost = IterCost::new(2, 2)
+                    .mem(2, 1)
+                    .elem_bytes(4)
+                    .vectorizable(true);
                 for i in lo..hi {
                     for i_f in 0..f {
                         self.sweep_row(sink, self.tmp, i + i_f, false);

@@ -76,7 +76,8 @@ pub fn simulate_blur(spec: &DeviceSpec, variant: BlurVariant, cfg: BlurConfig) -
         }),
         BlurVariant::Parallel => {
             let threads = spec.cores;
-            let plan1 = membound_parallel::Schedule::Static.plan(trace.all_rows(), threads, |_| 1.0);
+            let plan1 =
+                membound_parallel::Schedule::Static.plan(trace.all_rows(), threads, |_| 1.0);
             let plan2 =
                 membound_parallel::Schedule::Static.plan(trace.output_rows(), threads, |_| 1.0);
             machine.simulate(threads, |tid, sink| {
@@ -139,7 +140,11 @@ fn cache_level_elements(level_bytes: u64, arrays: u64) -> u64 {
 /// exactly as on the real part).
 fn shared_level_elements(spec: &DeviceSpec, k: usize, threads: u64, arrays: u64) -> u64 {
     let share = spec.caches[k].size_bytes / threads;
-    let above = if k > 0 { spec.caches[k - 1].size_bytes } else { 0 };
+    let above = if k > 0 {
+        spec.caches[k - 1].size_bytes
+    } else {
+        0
+    };
     let footprint = (share * 3 / 4).max(above * 3 / 2);
     (footprint / (arrays * 8)).max(64)
 }
@@ -257,8 +262,12 @@ mod tests {
     use membound_sim::Device;
 
     fn small_transpose(device: Device, variant: TransposeVariant) -> SimReport {
-        simulate_transpose(&device.spec(), variant, TransposeConfig::with_block(256, 32))
-            .expect("small matrix fits everywhere")
+        simulate_transpose(
+            &device.spec(),
+            variant,
+            TransposeConfig::with_block(256, 32),
+        )
+        .expect("small matrix fits everywhere")
     }
 
     #[test]
@@ -374,10 +383,7 @@ mod tests {
             let spec = device.spec();
             let l1 = simulate_stream(&spec, StreamOp::Copy, Some(0));
             let dram = simulate_stream(&spec, StreamOp::Copy, None);
-            assert!(
-                l1 > dram,
-                "{device}: L1 {l1} should beat DRAM {dram}"
-            );
+            assert!(l1 > dram, "{device}: L1 {l1} should beat DRAM {dram}");
         }
     }
 

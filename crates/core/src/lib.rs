@@ -52,12 +52,14 @@ mod matrix;
 pub mod metrics;
 pub mod report;
 pub mod roofline;
+pub mod runner;
 mod stream;
+pub mod telemetry;
 mod transpose;
 
-pub use blur::{blur_fused_native, blur_native, BlurConfig, BlurTrace, BlurVariant, FusedBlurTrace};
+pub use blur::{
+    blur_fused_native, blur_native, BlurConfig, BlurTrace, BlurVariant, FusedBlurTrace,
+};
 pub use matrix::SquareMatrix;
 pub use stream::{run_native as run_native_stream, NativeStreamResult, StreamOp, StreamTrace};
-pub use transpose::{
-    traced::TransposeTrace, transpose_native, TransposeConfig, TransposeVariant,
-};
+pub use transpose::{traced::TransposeTrace, transpose_native, TransposeConfig, TransposeVariant};

@@ -169,11 +169,7 @@ impl BarChart {
                     0
                 };
                 let n = if *value > 0.0 { n.max(1) } else { 0 };
-                let _ = writeln!(
-                    out,
-                    "  {label:<label_w$} |{} {annotation}",
-                    "#".repeat(n)
-                );
+                let _ = writeln!(out, "  {label:<label_w$} |{} {annotation}", "#".repeat(n));
             }
             out.push('\n');
         }

@@ -1,0 +1,611 @@
+//! The parallel experiment engine.
+//!
+//! Every figure of the reproduction is a matrix of *cells* — one kernel
+//! variant on one device at one workload — and every cell is an
+//! independent, deterministic simulation. The figure binaries used to
+//! walk that matrix serially; this module shards it across
+//! [`membound_parallel::Pool::run_tasks`] instead:
+//!
+//! * [`ExperimentMatrix`] declares the cells (and optional per-device
+//!   STREAM baselines for the §3.3 utilization metric);
+//! * [`Engine`] executes them on `jobs` worker threads — from `--jobs`,
+//!   the `MEMBOUND_JOBS` environment variable, or the host core count
+//!   (see [`resolve_jobs`]) — catching per-cell panics so one bad cell
+//!   cannot take down a whole figure run;
+//! * [`RunResults`] holds the outcomes *in cell order*, attaches
+//!   speedup-vs-baseline per ladder, and renders the versioned JSONL
+//!   run log of [`crate::telemetry`].
+//!
+//! Parallel runs are bit-identical to serial ones: the simulator is
+//! deterministic and results are slotted by cell index, so the per-cell
+//! [`SimReport`]s (and therefore their
+//! [`stats_digest`](SimReport::stats_digest)s and the run log's
+//! simulated fields) do not depend on the job count. Only host wall
+//! times differ.
+
+use crate::blur::{BlurConfig, BlurVariant};
+use crate::experiment;
+use crate::metrics::speedup;
+use crate::stream::StreamOp;
+use crate::telemetry::{self, CellRecord, RunHeader, SimRecord};
+use crate::transpose::{TransposeConfig, TransposeVariant};
+use membound_parallel::{Pool, Task};
+use membound_sim::{DeviceSpec, SimReport};
+use std::path::Path;
+use std::time::Instant;
+
+/// How many worker threads to use, resolved from (in precedence order)
+/// an explicit `--jobs` value, the `MEMBOUND_JOBS` environment variable,
+/// and the host's available parallelism.
+#[must_use]
+pub fn resolve_jobs(cli: Option<u32>) -> u32 {
+    if let Some(n) = cli {
+        return n.max(1);
+    }
+    if let Ok(v) = std::env::var("MEMBOUND_JOBS") {
+        if let Ok(n) = v.trim().parse::<u32>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get() as u32)
+        .unwrap_or(1)
+}
+
+/// What one cell simulates.
+#[derive(Debug, Clone)]
+pub enum CellKind {
+    /// One transpose variant ([`experiment::simulate_transpose`]).
+    Transpose {
+        /// Ladder variant.
+        variant: TransposeVariant,
+        /// Matrix workload.
+        cfg: TransposeConfig,
+    },
+    /// One blur variant ([`experiment::simulate_blur`]).
+    Blur {
+        /// Ladder variant.
+        variant: BlurVariant,
+        /// Image workload.
+        cfg: BlurConfig,
+    },
+    /// The fused-blur extension ([`experiment::simulate_fused_blur`]).
+    FusedBlur {
+        /// Image workload.
+        cfg: BlurConfig,
+        /// Simulated threads (clamped to the device's cores).
+        threads: u32,
+    },
+    /// One STREAM measurement ([`experiment::simulate_stream`]).
+    Stream {
+        /// STREAM operation.
+        op: StreamOp,
+        /// Cache level index, or `None` for DRAM.
+        level: Option<usize>,
+    },
+}
+
+impl CellKind {
+    /// Bytes the kernel must move between DRAM and the CPU, when the
+    /// §3.3 utilization metric applies to this kind of cell.
+    #[must_use]
+    pub fn nominal_bytes(&self) -> Option<u64> {
+        match self {
+            CellKind::Transpose { cfg, .. } => Some(cfg.nominal_bytes()),
+            CellKind::Blur { cfg, .. } | CellKind::FusedBlur { cfg, .. } => {
+                Some(cfg.nominal_bytes())
+            }
+            CellKind::Stream { .. } => None,
+        }
+    }
+
+    fn kernel(&self) -> &'static str {
+        match self {
+            CellKind::Transpose { .. } => "transpose",
+            CellKind::Blur { .. } => "blur",
+            CellKind::FusedBlur { .. } => "fused_blur",
+            CellKind::Stream { .. } => "stream",
+        }
+    }
+}
+
+/// One cell of the experiment matrix.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Workload panel label (e.g. the matrix size, `"2048"`).
+    pub panel: String,
+    /// Device label (for grouping and the run log).
+    pub device: String,
+    /// Variant label within the ladder.
+    pub variant: String,
+    /// Device model to simulate on.
+    pub spec: DeviceSpec,
+    /// What to simulate.
+    pub kind: CellKind,
+}
+
+impl Cell {
+    /// A transpose cell.
+    #[must_use]
+    pub fn transpose(
+        panel: impl Into<String>,
+        device: &str,
+        spec: &DeviceSpec,
+        variant: TransposeVariant,
+        cfg: TransposeConfig,
+    ) -> Self {
+        Self {
+            panel: panel.into(),
+            device: device.into(),
+            variant: variant.label().into(),
+            spec: spec.clone(),
+            kind: CellKind::Transpose { variant, cfg },
+        }
+    }
+
+    /// A blur cell.
+    #[must_use]
+    pub fn blur(
+        panel: impl Into<String>,
+        device: &str,
+        spec: &DeviceSpec,
+        variant: BlurVariant,
+        cfg: BlurConfig,
+    ) -> Self {
+        Self {
+            panel: panel.into(),
+            device: device.into(),
+            variant: variant.label().into(),
+            spec: spec.clone(),
+            kind: CellKind::Blur { variant, cfg },
+        }
+    }
+
+    /// A fused-blur cell.
+    #[must_use]
+    pub fn fused_blur(
+        panel: impl Into<String>,
+        device: &str,
+        spec: &DeviceSpec,
+        cfg: BlurConfig,
+        threads: u32,
+    ) -> Self {
+        Self {
+            panel: panel.into(),
+            device: device.into(),
+            variant: "Fused".into(),
+            spec: spec.clone(),
+            kind: CellKind::FusedBlur { cfg, threads },
+        }
+    }
+
+    /// A STREAM cell (`level` is a cache index, `None` for DRAM).
+    #[must_use]
+    pub fn stream(
+        panel: impl Into<String>,
+        device: &str,
+        spec: &DeviceSpec,
+        op: StreamOp,
+        level: Option<usize>,
+    ) -> Self {
+        Self {
+            panel: panel.into(),
+            device: device.into(),
+            variant: op.label().into(),
+            spec: spec.clone(),
+            kind: CellKind::Stream { op, level },
+        }
+    }
+
+    /// Key of the speedup ladder this cell belongs to.
+    fn ladder_key(&self) -> (String, String, &'static str) {
+        (self.panel.clone(), self.device.clone(), self.kind.kernel())
+    }
+}
+
+/// What one executed cell produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellOutcome {
+    /// A full simulator report (boxed: it dwarfs the other variants).
+    Report(Box<SimReport>),
+    /// Measured bandwidth in GB/s (STREAM cells).
+    Gbps(f64),
+    /// The workload exceeds the device's memory.
+    DoesNotFit,
+    /// The cell's simulation panicked; contains the message.
+    Panicked(String),
+}
+
+/// One executed cell, in matrix order.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// The cell that ran.
+    pub cell: Cell,
+    /// What it produced.
+    pub outcome: CellOutcome,
+    /// Host wall-clock seconds the simulation took (nondeterministic).
+    pub wall_seconds: f64,
+    /// Speedup over the ladder's first successful cell (1.0 for the
+    /// baseline itself); `None` when the ladder has no baseline or the
+    /// cell produced no report.
+    pub speedup_vs_naive: Option<f64>,
+    /// The §3.3 utilization metric, when a STREAM baseline was declared
+    /// for the device.
+    pub bandwidth_utilization: Option<f64>,
+}
+
+impl CellResult {
+    /// The simulator report, when the cell produced one.
+    #[must_use]
+    pub fn report(&self) -> Option<&SimReport> {
+        match &self.outcome {
+            CellOutcome::Report(r) => Some(r.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+/// A declared set of cells to execute.
+#[derive(Debug, Clone)]
+pub struct ExperimentMatrix {
+    figure: String,
+    cells: Vec<Cell>,
+    stream_baselines: Vec<(String, f64)>,
+}
+
+impl ExperimentMatrix {
+    /// An empty matrix for `figure` (the run log's figure name).
+    #[must_use]
+    pub fn new(figure: impl Into<String>) -> Self {
+        Self {
+            figure: figure.into(),
+            cells: Vec::new(),
+            stream_baselines: Vec::new(),
+        }
+    }
+
+    /// Append a cell; cells execute and report in push order.
+    pub fn push(&mut self, cell: Cell) -> &mut Self {
+        self.cells.push(cell);
+        self
+    }
+
+    /// Declare a device's STREAM DRAM bandwidth so the engine can attach
+    /// the §3.3 utilization metric to that device's report cells.
+    pub fn stream_baseline(&mut self, device: &str, gbps: f64) -> &mut Self {
+        self.stream_baselines.push((device.into(), gbps));
+        self
+    }
+
+    /// Number of cells declared so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether no cells have been declared.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+/// Executes experiment matrices on a pool of worker threads.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    jobs: u32,
+}
+
+impl Engine {
+    /// An engine with `jobs` worker threads.
+    #[must_use]
+    pub fn new(jobs: u32) -> Self {
+        Self { jobs: jobs.max(1) }
+    }
+
+    /// Worker threads this engine schedules cells onto.
+    #[must_use]
+    pub fn jobs(&self) -> u32 {
+        self.jobs
+    }
+
+    /// Execute every cell of the matrix and return results in cell
+    /// order, with speedups and utilizations attached.
+    ///
+    /// Cells are claimed dynamically by the pool's threads; a panicking
+    /// cell becomes [`CellOutcome::Panicked`] without affecting its
+    /// neighbours. The simulated outcome of each cell — and hence the
+    /// whole result apart from wall times — is independent of `jobs`.
+    #[must_use]
+    pub fn run(&self, matrix: &ExperimentMatrix) -> RunResults {
+        let pool = Pool::new(self.jobs);
+        let tasks: Vec<Task<'_, (CellOutcome, f64)>> = matrix
+            .cells
+            .iter()
+            .map(|cell| {
+                let b: Task<'_, (CellOutcome, f64)> = Box::new(move || {
+                    let start = Instant::now();
+                    let outcome = execute(cell);
+                    (outcome, start.elapsed().as_secs_f64())
+                });
+                b
+            })
+            .collect();
+
+        let mut results: Vec<CellResult> = pool
+            .run_tasks(tasks)
+            .into_iter()
+            .zip(matrix.cells.iter())
+            .map(|(result, cell)| {
+                let (outcome, wall_seconds) = match result {
+                    Ok((outcome, wall)) => (outcome, wall),
+                    Err(panic) => (CellOutcome::Panicked(panic.message), 0.0),
+                };
+                CellResult {
+                    cell: cell.clone(),
+                    outcome,
+                    wall_seconds,
+                    speedup_vs_naive: None,
+                    bandwidth_utilization: None,
+                }
+            })
+            .collect();
+
+        attach_speedups(&mut results);
+        attach_utilization(&mut results, &matrix.stream_baselines);
+
+        RunResults {
+            figure: matrix.figure.clone(),
+            jobs: self.jobs,
+            cells: results,
+        }
+    }
+
+    /// Measure the STREAM DRAM (Triad) baseline of each device, in
+    /// parallel. Returns `(label, gbps)` pairs in input order, ready for
+    /// [`ExperimentMatrix::stream_baseline`].
+    #[must_use]
+    pub fn stream_baselines(&self, devices: &[(String, DeviceSpec)]) -> Vec<(String, f64)> {
+        let pool = Pool::new(self.jobs);
+        let tasks: Vec<Task<'_, f64>> = devices
+            .iter()
+            .map(|(_, spec)| {
+                let b: Task<'_, f64> = Box::new(move || experiment::stream_dram_gbps(spec));
+                b
+            })
+            .collect();
+        pool.run_tasks(tasks)
+            .into_iter()
+            .zip(devices)
+            .map(|(r, (label, _))| (label.clone(), r.unwrap_or(0.0)))
+            .collect()
+    }
+}
+
+fn execute(cell: &Cell) -> CellOutcome {
+    match &cell.kind {
+        CellKind::Transpose { variant, cfg } => {
+            match experiment::simulate_transpose(&cell.spec, *variant, *cfg) {
+                Some(report) => CellOutcome::Report(Box::new(report)),
+                None => CellOutcome::DoesNotFit,
+            }
+        }
+        CellKind::Blur { variant, cfg } => CellOutcome::Report(Box::new(
+            experiment::simulate_blur(&cell.spec, *variant, *cfg),
+        )),
+        CellKind::FusedBlur { cfg, threads } => CellOutcome::Report(Box::new(
+            experiment::simulate_fused_blur(&cell.spec, *cfg, *threads),
+        )),
+        CellKind::Stream { op, level } => {
+            CellOutcome::Gbps(experiment::simulate_stream(&cell.spec, *op, *level))
+        }
+    }
+}
+
+/// For each run of consecutive cells sharing (panel, device, kernel),
+/// the first cell with a report is the baseline; every report cell of
+/// the run gets `baseline.seconds / cell.seconds`.
+fn attach_speedups(results: &mut [CellResult]) {
+    let mut i = 0;
+    while i < results.len() {
+        let key = results[i].cell.ladder_key();
+        let mut j = i;
+        while j < results.len() && results[j].cell.ladder_key() == key {
+            j += 1;
+        }
+        let baseline = results[i..j]
+            .iter()
+            .find_map(|r| r.report().map(|rep| rep.seconds));
+        if let Some(base) = baseline {
+            for r in &mut results[i..j] {
+                if let Some(rep_seconds) = r.report().map(|rep| rep.seconds) {
+                    r.speedup_vs_naive = Some(speedup(base, rep_seconds));
+                }
+            }
+        }
+        i = j;
+    }
+}
+
+fn attach_utilization(results: &mut [CellResult], baselines: &[(String, f64)]) {
+    if baselines.is_empty() {
+        return;
+    }
+    for r in results {
+        let Some(nominal) = r.cell.kind.nominal_bytes() else {
+            continue;
+        };
+        let Some(&(_, gbps)) = baselines.iter().find(|(d, _)| *d == r.cell.device) else {
+            continue;
+        };
+        if let CellOutcome::Report(report) = &r.outcome {
+            r.bandwidth_utilization = Some(report.bandwidth_utilization(nominal, gbps));
+        }
+    }
+}
+
+/// The outcome of one engine run, in matrix cell order.
+#[derive(Debug, Clone)]
+pub struct RunResults {
+    /// Figure name of the matrix.
+    pub figure: String,
+    /// Worker threads the run used.
+    pub jobs: u32,
+    /// Per-cell results, in declaration order.
+    pub cells: Vec<CellResult>,
+}
+
+impl RunResults {
+    /// Order-sensitive digest over every report cell's
+    /// [`SimReport::stats_digest`]: two runs of the same matrix must
+    /// produce the same value regardless of their job counts.
+    #[must_use]
+    pub fn combined_digest(&self) -> String {
+        let digests: Vec<String> = self
+            .cells
+            .iter()
+            .filter_map(|r| r.report().map(|rep| format!("{:016x}", rep.stats_digest())))
+            .collect();
+        telemetry::combine_digests(digests.iter().map(String::as_str))
+    }
+
+    /// The telemetry records of this run (header first).
+    #[must_use]
+    pub fn telemetry(&self) -> (RunHeader, Vec<CellRecord>) {
+        let header = RunHeader::new(&self.figure, self.jobs, self.cells.len() as u64);
+        let records = self
+            .cells
+            .iter()
+            .enumerate()
+            .map(|(index, r)| {
+                let (status, sim, gbps, error) = match &r.outcome {
+                    CellOutcome::Report(report) => (
+                        telemetry::status::OK,
+                        Some(SimRecord::from_report(report)),
+                        None,
+                        None,
+                    ),
+                    CellOutcome::Gbps(g) => (telemetry::status::OK, None, Some(*g), None),
+                    CellOutcome::DoesNotFit => (telemetry::status::DOES_NOT_FIT, None, None, None),
+                    CellOutcome::Panicked(msg) => {
+                        (telemetry::status::PANICKED, None, None, Some(msg.clone()))
+                    }
+                };
+                CellRecord {
+                    kind: "cell".into(),
+                    index: index as u64,
+                    panel: r.cell.panel.clone(),
+                    device: r.cell.device.clone(),
+                    kernel: r.cell.kind.kernel().into(),
+                    variant: r.cell.variant.clone(),
+                    status: status.into(),
+                    wall_seconds: r.wall_seconds,
+                    sim,
+                    gbps,
+                    speedup_vs_naive: r.speedup_vs_naive,
+                    bandwidth_utilization: r.bandwidth_utilization,
+                    error,
+                }
+            })
+            .collect();
+        (header, records)
+    }
+
+    /// Render the JSONL run log.
+    #[must_use]
+    pub fn render_run_log(&self) -> String {
+        let (header, records) = self.telemetry();
+        telemetry::render_run_log(&header, &records)
+    }
+
+    /// Write the JSONL run log to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_run_log(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        std::fs::write(path, self.render_run_log())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use membound_sim::Device;
+
+    fn small_matrix() -> ExperimentMatrix {
+        let mut matrix = ExperimentMatrix::new("test_matrix");
+        let spec = Device::MangoPiMqPro.spec();
+        let cfg = TransposeConfig::with_block(128, 16);
+        for variant in TransposeVariant::all() {
+            matrix.push(Cell::transpose(
+                "128",
+                Device::MangoPiMqPro.label(),
+                &spec,
+                variant,
+                cfg,
+            ));
+        }
+        matrix
+    }
+
+    #[test]
+    fn engine_runs_a_ladder_and_attaches_speedups() {
+        let results = Engine::new(2).run(&small_matrix());
+        assert_eq!(results.cells.len(), TransposeVariant::all().len());
+        assert_eq!(results.cells[0].speedup_vs_naive, Some(1.0));
+        for r in &results.cells {
+            assert!(r.report().is_some(), "{}: {:?}", r.cell.variant, r.outcome);
+            assert!(r.speedup_vs_naive.unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn does_not_fit_cells_are_reported_not_dropped() {
+        let mut matrix = ExperimentMatrix::new("test_overflow");
+        let spec = Device::MangoPiMqPro.spec();
+        matrix.push(Cell::transpose(
+            "16384",
+            Device::MangoPiMqPro.label(),
+            &spec,
+            TransposeVariant::Naive,
+            TransposeConfig::new(16384),
+        ));
+        let results = Engine::new(1).run(&matrix);
+        assert_eq!(results.cells[0].outcome, CellOutcome::DoesNotFit);
+        assert_eq!(results.cells[0].speedup_vs_naive, None);
+    }
+
+    #[test]
+    fn run_log_of_a_real_run_validates() {
+        let results = Engine::new(2).run(&small_matrix());
+        let text = results.render_run_log();
+        let summary = crate::telemetry::validate_run_log(&text).expect("valid");
+        assert_eq!(summary.cells, results.cells.len() as u64);
+        assert_eq!(summary.ok_cells, summary.cells);
+        assert_eq!(summary.combined_digest, results.combined_digest());
+    }
+
+    #[test]
+    fn utilization_attaches_when_a_baseline_is_declared() {
+        let mut matrix = small_matrix();
+        matrix.stream_baseline(Device::MangoPiMqPro.label(), 2.0);
+        let results = Engine::new(2).run(&matrix);
+        for r in &results.cells {
+            let util = r.bandwidth_utilization.expect("baseline declared");
+            assert!(util > 0.0);
+        }
+    }
+
+    #[test]
+    fn resolve_jobs_precedence() {
+        assert_eq!(resolve_jobs(Some(3)), 3);
+        assert_eq!(resolve_jobs(Some(0)), 1);
+        assert!(resolve_jobs(None) >= 1);
+    }
+}

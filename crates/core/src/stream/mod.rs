@@ -41,7 +41,12 @@ impl StreamOp {
     /// All four tests in STREAM's canonical order.
     #[must_use]
     pub fn all() -> [StreamOp; 4] {
-        [StreamOp::Copy, StreamOp::Scale, StreamOp::Add, StreamOp::Triad]
+        [
+            StreamOp::Copy,
+            StreamOp::Scale,
+            StreamOp::Add,
+            StreamOp::Triad,
+        ]
     }
 
     /// STREAM's display name.

@@ -73,7 +73,9 @@ fn run_pass(op: StreamOp, a: &mut [f64], b: &[f64], c: &[f64], d: f64, pool: &Po
         let mut rest = a;
         let mut offset = 0u64;
         for ranges in &plan {
-            let Some(range) = ranges.first() else { continue };
+            let Some(range) = ranges.first() else {
+                continue;
+            };
             debug_assert_eq!(ranges.len(), 1, "static plan: one range per thread");
             let len = (range.end - range.start) as usize;
             debug_assert_eq!(range.start, offset);

@@ -121,7 +121,10 @@ mod tests {
         t.trace_pass(&mut buf, 0, 32);
         // Pattern: load b, store a, load b, store a, ...
         let kinds: Vec<bool> = buf.iter().map(|a| a.kind.is_write()).collect();
-        assert_eq!(kinds, vec![false, true, false, true, false, true, false, true]);
+        assert_eq!(
+            kinds,
+            vec![false, true, false, true, false, true, false, true]
+        );
     }
 
     #[test]
@@ -154,7 +157,11 @@ mod tests {
         assert_eq!(StreamTrace::new(StreamOp::Copy, 8).iter_cost().loads, 1);
         assert_eq!(StreamTrace::new(StreamOp::Triad, 8).iter_cost().loads, 2);
         assert_eq!(StreamTrace::new(StreamOp::Triad, 8).iter_cost().flops, 2);
-        assert!(StreamTrace::new(StreamOp::Scale, 8).iter_cost().vectorizable);
+        assert!(
+            StreamTrace::new(StreamOp::Scale, 8)
+                .iter_cost()
+                .vectorizable
+        );
     }
 
     #[test]

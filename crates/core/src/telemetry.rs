@@ -1,0 +1,411 @@
+//! Structured run telemetry: the versioned JSONL run-log schema.
+//!
+//! Every engine run (see [`crate::runner`]) emits one run log under
+//! `results/`: a JSON Lines file whose first line is a [`RunHeader`] and
+//! whose remaining lines are one [`CellRecord`] per experiment cell, in
+//! deterministic cell order. The schema is versioned
+//! ([`SCHEMA_VERSION`]); consumers must reject logs whose header carries
+//! a different version rather than guess.
+//!
+//! [`validate_run_log`] is the machine-checkable contract: CI runs a
+//! small figure end-to-end and feeds the emitted log through it.
+
+use serde::{Deserialize, Serialize};
+
+/// Version of the run-log schema emitted by this crate.
+///
+/// Bump on any change to the field set or meaning of [`RunHeader`] /
+/// [`CellRecord`]; the validator rejects mismatched logs.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// First line of a run log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunHeader {
+    /// Always `"header"`; distinguishes the line kind.
+    pub kind: String,
+    /// The run-log schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Which figure/experiment produced the log (e.g. `"fig2_transpose"`).
+    pub figure: String,
+    /// Worker threads the engine ran with.
+    pub jobs: u32,
+    /// Number of cell lines that follow.
+    pub cells: u64,
+    /// Wall-clock timestamp of the run, milliseconds since the Unix epoch.
+    pub created_unix_ms: u64,
+}
+
+impl RunHeader {
+    /// Header for a run of `figure` with `jobs` workers and `cells` cells,
+    /// stamped with the current wall clock.
+    #[must_use]
+    pub fn new(figure: &str, jobs: u32, cells: u64) -> Self {
+        let created_unix_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        Self {
+            kind: "header".into(),
+            schema_version: SCHEMA_VERSION,
+            figure: figure.into(),
+            jobs,
+            cells,
+            created_unix_ms,
+        }
+    }
+}
+
+/// Per-cache-level counters of one cell (summed over simulated cores).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheLevelRecord {
+    /// Demand hits.
+    pub hits: u64,
+    /// Demand misses.
+    pub misses: u64,
+    /// `hits / (hits + misses)`, 0 when the level saw no accesses.
+    pub hit_rate: f64,
+}
+
+impl CacheLevelRecord {
+    /// Build from raw counters.
+    #[must_use]
+    pub fn new(hits: u64, misses: u64) -> Self {
+        let total = hits + misses;
+        let hit_rate = if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        };
+        Self {
+            hits,
+            misses,
+            hit_rate,
+        }
+    }
+}
+
+/// The simulated quantities of one successfully executed cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimRecord {
+    /// Simulated threads (= cores used).
+    pub threads: u32,
+    /// Simulated duration in core cycles.
+    pub cycles: f64,
+    /// Simulated duration in seconds.
+    pub seconds: f64,
+    /// Per-level cache counters, L1 first.
+    pub cache_levels: Vec<CacheLevelRecord>,
+    /// First-level data-TLB counters.
+    pub dtlb: CacheLevelRecord,
+    /// Bytes read from DRAM.
+    pub dram_bytes_read: u64,
+    /// Bytes written to DRAM.
+    pub dram_bytes_written: u64,
+    /// DRAM line-read transactions.
+    pub dram_reads: u64,
+    /// DRAM line-write transactions.
+    pub dram_writes: u64,
+    /// [`membound_sim::SimReport::stats_digest`] as 16 hex digits: the
+    /// value the serial-vs-parallel equivalence checks compare.
+    pub stats_digest: String,
+}
+
+impl SimRecord {
+    /// Flatten a full simulator report into the telemetry schema.
+    #[must_use]
+    pub fn from_report(report: &membound_sim::SimReport) -> Self {
+        Self {
+            threads: report.threads,
+            cycles: report.cycles,
+            seconds: report.seconds,
+            cache_levels: report
+                .cache_stats
+                .iter()
+                .map(|l| CacheLevelRecord::new(l.hits, l.misses))
+                .collect(),
+            dtlb: CacheLevelRecord::new(report.dtlb_stats.hits, report.dtlb_stats.misses),
+            dram_bytes_read: report.dram.bytes_read,
+            dram_bytes_written: report.dram.bytes_written,
+            dram_reads: report.dram.reads,
+            dram_writes: report.dram.writes,
+            stats_digest: format!("{:016x}", report.stats_digest()),
+        }
+    }
+}
+
+/// Execution status of one cell.
+pub mod status {
+    /// The cell ran and produced a result.
+    pub const OK: &str = "ok";
+    /// The workload exceeds the device's memory; deliberately skipped.
+    pub const DOES_NOT_FIT: &str = "does_not_fit";
+    /// The cell's closure panicked; `error` carries the message.
+    pub const PANICKED: &str = "panicked";
+}
+
+/// One experiment cell: a kernel variant on a device at one workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellRecord {
+    /// Always `"cell"`.
+    pub kind: String,
+    /// Position in the experiment matrix; cell lines appear in index
+    /// order regardless of the parallel execution order.
+    pub index: u64,
+    /// Workload panel label (e.g. the matrix size `"2048"`).
+    pub panel: String,
+    /// Device label.
+    pub device: String,
+    /// Kernel family: `"transpose"`, `"blur"`, `"fused_blur"`, `"stream"`.
+    pub kernel: String,
+    /// Variant label within the kernel's ladder.
+    pub variant: String,
+    /// One of the [`status`] constants.
+    pub status: String,
+    /// Host wall-clock seconds this cell's simulation took to *run*
+    /// (engine scheduling overhead excluded; nondeterministic).
+    pub wall_seconds: f64,
+    /// Simulated quantities; present iff the cell produced a report.
+    pub sim: Option<SimRecord>,
+    /// Measured bandwidth in GB/s, for STREAM cells.
+    pub gbps: Option<f64>,
+    /// Speedup over the first cell of the same (panel, device, kernel)
+    /// ladder, when the ladder has a baseline.
+    pub speedup_vs_naive: Option<f64>,
+    /// The §3.3 relative bandwidth-utilization metric, when the matrix
+    /// carried a STREAM baseline for the device.
+    pub bandwidth_utilization: Option<f64>,
+    /// Panic message for `status == "panicked"`.
+    pub error: Option<String>,
+}
+
+/// Summary returned by a successful [`validate_run_log`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunLogSummary {
+    /// Figure named in the header.
+    pub figure: String,
+    /// Worker threads of the run.
+    pub jobs: u32,
+    /// Total cells.
+    pub cells: u64,
+    /// Cells with `status == "ok"`.
+    pub ok_cells: u64,
+    /// FNV-1a combination of every cell's `stats_digest`, as 16 hex
+    /// digits — compare across runs to prove simulated-stat identity.
+    pub combined_digest: String,
+}
+
+/// Combine per-cell digest strings into one order-sensitive digest.
+#[must_use]
+pub fn combine_digests<'a>(digests: impl Iterator<Item = &'a str>) -> String {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for d in digests {
+        for b in d.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    format!("{h:016x}")
+}
+
+/// Render a header plus cell records as JSONL text.
+#[must_use]
+pub fn render_run_log(header: &RunHeader, cells: &[CellRecord]) -> String {
+    let mut out = String::new();
+    out.push_str(&serde_json::to_string(header).expect("header serializes"));
+    out.push('\n');
+    for cell in cells {
+        out.push_str(&serde_json::to_string(cell).expect("cell serializes"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Validate a run log against schema version [`SCHEMA_VERSION`].
+///
+/// Checks: a parseable header line with `kind == "header"` and the
+/// current schema version; every following line parses as a cell with
+/// `kind == "cell"`, a known status, indices in exact `0..cells` order;
+/// `status == "ok"` cells carry a result (`sim` or `gbps`) and panicked
+/// cells an error message.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violation.
+pub fn validate_run_log(text: &str) -> Result<RunLogSummary, String> {
+    let mut lines = text.lines().enumerate();
+    let (_, first) = lines.next().ok_or("empty run log")?;
+    let header: RunHeader =
+        serde_json::from_str(first).map_err(|e| format!("line 1: bad header: {e:?}"))?;
+    if header.kind != "header" {
+        return Err(format!(
+            "line 1: kind {:?}, expected \"header\"",
+            header.kind
+        ));
+    }
+    if header.schema_version != SCHEMA_VERSION {
+        return Err(format!(
+            "schema version {} unsupported (validator speaks {SCHEMA_VERSION})",
+            header.schema_version
+        ));
+    }
+
+    let mut ok_cells = 0u64;
+    let mut seen = 0u64;
+    let mut digests: Vec<String> = Vec::new();
+    for (lineno, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let n = lineno + 1;
+        let cell: CellRecord =
+            serde_json::from_str(line).map_err(|e| format!("line {n}: bad cell: {e:?}"))?;
+        if cell.kind != "cell" {
+            return Err(format!("line {n}: kind {:?}, expected \"cell\"", cell.kind));
+        }
+        if cell.index != seen {
+            return Err(format!(
+                "line {n}: index {} out of order (expected {seen})",
+                cell.index
+            ));
+        }
+        match cell.status.as_str() {
+            status::OK => {
+                if cell.sim.is_none() && cell.gbps.is_none() {
+                    return Err(format!("line {n}: ok cell carries no sim data or gbps"));
+                }
+                ok_cells += 1;
+            }
+            status::DOES_NOT_FIT => {}
+            status::PANICKED => {
+                if cell.error.is_none() {
+                    return Err(format!("line {n}: panicked cell has no error message"));
+                }
+            }
+            other => return Err(format!("line {n}: unknown status {other:?}")),
+        }
+        if let Some(sim) = &cell.sim {
+            if sim.stats_digest.len() != 16
+                || !sim.stats_digest.bytes().all(|b| b.is_ascii_hexdigit())
+            {
+                return Err(format!(
+                    "line {n}: stats_digest {:?} is not 16 hex digits",
+                    sim.stats_digest
+                ));
+            }
+            digests.push(sim.stats_digest.clone());
+        }
+        seen += 1;
+    }
+    if seen != header.cells {
+        return Err(format!(
+            "header promises {} cells but the log has {seen}",
+            header.cells
+        ));
+    }
+    Ok(RunLogSummary {
+        figure: header.figure,
+        jobs: header.jobs,
+        cells: seen,
+        ok_cells,
+        combined_digest: combine_digests(digests.iter().map(String::as_str)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_cell(index: u64) -> CellRecord {
+        CellRecord {
+            kind: "cell".into(),
+            index,
+            panel: "256".into(),
+            device: "Test".into(),
+            kernel: "transpose".into(),
+            variant: "Naive".into(),
+            status: status::OK.into(),
+            wall_seconds: 0.25,
+            sim: Some(SimRecord {
+                threads: 1,
+                cycles: 1000.0,
+                seconds: 1e-6,
+                cache_levels: vec![CacheLevelRecord::new(90, 10)],
+                dtlb: CacheLevelRecord::new(99, 1),
+                dram_bytes_read: 640,
+                dram_bytes_written: 320,
+                dram_reads: 10,
+                dram_writes: 5,
+                stats_digest: "00deadbeef001234".into(),
+            }),
+            gbps: None,
+            speedup_vs_naive: Some(1.0),
+            bandwidth_utilization: None,
+            error: None,
+        }
+    }
+
+    #[test]
+    fn round_trip_and_validate() {
+        let header = RunHeader::new("fig_test", 4, 2);
+        let cells = vec![sample_cell(0), sample_cell(1)];
+        let text = render_run_log(&header, &cells);
+        let summary = validate_run_log(&text).expect("valid log");
+        assert_eq!(summary.figure, "fig_test");
+        assert_eq!(summary.jobs, 4);
+        assert_eq!(summary.cells, 2);
+        assert_eq!(summary.ok_cells, 2);
+    }
+
+    #[test]
+    fn wrong_schema_version_rejected() {
+        let mut header = RunHeader::new("fig_test", 1, 0);
+        header.schema_version = SCHEMA_VERSION + 1;
+        let text = render_run_log(&header, &[]);
+        let err = validate_run_log(&text).unwrap_err();
+        assert!(err.contains("schema version"), "{err}");
+    }
+
+    #[test]
+    fn out_of_order_cells_rejected() {
+        let header = RunHeader::new("fig_test", 1, 2);
+        let text = render_run_log(&header, &[sample_cell(1), sample_cell(0)]);
+        let err = validate_run_log(&text).unwrap_err();
+        assert!(err.contains("out of order"), "{err}");
+    }
+
+    #[test]
+    fn cell_count_mismatch_rejected() {
+        let header = RunHeader::new("fig_test", 1, 3);
+        let text = render_run_log(&header, &[sample_cell(0)]);
+        let err = validate_run_log(&text).unwrap_err();
+        assert!(err.contains("promises"), "{err}");
+    }
+
+    #[test]
+    fn ok_cell_without_result_rejected() {
+        let header = RunHeader::new("fig_test", 1, 1);
+        let mut cell = sample_cell(0);
+        cell.sim = None;
+        let text = render_run_log(&header, &[cell]);
+        let err = validate_run_log(&text).unwrap_err();
+        assert!(err.contains("no sim data"), "{err}");
+    }
+
+    #[test]
+    fn panicked_cell_needs_a_message() {
+        let header = RunHeader::new("fig_test", 1, 1);
+        let mut cell = sample_cell(0);
+        cell.status = status::PANICKED.into();
+        cell.sim = None;
+        let text = render_run_log(&header, &[cell]);
+        let err = validate_run_log(&text).unwrap_err();
+        assert!(err.contains("no error message"), "{err}");
+    }
+
+    #[test]
+    fn combined_digest_is_order_sensitive() {
+        let a = combine_digests(["aaaa", "bbbb"].into_iter());
+        let b = combine_digests(["bbbb", "aaaa"].into_iter());
+        assert_ne!(a, b);
+    }
+}

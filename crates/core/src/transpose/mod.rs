@@ -145,7 +145,13 @@ mod tests {
         let labels: Vec<&str> = TransposeVariant::all().iter().map(|v| v.label()).collect();
         assert_eq!(
             labels,
-            vec!["Naive", "Parallel", "Blocking", "Manual_blocking", "Dynamic"]
+            vec![
+                "Naive",
+                "Parallel",
+                "Blocking",
+                "Manual_blocking",
+                "Dynamic"
+            ]
         );
     }
 

@@ -260,10 +260,7 @@ mod tests {
     fn manual_blocking_emits_buffer_traffic() {
         let cfg = TransposeConfig::with_block(32, 8);
         let buf = trace_all(TransposeVariant::ManualBlocking, cfg);
-        let buffer_probes = buf
-            .iter()
-            .filter(|a| a.addr >= BUF_REGION)
-            .count();
+        let buffer_probes = buf.iter().filter(|a| a.addr >= BUF_REGION).count();
         assert!(buffer_probes > 0, "staged variant must touch its buffer");
     }
 
@@ -314,9 +311,7 @@ mod tests {
     fn weights_are_triangular() {
         let cfg = TransposeConfig::new(16);
         let t = TransposeTrace::new(cfg);
-        assert!(
-            t.weight(TransposeVariant::Parallel, 0) > t.weight(TransposeVariant::Parallel, 15)
-        );
+        assert!(t.weight(TransposeVariant::Parallel, 0) > t.weight(TransposeVariant::Parallel, 15));
     }
 
     #[test]

@@ -43,8 +43,7 @@ pub fn test_pattern(height: usize, width: usize, channels: usize) -> Image {
                 let y = i as f32 / height as f32;
                 let x = j as f32 / width as f32;
                 let phase = (c as f32 + 1.0) * 2.4;
-                let v = 0.35 + 0.3 * y + 0.2 * x
-                    + 0.15 * (phase * (x * 12.0 + y * 7.0)).sin();
+                let v = 0.35 + 0.3 * y + 0.2 * x + 0.15 * (phase * (x * 12.0 + y * 7.0)).sin();
                 img.set(i, j, c, v.clamp(0.0, 1.0));
             }
         }
@@ -85,7 +84,14 @@ pub fn noise(height: usize, width: usize, channels: usize, seed: u64) -> Image {
 ///
 /// Panics if the coordinate is out of bounds.
 #[must_use]
-pub fn impulse(height: usize, width: usize, channels: usize, row: usize, col: usize, channel: usize) -> Image {
+pub fn impulse(
+    height: usize,
+    width: usize,
+    channels: usize,
+    row: usize,
+    col: usize,
+    channel: usize,
+) -> Image {
     let mut img = Image::zeros(height, width, channels);
     img.set(row, col, channel, 1.0);
     img

@@ -20,9 +20,14 @@ impl fmt::Display for ImageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ImageError::ShapeMismatch { expected, actual } => {
-                write!(f, "pixel buffer length {actual} does not match shape (expected {expected})")
+                write!(
+                    f,
+                    "pixel buffer length {actual} does not match shape (expected {expected})"
+                )
             }
-            ImageError::InvalidDimensions => write!(f, "image dimensions must be nonzero with 1 or 3 channels"),
+            ImageError::InvalidDimensions => {
+                write!(f, "image dimensions must be nonzero with 1 or 3 channels")
+            }
         }
     }
 }

@@ -41,7 +41,9 @@
 mod pool;
 mod schedule;
 mod shared;
+mod tasks;
 
 pub use pool::Pool;
 pub use schedule::Schedule;
 pub use shared::SharedSlice;
+pub use tasks::{Task, TaskPanic};

@@ -140,7 +140,11 @@ mod tests {
             hits[i as usize].fetch_add(1, Ordering::Relaxed);
         });
         for (i, h) in hits.iter().enumerate() {
-            assert_eq!(h.load(Ordering::Relaxed), 1, "iteration {i} under {schedule:?}");
+            assert_eq!(
+                h.load(Ordering::Relaxed),
+                1,
+                "iteration {i} under {schedule:?}"
+            );
         }
     }
 

@@ -78,7 +78,9 @@ impl Schedule {
                 let mut lo = 0;
                 while lo < total {
                     let remaining = total - lo;
-                    let c = (remaining / (2 * u64::from(threads))).max(min).min(remaining);
+                    let c = (remaining / (2 * u64::from(threads)))
+                        .max(min)
+                        .min(remaining);
                     out.push(lo..lo + c);
                     lo += c;
                 }

@@ -1,0 +1,173 @@
+//! Heterogeneous task execution over the pool.
+//!
+//! [`Pool::parallel_for`](crate::Pool::parallel_for) handles uniform
+//! loops; the experiment engine instead has a *matrix* of unrelated
+//! simulations of wildly different costs. [`Pool::run_tasks`] takes a
+//! vector of boxed closures, feeds them to the pool's threads through an
+//! atomic work queue (longest-first order is the caller's job), catches
+//! panics per task, and slots every result back into the task's original
+//! index — so the output order is deterministic and independent of the
+//! thread count or scheduling jitter.
+
+use crate::pool::Pool;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A unit of work for [`Pool::run_tasks`]: any one-shot closure.
+pub type Task<'a, T> = Box<dyn FnOnce() -> T + Send + 'a>;
+
+/// A task panicked; holds the panic payload rendered as a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// The panic message (`"<non-string panic payload>"` when the payload
+    /// was not a string).
+    pub message: String,
+}
+
+impl std::fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for TaskPanic {}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+impl Pool {
+    /// Execute every task on the pool's threads and return their results
+    /// in task order.
+    ///
+    /// Tasks are claimed from an atomic queue, so the *assignment* of
+    /// tasks to threads is timing-dependent, but each result lands in the
+    /// slot of the task that produced it: the returned vector is
+    /// identical for any thread count. A panicking task yields
+    /// `Err(TaskPanic)` in its slot without poisoning its worker — the
+    /// thread moves on to the next task — or the other results.
+    pub fn run_tasks<'a, T: Send + 'a>(
+        &self,
+        tasks: Vec<Task<'a, T>>,
+    ) -> Vec<Result<T, TaskPanic>> {
+        let n = tasks.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        // Hand out tasks through per-slot mutexes: FnOnce must be *moved*
+        // out, and a Mutex<Option<..>> is the cheapest sound way to do
+        // that from &self across scoped threads.
+        let queue: Vec<Mutex<Option<Task<'a, T>>>> =
+            tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let slots: Vec<Mutex<Option<Result<T, TaskPanic>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+
+        self.run(|_tid| loop {
+            let k = next.fetch_add(1, Ordering::Relaxed);
+            if k >= n {
+                break;
+            }
+            let task = queue[k]
+                .lock()
+                .expect("task queue poisoned")
+                .take()
+                .expect("task claimed twice");
+            let outcome = catch_unwind(AssertUnwindSafe(task)).map_err(|payload| TaskPanic {
+                message: panic_message(payload),
+            });
+            *slots[k].lock().expect("result slot poisoned") = Some(outcome);
+        });
+
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(k, slot)| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .unwrap_or_else(|| panic!("task {k} produced no result"))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        let pool = Pool::new(4);
+        let tasks: Vec<Task<'_, usize>> = (0..64)
+            .map(|i| {
+                let b: Task<'_, usize> = Box::new(move || {
+                    // Vary the cost so the claim order scrambles.
+                    std::thread::sleep(std::time::Duration::from_micros((64 - i) as u64));
+                    i * i
+                });
+                b
+            })
+            .collect();
+        let results = pool.run_tasks(tasks);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(*r.as_ref().unwrap(), i * i);
+        }
+    }
+
+    #[test]
+    fn a_panicking_task_is_contained() {
+        let pool = Pool::new(3);
+        let tasks: Vec<Task<'_, u32>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("boom {}", 42)),
+            Box::new(|| 3),
+        ];
+        let results = pool.run_tasks(tasks);
+        assert_eq!(results[0], Ok(1));
+        assert_eq!(results[1].as_ref().unwrap_err().message, "boom 42",);
+        assert_eq!(results[2], Ok(3));
+    }
+
+    #[test]
+    fn single_thread_matches_multi_thread() {
+        let build = || -> Vec<Task<'static, u64>> {
+            (0..33)
+                .map(|i| {
+                    let b: Task<'static, u64> = Box::new(move || i * 7 + 1);
+                    b
+                })
+                .collect()
+        };
+        let serial = Pool::new(1).run_tasks(build());
+        let parallel = Pool::new(8).run_tasks(build());
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_task_list_is_a_no_op() {
+        let results: Vec<Result<u8, _>> = Pool::new(2).run_tasks(Vec::new());
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn tasks_may_borrow_from_the_caller() {
+        let data: Vec<u64> = (0..100).collect();
+        let pool = Pool::new(4);
+        let tasks: Vec<Task<'_, u64>> = data
+            .chunks(10)
+            .map(|chunk| {
+                let b: Task<'_, u64> = Box::new(move || chunk.iter().sum());
+                b
+            })
+            .collect();
+        let total: u64 = pool.run_tasks(tasks).into_iter().map(Result::unwrap).sum();
+        assert_eq!(total, 99 * 100 / 2);
+    }
+}

@@ -124,9 +124,7 @@ impl AssocArray {
         let set = self.set_of(key);
         let base = set * self.ways;
         (0..self.ways)
-            .find(|&w| {
-                self.flags[base + w] & FLAG_VALID != 0 && self.tags[base + w] == key
-            })
+            .find(|&w| self.flags[base + w] & FLAG_VALID != 0 && self.tags[base + w] == key)
             .map(|w| w as u32)
     }
 
@@ -316,7 +314,10 @@ mod tests {
     fn insert_of_present_key_ors_flags() {
         let mut a = AssocArray::new(2, 2, ReplacementPolicy::Lru, 1);
         a.insert(5, 0);
-        assert!(matches!(a.insert(5, FLAG_DIRTY), InsertOutcome::AlreadyPresent(_)));
+        assert!(matches!(
+            a.insert(5, FLAG_DIRTY),
+            InsertOutcome::AlreadyPresent(_)
+        ));
         let w = a.peek(5).unwrap();
         assert_ne!(a.flags_of(a.set_of(5), w) & FLAG_DIRTY, 0);
         assert_eq!(a.valid_entries(), 1);

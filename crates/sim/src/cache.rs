@@ -453,9 +453,8 @@ mod tests {
 
     #[test]
     fn random_policy_cache_stays_within_capacity() {
-        let mut c = Cache::new(
-            CacheConfig::new("r", 4096, 4, 64).policy(ReplacementPolicy::Random),
-        );
+        let mut c =
+            Cache::new(CacheConfig::new("r", 4096, 4, 64).policy(ReplacementPolicy::Random));
         for l in 0..10_000u64 {
             c.access(l % 97, true);
             c.fill(l % 97, true, false);

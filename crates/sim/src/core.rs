@@ -38,7 +38,10 @@ impl CoreConfig {
     /// is zero.
     #[must_use]
     pub fn new(name: &str, freq_ghz: f64, issue_width: u32, vector_bytes: u32, mlp: f64) -> Self {
-        assert!(freq_ghz.is_finite() && freq_ghz > 0.0, "frequency must be positive");
+        assert!(
+            freq_ghz.is_finite() && freq_ghz > 0.0,
+            "frequency must be positive"
+        );
         assert!(issue_width > 0, "issue width must be nonzero");
         assert!(mlp.is_finite() && mlp >= 1.0, "MLP must be at least 1");
         Self {
@@ -118,7 +121,10 @@ mod tests {
     #[test]
     fn vectorization_reduces_passes() {
         // 8-byte elements in a 32-byte vector: 4 iterations per pass.
-        let cost = IterCost::new(2, 2).mem(2, 1).elem_bytes(8).vectorizable(true);
+        let cost = IterCost::new(2, 2)
+            .mem(2, 1)
+            .elem_bytes(8)
+            .vectorizable(true);
         let c = vector_core();
         assert_eq!(c.vector_factor(&cost), 4);
         // 100 iters -> 25 passes x 7 slots / 4-wide = 43.75 cycles.
@@ -159,7 +165,7 @@ mod tests {
     fn partial_final_vector_pass_rounds_up() {
         let cost = IterCost::new(0, 1).elem_bytes(8).vectorizable(true);
         let c = vector_core(); // vf = 4
-        // 10 iters -> 3 passes.
+                               // 10 iters -> 3 passes.
         assert!((c.issue_cycles(&cost, 10) - 3.0 / 4.0).abs() < 1e-9);
     }
 

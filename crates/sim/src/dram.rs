@@ -54,7 +54,10 @@ impl DramConfig {
     /// Panics if either quantity is not positive/finite or `channels` is 0.
     #[must_use]
     pub fn from_gbps(latency_cycles: u32, gbps: f64, freq_ghz: f64, channels: u32) -> Self {
-        assert!(freq_ghz.is_finite() && freq_ghz > 0.0, "frequency must be positive");
+        assert!(
+            freq_ghz.is_finite() && freq_ghz > 0.0,
+            "frequency must be positive"
+        );
         Self::new(latency_cycles, gbps / freq_ghz, channels)
     }
 

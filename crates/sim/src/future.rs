@@ -149,11 +149,9 @@ mod tests {
     fn projections_are_labelled_as_such() {
         assert!(visionfive2().name.contains("projection"));
         assert!(riscv_server_class().name.contains("projection"));
-        assert!(
-            with_vectorization(Device::MangoPiMqPro.spec(), 64)
-                .name
-                .contains("vectorized")
-        );
+        assert!(with_vectorization(Device::MangoPiMqPro.spec(), 64)
+            .name
+            .contains("vectorized"));
     }
 
     #[test]

@@ -412,7 +412,10 @@ mod tests {
         let before = p.cur.cycles.stall_cycles;
         let dram_before = p.cur.dram.bytes_read;
         p.load(0, 8);
-        assert_eq!(p.cur.dram.bytes_read, dram_before, "L2 hit: no DRAM traffic");
+        assert_eq!(
+            p.cur.dram.bytes_read, dram_before,
+            "L2 hit: no DRAM traffic"
+        );
         assert!((p.cur.cycles.stall_cycles - before - 12.0).abs() < 1e-9);
     }
 

@@ -163,6 +163,101 @@ impl SimReport {
             self.achieved_gbps(nominal_bytes) / stream_gbps
         }
     }
+
+    /// An order-insensitive FNV-1a digest over every *simulated* quantity
+    /// in the report (cycles, per-level counters, DRAM traffic, phase
+    /// structure) — everything except host wall time, which the report
+    /// does not carry.
+    ///
+    /// The simulator is deterministic, so two runs of the same cell must
+    /// produce the same digest no matter how the experiment engine
+    /// scheduled them; the engine's serial-vs-parallel equivalence checks
+    /// compare exactly this value. Floats are hashed by bit pattern
+    /// (`f64::to_bits`), so even ULP-level divergence is caught.
+    #[must_use]
+    pub fn stats_digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.str(&self.device);
+        h.u64(u64::from(self.threads));
+        h.f64(self.cycles);
+        h.f64(self.seconds);
+        h.u64(self.phases.len() as u64);
+        for phase in &self.phases {
+            h.f64(phase.cycles);
+            match phase.bottleneck {
+                Bottleneck::Core => h.u64(0),
+                Bottleneck::SharedCache { level } => {
+                    h.u64(1);
+                    h.u64(level as u64);
+                }
+                Bottleneck::Dram => h.u64(2),
+            }
+            h.f64(phase.slowest_core_cycles);
+            h.f64(phase.dram_occupancy_cycles);
+        }
+        h.u64(self.cache_stats.len() as u64);
+        for level in &self.cache_stats {
+            h.level(level);
+        }
+        h.level(&self.dtlb_stats);
+        match &self.l2tlb_stats {
+            Some(l2) => {
+                h.u64(1);
+                h.level(l2);
+            }
+            None => h.u64(0),
+        }
+        h.u64(self.dram.bytes_read);
+        h.u64(self.dram.bytes_written);
+        h.u64(self.dram.reads);
+        h.u64(self.dram.writes);
+        h.f64(self.core_cycles_total.issue_cycles);
+        h.f64(self.core_cycles_total.stall_cycles);
+        h.finish()
+    }
+}
+
+/// Minimal FNV-1a accumulator for [`SimReport::stats_digest`].
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn u64(&mut self, v: u64) {
+        for byte in v.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        for byte in s.bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn level(&mut self, level: &LevelStats) {
+        self.u64(level.hits);
+        self.u64(level.misses);
+        self.u64(level.evictions);
+        self.u64(level.writebacks);
+        self.u64(level.prefetches_issued);
+        self.u64(level.prefetch_hits);
+        self.u64(level.fill_bytes);
+        self.u64(level.writeback_bytes);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
 /// A device instance ready to run simulations.
@@ -333,7 +428,8 @@ impl Machine {
         // Aggregate statistics.
         let mut cache_stats = vec![LevelStats::default(); n_levels];
         let mut dtlb_stats = LevelStats::default();
-        let mut l2tlb_stats: Option<LevelStats> = self.spec.l2tlb.as_ref().map(|_| LevelStats::default());
+        let mut l2tlb_stats: Option<LevelStats> =
+            self.spec.l2tlb.as_ref().map(|_| LevelStats::default());
         let mut dram = DramStats::default();
         let mut core_cycles_total = CycleBreakdown::default();
         for o in &outcomes {
@@ -385,6 +481,22 @@ mod tests {
         assert!(r.seconds > 0.0);
         assert_eq!(r.phases.len(), 1);
         assert!(r.dram.bytes_read >= 4096 * 64);
+    }
+
+    #[test]
+    fn stats_digest_is_deterministic_and_sensitive() {
+        let m = Machine::new(Device::MangoPiMqPro.spec());
+        let a = m.simulate(1, |_, s| sweep(s, 0, 4096));
+        let b = m.simulate(1, |_, s| sweep(s, 0, 4096));
+        assert_eq!(a.stats_digest(), b.stats_digest());
+
+        let mut tweaked = a.clone();
+        tweaked.dram.bytes_read += 1;
+        assert_ne!(a.stats_digest(), tweaked.stats_digest());
+
+        let mut tweaked = a.clone();
+        tweaked.cycles += 1.0;
+        assert_ne!(a.stats_digest(), tweaked.stats_digest());
     }
 
     #[test]
@@ -530,8 +642,14 @@ mod tests {
 
     #[test]
     fn ablation_helpers_strip_features() {
-        let spec = Device::StarFiveVisionFive.spec().without_prefetchers().without_tlb();
-        assert!(spec.prefetchers.iter().all(|p| *p == PrefetcherConfig::None));
+        let spec = Device::StarFiveVisionFive
+            .spec()
+            .without_prefetchers()
+            .without_tlb();
+        assert!(spec
+            .prefetchers
+            .iter()
+            .all(|p| *p == PrefetcherConfig::None));
         assert!(!spec.tlb_enabled);
     }
 }

@@ -305,7 +305,10 @@ mod tests {
         });
         let preds = drive(&mut p, &[0, 1, 2, 4, 6]);
         assert_eq!(preds[2], vec![3, 4]); // unit stride confirmed
-        assert!(preds[3].is_empty(), "stride changed 1->2: confidence resets");
+        assert!(
+            preds[3].is_empty(),
+            "stride changed 1->2: confidence resets"
+        );
         assert_eq!(preds[4], vec![8, 10], "new stride confirmed");
     }
 

@@ -105,7 +105,10 @@ impl MemAccess {
     /// Panics if `line_size` is not a power of two.
     #[must_use]
     pub fn line(&self, line_size: u64) -> u64 {
-        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
         self.addr >> line_size.trailing_zeros()
     }
 
@@ -118,7 +121,10 @@ impl MemAccess {
     ///
     /// Panics if `line_size` is not a power of two.
     pub fn lines(&self, line_size: u64) -> impl Iterator<Item = u64> {
-        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let shift = line_size.trailing_zeros();
         let first = self.addr >> shift;
         let last = if self.size == 0 {

@@ -118,7 +118,8 @@ impl TraceBuffer {
             return Err(CodecError::BadMagic);
         }
         let mut count_bytes = [0u8; 8];
-        r.read_exact(&mut count_bytes).map_err(|_| CodecError::Truncated)?;
+        r.read_exact(&mut count_bytes)
+            .map_err(|_| CodecError::Truncated)?;
         let count = u64::from_le_bytes(count_bytes);
         let mut buf = TraceBuffer::with_capacity(count.min(1 << 24) as usize);
         let mut rec = [0u8; 13];

@@ -175,7 +175,10 @@ mod tests {
 
     #[test]
     fn trace_all_covers_every_iteration() {
-        let p = Fill { base: 0x1000, n: 16 };
+        let p = Fill {
+            base: 0x1000,
+            n: 16,
+        };
         let mut buf = TraceBuffer::new();
         p.trace_all(&mut buf);
         assert_eq!(buf.len(), 16);

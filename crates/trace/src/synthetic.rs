@@ -63,7 +63,8 @@ impl StridedSweep {
     /// Address of the `i`-th access.
     #[must_use]
     pub fn addr_of(&self, i: u64) -> u64 {
-        self.base.wrapping_add_signed(self.stride_bytes.wrapping_mul(i as i64))
+        self.base
+            .wrapping_add_signed(self.stride_bytes.wrapping_mul(i as i64))
     }
 }
 
@@ -167,9 +168,15 @@ impl TracedProgram for RandomAccess {
         for _ in lo..hi {
             state = Self::xorshift(state);
             let slot = state % slots;
-            sink.load(self.base + slot * u64::from(self.access_size), self.access_size);
+            sink.load(
+                self.base + slot * u64::from(self.access_size),
+                self.access_size,
+            );
         }
-        sink.compute(IterCost::new(3, 0).mem(1, 0).elem_bytes(self.access_size), hi - lo);
+        sink.compute(
+            IterCost::new(3, 0).mem(1, 0).elem_bytes(self.access_size),
+            hi - lo,
+        );
     }
 
     fn footprint(&self) -> WorkloadFootprint {

@@ -55,10 +55,7 @@ fn main() {
                 "  {:12} {:>10.1} ms  speedup {:>6}  BW-utilization {:.3}",
                 variant.label(),
                 report.seconds * 1e3,
-                format!(
-                    "x{:.1}",
-                    metrics::speedup(naive_seconds, report.seconds)
-                ),
+                format!("x{:.1}", metrics::speedup(naive_seconds, report.seconds)),
                 metrics::bandwidth_utilization(cfg.nominal_bytes(), report.seconds, stream),
             );
         }

@@ -55,8 +55,14 @@ fn next_gen_riscv() -> DeviceSpec {
 fn main() {
     let candidate = next_gen_riscv();
     let contenders: Vec<(String, DeviceSpec)> = vec![
-        (Device::MangoPiMqPro.label().into(), Device::MangoPiMqPro.spec()),
-        (Device::RaspberryPi4.label().into(), Device::RaspberryPi4.spec()),
+        (
+            Device::MangoPiMqPro.label().into(),
+            Device::MangoPiMqPro.spec(),
+        ),
+        (
+            Device::RaspberryPi4.label().into(),
+            Device::RaspberryPi4.spec(),
+        ),
         (candidate.name.clone(), candidate),
     ];
 

@@ -1,0 +1,66 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The workspace only uses `crossbeam::utils::CachePadded`; this shim
+//! provides exactly that, with the same 128-byte alignment crossbeam
+//! picks on x86-64 and aarch64 (two 64-byte lines, covering adjacent-line
+//! prefetchers).
+
+#![warn(missing_docs)]
+
+/// Utilities (mirrors `crossbeam::utils`).
+pub mod utils {
+    use std::ops::{Deref, DerefMut};
+
+    /// Pads and aligns a value to 128 bytes so neighbouring values never
+    /// share (adjacent-prefetched) cache lines.
+    #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Pad `value`.
+        pub const fn new(value: T) -> Self {
+            Self { value }
+        }
+
+        /// Unwrap the padded value.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        fn from(value: T) -> Self {
+            Self::new(value)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::CachePadded;
+
+        #[test]
+        fn alignment_and_access() {
+            let p = CachePadded::new(7u64);
+            assert_eq!(*p, 7);
+            assert_eq!(std::mem::align_of::<CachePadded<u64>>(), 128);
+            assert_eq!(p.into_inner(), 7);
+        }
+    }
+}

@@ -1,0 +1,473 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build container has no access to crates.io, so the workspace ships
+//! this minimal replacement instead of the real serde. It implements a
+//! *value-tree* data model rather than serde's visitor architecture: a
+//! [`Serialize`] type renders itself into a [`Value`], a [`Deserialize`]
+//! type reconstructs itself from one. The `serde_json` shim next door
+//! turns values into JSON text and back.
+//!
+//! The public surface mirrors exactly what this workspace uses: the two
+//! traits, the `derive` feature re-exporting `#[derive(Serialize,
+//! Deserialize)]`, and implementations for the primitive/std types that
+//! appear in report and telemetry structs. Enum representation follows
+//! serde's externally-tagged default, so the emitted JSON matches what
+//! the real serde would produce for these types.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// A parsed/serializable data tree (the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Negative integers.
+    Int(i64),
+    /// Non-negative integers.
+    UInt(u64),
+    /// Floating-point numbers.
+    Float(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, insertion-ordered.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// View as an object (ordered key/value pairs).
+    #[must_use]
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// View as an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// View as a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `u64`.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(u) => Some(u),
+            Value::Int(i) => u64::try_from(i).ok(),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `i64`.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(i) => Some(i),
+            Value::UInt(u) => i64::try_from(u).ok(),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `f64` (accepts integers; `null` maps to NaN, the
+    /// writer's encoding of non-finite floats).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Float(f) => Some(f),
+            Value::Int(i) => Some(i as f64),
+            Value::UInt(u) => Some(u as f64),
+            Value::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Look up a key in an object value.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// An error with the given message.
+    #[must_use]
+    pub fn custom(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// "expected X" error.
+    #[must_use]
+    pub fn expected(what: &str) -> Self {
+        Self::custom(format!("expected {what}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can render itself into a [`Value`].
+pub trait Serialize {
+    /// Render into the data model.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can reconstruct itself from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Reconstruct from the data model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the value's shape does not match the type.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Derive-internal helper: extract and deserialize a struct field.
+///
+/// A missing key is passed through as `null`, so `Option` fields tolerate
+/// absence exactly like serde's default.
+///
+/// # Errors
+///
+/// Propagates the field type's deserialization error, annotated with the
+/// field name.
+pub fn field<T: Deserialize>(obj: &[(String, Value)], key: &str) -> Result<T, Error> {
+    let v = obj
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .unwrap_or(&Value::Null);
+    T::from_value(v).map_err(|e| Error::custom(format!("field `{key}`: {e}")))
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let u = value
+                    .as_u64()
+                    .ok_or_else(|| Error::expected("unsigned integer"))?;
+                <$t>::try_from(u).map_err(|_| Error::expected("integer in range"))
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::UInt(*self as u64)
+    }
+}
+
+impl Deserialize for usize {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let u = value
+            .as_u64()
+            .ok_or_else(|| Error::expected("unsigned integer"))?;
+        usize::try_from(u).map_err(|_| Error::expected("integer in range"))
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = i64::from(*self);
+                if v >= 0 {
+                    Value::UInt(v as u64)
+                } else {
+                    Value::Int(v)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let i = value
+                    .as_i64()
+                    .ok_or_else(|| Error::expected("integer"))?;
+                <$t>::try_from(i).map_err(|_| Error::expected("integer in range"))
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        (*self as i64).to_value()
+    }
+}
+
+impl Deserialize for isize {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let i = value.as_i64().ok_or_else(|| Error::expected("integer"))?;
+        isize::try_from(i).map_err(|_| Error::expected("integer in range"))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.as_bool().ok_or_else(|| Error::expected("boolean"))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.as_f64().ok_or_else(|| Error::expected("number"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.as_f64().ok_or_else(|| Error::expected("number"))? as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::expected("string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        if value.is_null() {
+            Ok(None)
+        } else {
+            T::from_value(value).map(Some)
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::expected("array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Default + Copy, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let arr = value.as_array().ok_or_else(|| Error::expected("array"))?;
+        if arr.len() != N {
+            return Err(Error::custom(format!(
+                "expected array of length {N}, got {}",
+                arr.len()
+            )));
+        }
+        let mut out = [T::default(); N];
+        for (slot, v) in out.iter_mut().zip(arr) {
+            *slot = T::from_value(v)?;
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let arr = value.as_array().ok_or_else(|| Error::expected("array"))?;
+        if arr.len() != 2 {
+            return Err(Error::expected("2-element array"));
+        }
+        Ok((A::from_value(&arr[0])?, B::from_value(&arr[1])?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let arr = value.as_array().ok_or_else(|| Error::expected("array"))?;
+        if arr.len() != 3 {
+            return Err(Error::expected("3-element array"));
+        }
+        Ok((
+            A::from_value(&arr[0])?,
+            B::from_value(&arr[1])?,
+            C::from_value(&arr[2])?,
+        ))
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_absence_and_null_map_to_none() {
+        let obj = vec![("present".to_owned(), Value::UInt(3))];
+        let present: Option<u64> = field(&obj, "present").unwrap();
+        let absent: Option<u64> = field(&obj, "absent").unwrap();
+        assert_eq!(present, Some(3));
+        assert_eq!(absent, None);
+    }
+
+    #[test]
+    fn integer_range_checks() {
+        assert!(u8::from_value(&Value::UInt(300)).is_err());
+        assert_eq!(u8::from_value(&Value::UInt(255)).unwrap(), 255);
+        assert_eq!(i32::from_value(&Value::Int(-5)).unwrap(), -5);
+    }
+
+    #[test]
+    fn fixed_arrays_round_trip() {
+        let a = [1.0_f64, 2.0, 3.0, 4.0];
+        let v = a.to_value();
+        let back: [f64; 4] = Deserialize::from_value(&v).unwrap();
+        assert_eq!(a, back);
+    }
+}

@@ -1,0 +1,350 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde shim.
+//!
+//! The build environment has no crates.io access, so `syn`/`quote` are
+//! unavailable; the input item is parsed directly from the
+//! `proc_macro::TokenStream`. The parser handles exactly the shapes this
+//! workspace derives on:
+//!
+//! * structs with named fields (any visibility, attributes skipped),
+//! * enums with unit, tuple and struct variants (externally tagged, like
+//!   serde's default representation).
+//!
+//! Generics are not supported — none of the derived types use them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field list of a braced item.
+type Fields = Vec<String>;
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Fields),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Shape {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Skip attributes (`#[...]`, including doc comments) starting at `i`.
+fn skip_attrs(toks: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < toks.len() {
+        match (&toks[i], &toks[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, ...) starting at `i`.
+fn skip_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = toks.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Parse the named fields of a brace-delimited body: `attrs vis name: Type,`.
+/// Types are skipped with angle-bracket depth tracking, so `Vec<(A, B)>`
+/// and `Option<Vec<T>>` work.
+fn parse_named_fields(body: &TokenStream) -> Fields {
+    let toks: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs(&toks, i);
+        i = skip_vis(&toks, i);
+        let TokenTree::Ident(name) = &toks[i] else {
+            panic!("expected field name, found {:?}", toks[i]);
+        };
+        fields.push(name.to_string());
+        i += 1;
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field name, found {other:?}"),
+        }
+        // Skip the type: everything up to a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Count the fields of a paren-delimited tuple body (top-level commas).
+fn count_tuple_fields(body: &TokenStream) -> usize {
+    let toks: Vec<TokenTree> = body.clone().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0i32;
+    let mut trailing_comma = false;
+    for (k, t) in toks.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if k + 1 == toks.len() {
+                    trailing_comma = true;
+                } else {
+                    count += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let _ = trailing_comma;
+    count
+}
+
+fn parse_variants(body: &TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &toks[i] else {
+            panic!("expected variant name, found {:?}", toks[i]);
+        };
+        let name = name.to_string();
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(&g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional discriminant (`= expr`) and the trailing comma.
+        while i < toks.len() {
+            if let TokenTree::Punct(p) = &toks[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Shape {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&toks, 0);
+    i = skip_vis(&toks, i);
+    let kw = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected item name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        assert!(
+            p.as_char() != '<',
+            "serde shim derive does not support generic types ({name})"
+        );
+    }
+    let body = match &toks[i] {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("expected braced body for {name}, found {other:?}"),
+    };
+    match kw.as_str() {
+        "struct" => Shape::Struct {
+            name,
+            fields: parse_named_fields(&body),
+        },
+        "enum" => Shape::Enum {
+            name,
+            variants: parse_variants(&body),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    }
+}
+
+/// Derive `serde::Serialize` (value-tree model) for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Shape::Struct { name, fields } => {
+            let mut pushes = String::new();
+            for f in &fields {
+                pushes.push_str(&format!(
+                    "fields.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(fields)\n\
+                 }}\n}}\n"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in &variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let pat = binders.join(", ");
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({pat}) => ::serde::Value::Object(vec![(\"{vname}\".to_string(), ::serde::Value::Array(vec![{}]))]),\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let pat = fields.join(", ");
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))")
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {pat} }} => ::serde::Value::Object(vec![(\"{vname}\".to_string(), ::serde::Value::Object(vec![{}]))]),\n",
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}}}\n\
+                 }}\n}}\n"
+            )
+        }
+    };
+    out.parse().expect("derived Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize` (value-tree model) for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Shape::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in &fields {
+                inits.push_str(&format!("{f}: ::serde::field(obj, \"{f}\")?,\n"));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 let obj = value.as_object().ok_or_else(|| ::serde::Error::expected(\"map for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})\n\
+                 }}\n}}\n"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in &variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => return ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_value(&arr[{k}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let arr = inner.as_array().ok_or_else(|| ::serde::Error::expected(\"array for {name}::{vname}\"))?;\n\
+                             if arr.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::expected(\"{n} fields for {name}::{vname}\")); }}\n\
+                             ::std::result::Result::Ok({name}::{vname}({}))\n\
+                             }}\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::field(obj, \"{f}\")?,"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let obj = inner.as_object().ok_or_else(|| ::serde::Error::expected(\"map for {name}::{vname}\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vname} {{ {} }})\n\
+                             }}\n",
+                            items.join(" ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 if let ::std::option::Option::Some(s) = value.as_str() {{\n\
+                 match s {{\n{unit_arms}\
+                 _ => return ::std::result::Result::Err(::serde::Error::custom(format!(\"unknown {name} variant `{{s}}`\"))),\n\
+                 }}\n}}\n\
+                 let obj = value.as_object().ok_or_else(|| ::serde::Error::expected(\"string or map for {name}\"))?;\n\
+                 if obj.len() != 1 {{ return ::std::result::Result::Err(::serde::Error::expected(\"single-key map for {name}\")); }}\n\
+                 let (tag, inner) = &obj[0];\n\
+                 match tag.as_str() {{\n{tagged_arms}\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(format!(\"unknown {name} variant `{{tag}}`\"))),\n\
+                 }}\n\
+                 }}\n}}\n"
+            )
+        }
+    };
+    out.parse().expect("derived Deserialize impl parses")
+}

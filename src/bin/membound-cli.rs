@@ -42,6 +42,7 @@ fn usage() -> ! {
          \x20 native-stream                   STREAM on this host\n\
          \x20 native-transpose                transposition on this host\n\
          \x20 native-blur                     Gaussian blur on this host\n\
+         \x20 validate-runlog <path>          check a JSONL run log against the telemetry schema\n\
          common options:\n\
          \x20 --device mangopi|starfive|rpi4|xeon|all   (default: all)\n\
          \x20 --variant <ladder variant>|all            (default: all)\n\
@@ -183,9 +184,7 @@ fn cmd_devices(opts: &Opts) {
 fn cmd_stream(opts: &Opts) {
     let level_filter = opts.get("level").unwrap_or("all").to_lowercase();
     let op_filter = opts.get("op").unwrap_or("all").to_lowercase();
-    let mut table = TextTable::new(
-        ["device", "level", "op", "GB/s"].map(String::from).to_vec(),
-    );
+    let mut table = TextTable::new(["device", "level", "op", "GB/s"].map(String::from).to_vec());
     for device in opts.devices() {
         let spec = device.spec();
         if level_filter == "all" && op_filter == "all" {
@@ -423,9 +422,51 @@ fn cmd_native_blur(opts: &Opts) {
     );
 }
 
+/// `validate-runlog <path>`: parse and schema-check an engine run log,
+/// printing its summary (figure, cells, combined digest). Exits nonzero
+/// on any violation, which is what the CI figure-smoke job keys on.
+fn cmd_validate_runlog(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("validate-runlog requires a path to a .jsonl run log");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match membound::core::telemetry::validate_run_log(&text) {
+        Ok(summary) => {
+            println!(
+                "{path}: valid run log (schema v{})\n\
+                 \x20 figure:  {}\n\
+                 \x20 jobs:    {}\n\
+                 \x20 cells:   {} ({} ok)\n\
+                 \x20 digest:  {}",
+                membound::core::telemetry::SCHEMA_VERSION,
+                summary.figure,
+                summary.jobs,
+                summary.cells,
+                summary.ok_cells,
+                summary.combined_digest,
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{path}: INVALID run log: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
+    if cmd == "validate-runlog" {
+        return cmd_validate_runlog(&args[1..]);
+    }
     let opts = Opts::parse(&args[1..]);
     match cmd.as_str() {
         "devices" => cmd_devices(&opts),
@@ -459,19 +500,28 @@ mod tests {
 
     #[test]
     fn device_aliases_resolve() {
-        assert_eq!(opts(&["--device", "mango"]).devices(), vec![Device::MangoPiMqPro]);
+        assert_eq!(
+            opts(&["--device", "mango"]).devices(),
+            vec![Device::MangoPiMqPro]
+        );
         assert_eq!(
             opts(&["--device", "jh7100"]).devices(),
             vec![Device::StarFiveVisionFive]
         );
-        assert_eq!(opts(&["--device", "arm"]).devices(), vec![Device::RaspberryPi4]);
+        assert_eq!(
+            opts(&["--device", "arm"]).devices(),
+            vec![Device::RaspberryPi4]
+        );
         assert_eq!(opts(&[]).devices().len(), 4, "default sweeps all devices");
     }
 
     #[test]
     fn variant_selectors_resolve() {
         let o = opts(&["--variant", "manual"]);
-        assert_eq!(transpose_variants(&o), vec![TransposeVariant::ManualBlocking]);
+        assert_eq!(
+            transpose_variants(&o),
+            vec![TransposeVariant::ManualBlocking]
+        );
         let o = opts(&["--variant", "1d"]);
         assert_eq!(blur_variants(&o), vec![BlurVariant::OneDimKernels]);
         let o = opts(&[]);

@@ -74,7 +74,8 @@ fn fig2_ladder_improves_everywhere() {
     for device in Device::all() {
         let ladder = transpose_ladder(device, 1024).expect("1024^2 fits everywhere");
         let naive = ladder[&TransposeVariant::Naive];
-        let best = ladder[&TransposeVariant::Dynamic].min(ladder[&TransposeVariant::ManualBlocking]);
+        let best =
+            ladder[&TransposeVariant::Dynamic].min(ladder[&TransposeVariant::ManualBlocking]);
         assert!(
             naive / best > 3.0,
             "{device}: best optimized variant should be >3x naive, got {:.1}",
@@ -164,7 +165,10 @@ fn fig6_blur_ladder_shape() {
         assert!(unit < naive, "{device}: unit-stride should help");
         assert!(naive / unit < 3.0, "{device}: ...but modestly");
         assert!(onedim < unit, "{device}: separability should help");
-        assert!(memory < onedim, "{device}: memory pass restructure should help");
+        assert!(
+            memory < onedim,
+            "{device}: memory pass restructure should help"
+        );
         assert!(parallel <= memory * 1.02, "{device}: parallel never loses");
     }
 }
@@ -209,9 +213,8 @@ fn fig7_blur_utilization_shape() {
     for device in Device::all() {
         let spec = device.spec();
         let stream = stream_dram_gbps(&spec);
-        let util = |v| {
-            simulate_blur(&spec, v, cfg).bandwidth_utilization(cfg.nominal_bytes(), stream)
-        };
+        let util =
+            |v| simulate_blur(&spec, v, cfg).bandwidth_utilization(cfg.nominal_bytes(), stream);
         let onedim = util(BlurVariant::OneDimKernels);
         let memory = util(BlurVariant::Memory);
         assert!(memory > onedim, "{device}: {memory} vs {onedim}");
