@@ -1,0 +1,124 @@
+//! Criterion benchmarks of the simulation hot path: the repeat-line
+//! short-circuit and the batched `access_range` probe loop in
+//! `CorePipeline`, measured against reference machines built with
+//! [`Machine::without_fastpath`]. These are the paper's actual access
+//! patterns — unit-stride sweeps and same-line repeat touches — so the
+//! `fast/` vs `reference/` pairs put a number on what the fast path buys.
+//!
+//! Run with `cargo bench -p membound-bench --bench sim_hotpath`; the CI
+//! `bench-smoke` job runs the same suite in `--test` mode. The committed
+//! `BENCH_sim.json` at the repo root records the wall-clock baseline the
+//! CI regression gate compares against.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use membound_core::experiment::simulate_transpose;
+use membound_core::{TransposeConfig, TransposeVariant};
+use membound_sim::{Device, Machine};
+use membound_trace::TraceSink;
+
+/// Same-line repeat touches: the pattern the armed-line short-circuit
+/// turns into bare counter increments.
+fn replay_repeat_touch(machine: &Machine, touches: u64) {
+    machine.simulate(1, |_tid, sink| {
+        for i in 0..touches / 8 {
+            let line = (i % 4) * 64;
+            for e in 0..8 {
+                sink.load(line + e * 8, 8);
+            }
+        }
+    });
+}
+
+/// Unit-stride per-element sweep: every line is touched 8 times by
+/// consecutive 8-byte references before moving on.
+fn replay_unit_stride(machine: &Machine, elems: u64) {
+    machine.simulate(1, |_tid, sink| {
+        for i in 0..elems {
+            sink.load(i * 8, 8);
+        }
+    });
+}
+
+/// The same sweep expressed as bulk ranges: one `access_range` call per
+/// 4 KiB page, exercising the per-page translation amortization.
+fn replay_ranges(machine: &Machine, bytes: u64) {
+    machine.simulate(1, |_tid, sink| {
+        for page in 0..bytes / 4096 {
+            sink.load_range(page * 4096, 4096);
+        }
+    });
+}
+
+fn fast_and_reference(device: Device) -> [(&'static str, Machine); 2] {
+    [
+        ("fast", Machine::new(device.spec())),
+        ("reference", Machine::new(device.spec()).without_fastpath()),
+    ]
+}
+
+fn bench_repeat_touch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath_repeat_touch");
+    let touches = 400_000u64;
+    group.throughput(Throughput::Elements(touches));
+    for device in [Device::MangoPiMqPro, Device::IntelXeon4310T] {
+        for (mode, machine) in fast_and_reference(device) {
+            let id = format!("{mode}/{}", device.label());
+            group.bench_with_input(BenchmarkId::from_parameter(id), &machine, |b, machine| {
+                b.iter(|| replay_repeat_touch(machine, touches));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_unit_stride(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath_unit_stride");
+    let elems = 400_000u64;
+    group.throughput(Throughput::Elements(elems));
+    for device in [Device::MangoPiMqPro, Device::IntelXeon4310T] {
+        for (mode, machine) in fast_and_reference(device) {
+            let id = format!("{mode}/{}", device.label());
+            group.bench_with_input(BenchmarkId::from_parameter(id), &machine, |b, machine| {
+                b.iter(|| replay_unit_stride(machine, elems));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_range_vs_elements(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath_range_sweep");
+    let bytes = 8u64 << 20;
+    group.throughput(Throughput::Bytes(bytes));
+    for device in [Device::MangoPiMqPro, Device::IntelXeon4310T] {
+        for (mode, machine) in fast_and_reference(device) {
+            let id = format!("{mode}/{}", device.label());
+            group.bench_with_input(BenchmarkId::from_parameter(id), &machine, |b, machine| {
+                b.iter(|| replay_ranges(machine, bytes));
+            });
+        }
+    }
+    group.finish();
+}
+
+/// The fig2 hot loop at reduced scale: serial naive transpose on the
+/// MangoPi preset — the cell the CI wall-time gate times at full scale.
+fn bench_fig2_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath_fig2_transpose_512");
+    group.sample_size(10);
+    let cfg = TransposeConfig::new(512);
+    let spec = Device::MangoPiMqPro.spec();
+    group.bench_function(BenchmarkId::from_parameter("mango/naive"), |b| {
+        b.iter(|| simulate_transpose(&spec, TransposeVariant::Naive, cfg));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_repeat_touch,
+    bench_unit_stride,
+    bench_range_vs_elements,
+    bench_fig2_cell
+);
+criterion_main!(benches);

@@ -46,6 +46,11 @@ pub fn resolve_jobs(cli: Option<u32>) -> u32 {
         if let Ok(n) = v.trim().parse::<u32>() {
             return n.max(1);
         }
+        eprintln!(
+            "warning: ignoring unparseable MEMBOUND_JOBS value {:?}; \
+             falling back to available parallelism",
+            v
+        );
     }
     std::thread::available_parallelism()
         .map(|n| n.get() as u32)
@@ -364,6 +369,11 @@ impl Engine {
     /// Measure the STREAM DRAM (Triad) baseline of each device, in
     /// parallel. Returns `(label, gbps)` pairs in input order, ready for
     /// [`ExperimentMatrix::stream_baseline`].
+    ///
+    /// A device whose baseline task panics is *dropped from the result*
+    /// with a stderr warning rather than reported as `0.0` GB/s — a zero
+    /// baseline would silently zero every utilization figure on that
+    /// device, which is far harder to notice than a missing bar.
     #[must_use]
     pub fn stream_baselines(&self, devices: &[(String, DeviceSpec)]) -> Vec<(String, f64)> {
         let pool = Pool::new(self.jobs);
@@ -377,7 +387,16 @@ impl Engine {
         pool.run_tasks(tasks)
             .into_iter()
             .zip(devices)
-            .map(|(r, (label, _))| (label.clone(), r.unwrap_or(0.0)))
+            .filter_map(|(r, (label, _))| match r {
+                Ok(gbps) => Some((label.clone(), gbps)),
+                Err(panic) => {
+                    eprintln!(
+                        "warning: STREAM baseline for device {label:?} panicked \
+                         ({panic:?}); skipping its bandwidth-utilization metric"
+                    );
+                    None
+                }
+            })
             .collect()
     }
 }

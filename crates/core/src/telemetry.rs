@@ -9,6 +9,14 @@
 //!
 //! [`validate_run_log`] is the machine-checkable contract: CI runs a
 //! small figure end-to-end and feeds the emitted log through it.
+//!
+//! Both digests in the schema — each cell's `stats_digest` and the
+//! summary's `combined_digest` — are *order-sensitive* FNV-1a hashes
+//! (not order-insensitive checksums): reordering the hashed fields or
+//! the cell lines changes the value. That is why cell lines must appear
+//! in deterministic index order no matter how the engine parallelises
+//! execution, and it is what lets a byte-equal `combined_digest` prove
+//! two runs simulated identical statistics cell for cell.
 
 use serde::{Deserialize, Serialize};
 

@@ -117,8 +117,11 @@ impl TransposeTrace {
             sink.load(col_addr, 8);
             let row_line = row_addr / LINE;
             if row_line != last_row_line {
-                sink.load(row_addr, 8);
-                sink.store(row_addr, 8);
+                // Element-aligned 8-byte ranges never straddle a line, so
+                // these emit exactly the probes `load`/`store` would while
+                // letting simulating sinks take their batched-range path.
+                sink.load_range(row_addr, 8);
+                sink.store_range(row_addr, 8);
                 last_row_line = row_line;
             }
             sink.store(col_addr, 8);

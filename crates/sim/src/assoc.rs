@@ -11,6 +11,14 @@
 
 use crate::replacement::ReplacementPolicy;
 
+/// Tag value marking an empty way. Real keys are line addresses
+/// (`addr >> 6`, at most 2^58) or virtual page numbers (at most 2^52),
+/// so the all-ones pattern can never collide with one; scans can then
+/// test occupancy and tag match with a single comparison instead of a
+/// flags load plus a tag load per way. `FLAG_VALID` is still maintained
+/// for the metadata accessors.
+pub(crate) const TAG_INVALID: u64 = u64::MAX;
+
 /// Per-entry flag bits.
 pub(crate) const FLAG_VALID: u8 = 1;
 /// Entry has been written and differs from the level below.
@@ -55,6 +63,18 @@ pub(crate) struct AssocArray {
     hint: Vec<u32>,
 }
 
+/// A fill slot remembered from a miss scan: where a subsequent
+/// [`AssocArray::install_reserved`] of the same key will land. The slot
+/// stays valid only while no other operation touches the array in
+/// between (the page-walk window for TLBs, the probe-to-fill window of
+/// one demand reference for caches).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Reserved {
+    way: u32,
+    /// The slot holds a valid entry that installation will evict.
+    evict: bool,
+}
+
 impl AssocArray {
     pub(crate) fn new(sets: usize, ways: usize, policy: ReplacementPolicy, rng_seed: u64) -> Self {
         assert!(sets > 0 && ways > 0, "need at least one set and way");
@@ -69,7 +89,7 @@ impl AssocArray {
         Self {
             sets,
             ways,
-            tags: vec![0; n],
+            tags: vec![TAG_INVALID; n],
             flags: vec![0; n],
             policy,
             stamps: if stamped { vec![0; n] } else { Vec::new() },
@@ -86,7 +106,13 @@ impl AssocArray {
 
     #[inline]
     pub(crate) fn set_of(&self, key: u64) -> usize {
-        (key % self.sets as u64) as usize
+        // Power-of-two set counts (every shipped config) index with a
+        // mask; the modulo fallback keeps arbitrary geometries working.
+        if self.sets.is_power_of_two() {
+            (key & (self.sets as u64 - 1)) as usize
+        } else {
+            (key % self.sets as u64) as usize
+        }
     }
 
     #[inline]
@@ -102,13 +128,13 @@ impl AssocArray {
         // Fast path: the way that hit last time.
         let h = self.hint[set];
         let hi = base + h as usize;
-        if (h as usize) < self.ways && self.flags[hi] & FLAG_VALID != 0 && self.tags[hi] == key {
+        if (h as usize) < self.ways && self.tags[hi] == key {
             self.touch(set, h);
             return Some(h);
         }
         for w in 0..self.ways {
             let i = base + w;
-            if self.flags[i] & FLAG_VALID != 0 && self.tags[i] == key {
+            if self.tags[i] == key {
                 let w = w as u32;
                 self.hint[set] = w;
                 self.touch(set, w);
@@ -118,13 +144,168 @@ impl AssocArray {
         None
     }
 
+    /// One-pass demand access: locate `key` (hint first), touch recency,
+    /// consume the prefetched flag, and optionally mark dirty — the fused
+    /// equivalent of `lookup` + `flags_of` + flag updates,
+    /// reading each entry's metadata once. Returns `(way, was_prefetched)`
+    /// on a hit.
+    #[inline]
+    pub(crate) fn access_demand(&mut self, key: u64, set_dirty: bool) -> Option<(u32, bool)> {
+        let set = self.set_of(key);
+        let base = set * self.ways;
+        let h = self.hint[set];
+        let hi = base + h as usize;
+        let way = if (h as usize) < self.ways && self.tags[hi] == key {
+            h
+        } else {
+            let mut found = None;
+            for w in 0..self.ways {
+                let i = base + w;
+                if self.tags[i] == key {
+                    found = Some(w as u32);
+                    break;
+                }
+            }
+            let w = found?;
+            self.hint[set] = w;
+            w
+        };
+        let i = base + way as usize;
+        let was_prefetched = self.flags[i] & FLAG_PREFETCHED != 0;
+        let mut f = self.flags[i] & !FLAG_PREFETCHED;
+        if set_dirty {
+            f |= FLAG_DIRTY;
+        }
+        self.flags[i] = f;
+        self.touch(set, way);
+        Some((way, was_prefetched))
+    }
+
+    /// [`AssocArray::access_demand`] fused with victim preselection: on a
+    /// miss, additionally return the slot a subsequent
+    /// [`AssocArray::install_reserved`] of the same key will fill — the
+    /// single miss scan serves both the probe and the fill. `None` is
+    /// returned for policies whose victim choice must happen at fill time
+    /// (random replacement advances its RNG when evicting); callers then
+    /// fall back to a plain [`AssocArray::insert`].
+    #[inline]
+    pub(crate) fn access_demand_reserving(
+        &mut self,
+        key: u64,
+        set_dirty: bool,
+    ) -> (Option<(u32, bool)>, Option<Reserved>) {
+        let set = self.set_of(key);
+        let base = set * self.ways;
+        let h = self.hint[set];
+        let hi = base + h as usize;
+        let mut way = None;
+        if (h as usize) < self.ways && self.tags[hi] == key {
+            way = Some(h);
+        }
+        let mut first_invalid = None;
+        let mut oldest = 0u32;
+        let mut oldest_stamp = u64::MAX;
+        if way.is_none() {
+            let stamped = matches!(
+                self.policy,
+                ReplacementPolicy::Lru | ReplacementPolicy::Fifo
+            );
+            for w in 0..self.ways {
+                let i = base + w;
+                if self.tags[i] == TAG_INVALID {
+                    if first_invalid.is_none() {
+                        first_invalid = Some(w as u32);
+                    }
+                } else if self.tags[i] == key {
+                    let w = w as u32;
+                    self.hint[set] = w;
+                    way = Some(w);
+                    break;
+                } else if stamped && self.stamps[i] < oldest_stamp {
+                    oldest_stamp = self.stamps[i];
+                    oldest = w as u32;
+                }
+            }
+            if way.is_none() {
+                let reserved = if matches!(
+                    self.policy,
+                    ReplacementPolicy::Lru | ReplacementPolicy::Fifo
+                ) {
+                    Some(match first_invalid {
+                        Some(w) => Reserved {
+                            way: w,
+                            evict: false,
+                        },
+                        None => Reserved {
+                            way: oldest,
+                            evict: true,
+                        },
+                    })
+                } else {
+                    None
+                };
+                return (None, reserved);
+            }
+        }
+        let way = way.unwrap();
+        let i = base + way as usize;
+        let was_prefetched = self.flags[i] & FLAG_PREFETCHED != 0;
+        let mut f = self.flags[i] & !FLAG_PREFETCHED;
+        if set_dirty {
+            f |= FLAG_DIRTY;
+        }
+        self.flags[i] = f;
+        self.touch(set, way);
+        (Some((way, was_prefetched)), None)
+    }
+
+    /// Install `key` at a slot remembered by
+    /// [`AssocArray::access_demand_reserving`] for the *same* key with no
+    /// intervening operations on this array. Behaves exactly like
+    /// [`AssocArray::insert`] (which would rediscover the same slot), with
+    /// the redundant scan skipped; the key is known absent, so the
+    /// `AlreadyPresent` arm cannot apply.
+    #[inline]
+    pub(crate) fn install_reserved(
+        &mut self,
+        key: u64,
+        new_flags: u8,
+        r: Reserved,
+    ) -> InsertOutcome {
+        debug_assert!(
+            self.peek(key).is_none(),
+            "reserved install of a present key"
+        );
+        let set = self.set_of(key);
+        let i = self.idx(set, r.way);
+        if !r.evict {
+            debug_assert_eq!(self.tags[i], TAG_INVALID);
+            self.tags[i] = key;
+            self.flags[i] = FLAG_VALID | new_flags;
+            self.stamp_fill(set, r.way);
+            self.hint[set] = r.way;
+            return InsertOutcome::Installed(r.way);
+        }
+        let old_tag = self.tags[i];
+        let old_flags = self.flags[i];
+        self.tags[i] = key;
+        self.flags[i] = FLAG_VALID | new_flags;
+        self.stamp_fill(set, r.way);
+        self.hint[set] = r.way;
+        InsertOutcome::Evicted {
+            way: r.way,
+            old_tag,
+            old_flags,
+        }
+    }
+
     /// Find `key` without changing any state.
     #[inline]
     pub(crate) fn peek(&self, key: u64) -> Option<u32> {
         let set = self.set_of(key);
         let base = set * self.ways;
         (0..self.ways)
-            .find(|&w| self.flags[base + w] & FLAG_VALID != 0 && self.tags[base + w] == key)
+            .find(|&w| self.tags[base + w] == key)
             .map(|w| w as u32)
     }
 
@@ -206,14 +387,24 @@ impl AssocArray {
     /// is already present, nothing changes except recency and the flags
     /// are OR-ed in.
     pub(crate) fn insert(&mut self, key: u64, new_flags: u8) -> InsertOutcome {
+        debug_assert_ne!(key, TAG_INVALID, "key collides with the empty-way sentinel");
         let set = self.set_of(key);
         let base = set * self.ways;
         // One pass: find the key if present, else the lowest invalid way
-        // (matching the reference model's fill order).
+        // (matching the reference model's fill order). For the stamped
+        // policies the same pass tracks the oldest-stamp way, so a full
+        // set needs no second victim scan; first-minimum tie-breaking
+        // matches `victim` exactly.
+        let stamped = matches!(
+            self.policy,
+            ReplacementPolicy::Lru | ReplacementPolicy::Fifo
+        );
         let mut first_invalid = None;
+        let mut oldest = 0u32;
+        let mut oldest_stamp = u64::MAX;
         for w in 0..self.ways {
             let i = base + w;
-            if self.flags[i] & FLAG_VALID == 0 {
+            if self.tags[i] == TAG_INVALID {
                 if first_invalid.is_none() {
                     first_invalid = Some(w);
                 }
@@ -221,6 +412,9 @@ impl AssocArray {
                 self.flags[i] |= new_flags;
                 self.stamp_fill(set, w as u32);
                 return InsertOutcome::AlreadyPresent(w as u32);
+            } else if stamped && self.stamps[i] < oldest_stamp {
+                oldest_stamp = self.stamps[i];
+                oldest = w as u32;
             }
         }
         if let Some(w) = first_invalid {
@@ -232,7 +426,7 @@ impl AssocArray {
             return InsertOutcome::Installed(w as u32);
         }
         // Evict.
-        let w = self.victim(set);
+        let w = if stamped { oldest } else { self.victim(set) };
         let i = base + w as usize;
         let old_tag = self.tags[i];
         let old_flags = self.flags[i];
@@ -247,22 +441,40 @@ impl AssocArray {
         }
     }
 
+    /// Re-touch `(set, way)` exactly as a [`Self::lookup`] hit of that way
+    /// would: recency update plus the last-hit hint. Used by the pipeline's
+    /// repeat-line fast path, which already knows where the line lives and
+    /// skips the tag scan.
+    #[inline]
+    pub(crate) fn retouch(&mut self, set: usize, way: u32) {
+        self.hint[set] = way;
+        self.touch(set, way);
+    }
+
     /// Read the flags of `(set, way)`.
     #[inline]
     pub(crate) fn flags_of(&self, set: usize, way: u32) -> u8 {
         self.flags[set * self.ways + way as usize]
     }
 
+    /// The last-hit way recorded for `set`. Right after a [`Self::lookup`]
+    /// hit this is the way that hit, which the pipeline's repeat-line fast
+    /// path captures instead of re-scanning the set.
+    #[inline]
+    pub(crate) fn hint_of(&self, set: usize) -> u32 {
+        self.hint[set]
+    }
+
+    /// Read the tag of `(set, way)` (valid bit not checked).
+    #[inline]
+    pub(crate) fn tag_of(&self, set: usize, way: u32) -> u64 {
+        self.tags[set * self.ways + way as usize]
+    }
+
     /// OR flag bits into `(set, way)`.
     #[inline]
     pub(crate) fn set_flags(&mut self, set: usize, way: u32, bits: u8) {
         self.flags[set * self.ways + way as usize] |= bits;
-    }
-
-    /// Clear flag bits of `(set, way)`.
-    #[inline]
-    pub(crate) fn clear_flags(&mut self, set: usize, way: u32, bits: u8) {
-        self.flags[set * self.ways + way as usize] &= !bits;
     }
 
     /// Number of valid entries.
@@ -272,6 +484,7 @@ impl AssocArray {
 
     /// Invalidate everything.
     pub(crate) fn clear(&mut self) {
+        self.tags.fill(TAG_INVALID);
         self.flags.fill(0);
         self.hint.fill(0);
     }

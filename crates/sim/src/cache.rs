@@ -1,6 +1,6 @@
 //! Set-associative cache model: write-back, write-allocate.
 
-use crate::assoc::{AssocArray, InsertOutcome, FLAG_DIRTY, FLAG_PREFETCHED};
+use crate::assoc::{AssocArray, InsertOutcome, Reserved, FLAG_DIRTY, FLAG_PREFETCHED, FLAG_VALID};
 use crate::replacement::ReplacementPolicy;
 use crate::stats::LevelStats;
 use serde::{Deserialize, Serialize};
@@ -227,16 +227,9 @@ impl Cache {
     ///
     /// `is_write` marks the resident line dirty on a hit.
     pub fn access(&mut self, line_addr: u64, is_write: bool) -> CacheAccessResult {
-        if let Some(way) = self.array.lookup(line_addr) {
-            let set = self.array.set_of(line_addr);
-            let flags = self.array.flags_of(set, way);
-            let prefetch_hit = flags & FLAG_PREFETCHED != 0;
+        if let Some((_, prefetch_hit)) = self.array.access_demand(line_addr, is_write) {
             if prefetch_hit {
-                self.array.clear_flags(set, way, FLAG_PREFETCHED);
                 self.stats.prefetch_hits += 1;
-            }
-            if is_write {
-                self.array.set_flags(set, way, FLAG_DIRTY);
             }
             self.stats.hits += 1;
             CacheAccessResult {
@@ -254,6 +247,38 @@ impl Cache {
         }
     }
 
+    /// [`Cache::access`] fused with victim preselection: on a miss, also
+    /// return the slot the follow-up [`Cache::fill_reserved`] of this line
+    /// will use, so the miss scan is not repeated. The slot is only valid
+    /// while nothing else touches *this* cache level (other levels and
+    /// DRAM accounting are fine).
+    pub(crate) fn access_reserving(
+        &mut self,
+        line_addr: u64,
+        is_write: bool,
+    ) -> (CacheAccessResult, Option<Reserved>) {
+        let (hit, reserved) = self.array.access_demand_reserving(line_addr, is_write);
+        let res = if let Some((_, prefetch_hit)) = hit {
+            if prefetch_hit {
+                self.stats.prefetch_hits += 1;
+            }
+            self.stats.hits += 1;
+            CacheAccessResult {
+                hit: true,
+                prefetch_hit,
+                writeback: None,
+            }
+        } else {
+            self.stats.misses += 1;
+            CacheAccessResult {
+                hit: false,
+                prefetch_hit: false,
+                writeback: None,
+            }
+        };
+        (res, reserved)
+    }
+
     /// Install `line_addr` (after fetching it from the level below),
     /// evicting a victim if the set is full. Returns the line address of a
     /// dirty victim that must be written back, if any.
@@ -261,6 +286,31 @@ impl Cache {
     /// `is_write` marks the new line dirty (write-allocate store miss);
     /// `prefetched` tags it as a prefetch fill for accuracy accounting.
     pub fn fill(&mut self, line_addr: u64, is_write: bool, prefetched: bool) -> Option<u64> {
+        let outcome = self
+            .array
+            .insert(line_addr, Self::fill_flags(is_write, prefetched));
+        self.account_fill(outcome, prefetched)
+    }
+
+    /// [`Cache::fill`] through a slot remembered by
+    /// [`Cache::access_reserving`] (same line, nothing touched this level
+    /// in between), skipping the redundant placement scan. Falls back to a
+    /// plain fill when the miss could not reserve a slot.
+    pub(crate) fn fill_reserved(
+        &mut self,
+        line_addr: u64,
+        is_write: bool,
+        reserved: Option<Reserved>,
+    ) -> Option<u64> {
+        let flags = Self::fill_flags(is_write, false);
+        let outcome = match reserved {
+            Some(r) => self.array.install_reserved(line_addr, flags, r),
+            None => self.array.insert(line_addr, flags),
+        };
+        self.account_fill(outcome, false)
+    }
+
+    fn fill_flags(is_write: bool, prefetched: bool) -> u8 {
         let mut flags = 0u8;
         if is_write {
             flags |= FLAG_DIRTY;
@@ -268,7 +318,11 @@ impl Cache {
         if prefetched {
             flags |= FLAG_PREFETCHED;
         }
-        match self.array.insert(line_addr, flags) {
+        flags
+    }
+
+    fn account_fill(&mut self, outcome: InsertOutcome, prefetched: bool) -> Option<u64> {
+        match outcome {
             InsertOutcome::AlreadyPresent(_) => None,
             outcome => {
                 if prefetched {
@@ -292,6 +346,57 @@ impl Cache {
                 }
             }
         }
+    }
+
+    /// Locate `line_addr` for the pipeline's repeat-line fast path without
+    /// changing any state: `Some((set, way, dirty))` when the line is
+    /// resident *and* a repeat demand touch of it would be a plain hit —
+    /// i.e. its prefetched flag has already been consumed, so
+    /// [`Cache::repeat_hit`] reproduces [`Cache::access`] exactly. The
+    /// last-hit hint usually resolves this in one comparison (a demand hit
+    /// or demand fill of the line leaves the hint on its way).
+    pub(crate) fn probe_for_repeat(&self, line_addr: u64) -> Option<(usize, u32, bool)> {
+        let set = self.array.set_of(line_addr);
+        let hinted = self.array.hint_of(set);
+        let way = if self.array.flags_of(set, hinted) & FLAG_VALID != 0
+            && self.array.tag_of(set, hinted) == line_addr
+        {
+            hinted
+        } else {
+            self.array.peek(line_addr)?
+        };
+        let flags = self.array.flags_of(set, way);
+        if flags & FLAG_PREFETCHED != 0 {
+            // A repeat touch would consume the flag and count a prefetch
+            // hit — not a bare hit, so the fast path must not arm on it.
+            return None;
+        }
+        Some((set, way, flags & FLAG_DIRTY != 0))
+    }
+
+    /// Whether `(set, way)` currently holds exactly `line_addr` as a
+    /// plain resident line — valid and not awaiting its first
+    /// post-prefetch demand touch — so a demand read of it is a bare hit
+    /// that [`Cache::repeat_hit`] reproduces exactly.
+    pub(crate) fn holds_plain(&self, set: usize, way: u32, line_addr: u64) -> bool {
+        self.array.flags_of(set, way) & (FLAG_VALID | FLAG_PREFETCHED) == FLAG_VALID
+            && self.array.tag_of(set, way) == line_addr
+    }
+
+    /// Account a repeat demand hit of a line located via
+    /// [`Cache::probe_for_repeat`]. Bit-identical to [`Cache::access`] of
+    /// a resident line with its prefetched flag clear: the hit counter
+    /// moves and the way's recency (and last-hit hint) are re-touched —
+    /// only the tag scan is skipped. The write half (dirty flag) is
+    /// [`Cache::mark_dirty`].
+    pub(crate) fn repeat_hit(&mut self, set: usize, way: u32) {
+        self.stats.hits += 1;
+        self.array.retouch(set, way);
+    }
+
+    /// Mark `(set, way)` dirty — the store half of a repeat hit.
+    pub(crate) fn mark_dirty(&mut self, set: usize, way: u32) {
+        self.array.set_flags(set, way, FLAG_DIRTY);
     }
 
     /// Number of valid lines currently resident (test/diagnostic helper).

@@ -5,6 +5,7 @@
 //! charges each one against the device model, accumulating cycle and
 //! traffic accounting per *phase* (the stretches between barriers).
 
+use crate::assoc::Reserved;
 use crate::cache::{Cache, CacheConfig};
 use crate::core::CoreConfig;
 use crate::dram::DramConfig;
@@ -13,6 +14,13 @@ use crate::stats::{CycleBreakdown, DramStats, LevelStats};
 use crate::tlb::{PageWalk, Tlb, TlbConfig};
 use membound_trace::{IterCost, MemAccess, TraceSink};
 use serde::{Deserialize, Serialize};
+
+/// Upper bound on modelled cache levels (real devices have 2-3); sized
+/// so per-access fill-slot bookkeeping can live on the stack.
+const MAX_LEVELS: usize = 4;
+
+/// Upper bound on memoized page-walk radix levels (Sv39 walks 3).
+const MAX_WALK_LEVELS: usize = 4;
 
 /// Traffic and cycle accounting for one phase (between barriers) on one
 /// core.
@@ -75,10 +83,38 @@ pub struct CorePipeline {
     prefetchers: Vec<Option<Prefetcher>>,
     dram: DramConfig,
     line_bytes: u32,
+    /// `exposed_latency` of each cache level (then DRAM as the last
+    /// entry), precomputed once — the same division `demand_line` would
+    /// otherwise repeat per miss, so results are bit-identical.
+    exposed: Vec<f64>,
     cur: PhaseAccum,
     done: Vec<PhaseAccum>,
     pred_buf: Vec<u64>,
     tlb_enabled: bool,
+    fastpath: bool,
+    armed: Option<ArmedLine>,
+    /// Per radix level, where the previous page walk's PTE line sat in L1
+    /// (`(line, set, way)`). Consecutive walks of nearby pages share their
+    /// upper-level PTE lines, so most re-probes replay as direct hits; the
+    /// slot is re-validated against the live L1 state before every use.
+    walk_memo: [Option<(u64, usize, u32)>; MAX_WALK_LEVELS],
+}
+
+/// The repeat-line fast path's memory of the last data line referenced:
+/// where it sits in L1, so an immediately following touch of the same
+/// line replays as a handful of direct state updates instead of a full
+/// translate + multi-level probe (see `CorePipeline::replay_repeat`).
+#[derive(Debug, Clone, Copy)]
+struct ArmedLine {
+    /// L1 line address of the access.
+    line: u64,
+    /// L1 set holding it.
+    set: usize,
+    /// L1 way holding it.
+    way: u32,
+    /// Whether the line is already dirty (a repeat store then skips the
+    /// redundant flag write).
+    dirty: bool,
 }
 
 /// Everything needed to build one core's pipeline.
@@ -92,11 +128,16 @@ pub(crate) struct PipelineConfig {
     pub walk: PageWalk,
     pub dram: DramConfig,
     pub tlb_enabled: bool,
+    pub fastpath: bool,
 }
 
 impl CorePipeline {
     pub(crate) fn new(cfg: PipelineConfig) -> Self {
         assert!(!cfg.caches.is_empty(), "need at least an L1 cache");
+        assert!(
+            cfg.caches.len() <= MAX_LEVELS,
+            "at most {MAX_LEVELS} cache levels supported"
+        );
         assert_eq!(
             cfg.caches.len(),
             cfg.prefetchers.len(),
@@ -108,6 +149,14 @@ impl CorePipeline {
             "all levels must share one line size in this model"
         );
         let n = cfg.caches.len();
+        let exposed = cfg
+            .caches
+            .iter()
+            .map(|c| cfg.core.exposed_latency(c.latency_cycles))
+            .chain(std::iter::once(
+                cfg.core.exposed_latency(cfg.dram.latency_cycles),
+            ))
+            .collect();
         Self {
             core: cfg.core,
             dtlb: Tlb::new(cfg.dtlb),
@@ -124,10 +173,14 @@ impl CorePipeline {
                 .collect(),
             dram: cfg.dram,
             line_bytes,
+            exposed,
             cur: PhaseAccum::new(n),
             done: Vec::new(),
             pred_buf: Vec::new(),
             tlb_enabled: cfg.tlb_enabled,
+            fastpath: cfg.fastpath,
+            armed: None,
+            walk_memo: [None; MAX_WALK_LEVELS],
         }
     }
 
@@ -182,28 +235,59 @@ impl CorePipeline {
             return false;
         }
         let vpn = self.dtlb.vpn_of(addr);
-        if self.dtlb.lookup(vpn) {
+        // Misses remember their fill slot so the post-walk fills below
+        // need no second scan; page walks only touch the data caches, so
+        // the slots stay valid across them.
+        let (dtlb_hit, dtlb_slot) = self.dtlb.lookup_reserving(vpn);
+        if dtlb_hit {
             return false;
         }
+        let mut l2_slot = None;
         if let Some(l2) = self.l2tlb.as_mut() {
             let latency = l2.config().latency_cycles;
-            if l2.lookup(vpn) {
+            let (l2_hit, slot) = l2.lookup_reserving(vpn);
+            if l2_hit {
                 self.cur.cycles.stall_cycles += f64::from(latency);
-                self.dtlb.fill(vpn);
+                self.dtlb.fill_reserved(vpn, dtlb_slot);
                 return false;
             }
+            l2_slot = slot;
         }
         // Full walk: fixed overhead plus PTE loads replayed through the
         // data caches (no prefetcher training on page-table addresses).
         self.cur.cycles.stall_cycles += f64::from(self.walk.overhead_cycles);
-        for pte in self.walk.pte_addresses(vpn) {
-            let line = pte >> self.line_bytes.trailing_zeros();
-            self.demand_line(line, false, false, false);
+        let line_shift = self.line_bytes.trailing_zeros();
+        for i in 0..self.walk.levels {
+            let line = self.walk.pte_address(vpn, i) >> line_shift;
+            let memo = self.walk_memo.get(i as usize).copied().flatten();
+            if self.fastpath {
+                // Same PTE line as the previous walk at this level and
+                // still plainly resident at the remembered slot: a demand
+                // probe of it is an L1 hit with no side effects beyond
+                // the hit count and recency — replay those directly. Any
+                // staleness (evicted, moved, re-filled by a prefetch)
+                // fails the check and takes the full path below, which
+                // also refreshes the memo.
+                if let Some((mline, set, way)) = memo {
+                    if mline == line && self.levels[0].holds_plain(set, way, line) {
+                        self.levels[0].repeat_hit(set, way);
+                        continue;
+                    }
+                }
+                self.demand_line(line, false, false, false);
+                if let Some(slot) = self.walk_memo.get_mut(i as usize) {
+                    *slot = self.levels[0]
+                        .probe_for_repeat(line)
+                        .map(|(set, way, _)| (line, set, way));
+                }
+            } else {
+                self.demand_line(line, false, false, false);
+            }
         }
         if let Some(l2) = self.l2tlb.as_mut() {
-            l2.fill(vpn);
+            l2.fill_reserved(vpn, l2_slot);
         }
-        self.dtlb.fill(vpn);
+        self.dtlb.fill_reserved(vpn, dtlb_slot);
         true
     }
 
@@ -214,42 +298,78 @@ impl CorePipeline {
     /// (set after a page walk, which the data access depends on).
     fn demand_line(&mut self, line: u64, is_write: bool, train_prefetch: bool, serialize: bool) {
         let n = self.levels.len();
-        // Probe levels outward until a hit.
+        // L1 first, with an early out on a hit: no stall, no fills — only
+        // the L1 prefetcher (which sees every reference) may need to run.
+        let (res0, slot0) = self.levels[0].access_reserving(line, is_write);
+        if res0.hit {
+            if train_prefetch && self.prefetchers[0].is_some() {
+                self.run_prefetcher(0, line);
+            }
+            return;
+        }
+        // Single-level hierarchies (the MangoPi model) go straight to
+        // DRAM on an L1 miss; skip the generic multi-level scaffolding.
+        if n == 1 {
+            self.cur.cycles.stall_cycles += if serialize {
+                f64::from(self.dram.latency_cycles)
+            } else {
+                self.exposed[1]
+            };
+            let lb = u64::from(self.line_bytes);
+            self.cur.supply_bytes[1] += lb;
+            self.cur.dram.bytes_read += lb;
+            self.cur.dram.reads += 1;
+            if let Some(victim) = self.levels[0].fill_reserved(line, is_write, slot0) {
+                self.writeback(victim, 0);
+            }
+            if train_prefetch && self.prefetchers[0].is_some() {
+                self.run_prefetcher(0, line);
+            }
+            return;
+        }
+        // Probe the remaining levels outward until a hit; each missed
+        // level remembers its fill slot so `fill_levels` needs no second
+        // placement scan (only other levels are touched between a level's
+        // miss and its fill, so the slots stay valid).
         let mut found: Option<usize> = None;
-        for k in 0..n {
-            let res = self.levels[k].access(line, is_write && k == 0);
+        let mut slots = [None; MAX_LEVELS];
+        slots[0] = slot0;
+        #[allow(clippy::needless_range_loop)] // indexes both `levels` and `slots`
+        for k in 1..n {
+            let (res, slot) = self.levels[k].access_reserving(line, false);
             if res.hit {
                 found = Some(k);
                 break;
             }
+            slots[k] = slot;
         }
 
-        let exposed = |core: &CoreConfig, lat: u32| {
-            if serialize {
-                f64::from(lat)
-            } else {
-                core.exposed_latency(lat)
-            }
-        };
         match found {
             Some(0) => {} // L1 hit: pipelined, no extra stall.
             Some(k) => {
-                let lat = self.levels[k].config().latency_cycles;
-                self.cur.cycles.stall_cycles += exposed(&self.core, lat);
+                self.cur.cycles.stall_cycles += if serialize {
+                    f64::from(self.levels[k].config().latency_cycles)
+                } else {
+                    self.exposed[k]
+                };
                 // Line moves across each bus from level k down to L1.
                 for j in 1..=k {
                     self.cur.supply_bytes[j] += u64::from(self.line_bytes);
                 }
-                self.fill_levels(line, k, is_write);
+                self.fill_levels(line, k, is_write, &slots);
             }
             None => {
-                self.cur.cycles.stall_cycles += exposed(&self.core, self.dram.latency_cycles);
+                self.cur.cycles.stall_cycles += if serialize {
+                    f64::from(self.dram.latency_cycles)
+                } else {
+                    self.exposed[n]
+                };
                 for j in 1..=n {
                     self.cur.supply_bytes[j] += u64::from(self.line_bytes);
                 }
                 self.cur.dram.bytes_read += u64::from(self.line_bytes);
                 self.cur.dram.reads += 1;
-                self.fill_levels(line, n, is_write);
+                self.fill_levels(line, n, is_write, &slots);
             }
         }
 
@@ -267,11 +387,17 @@ impl CorePipeline {
 
     /// Fill `line` into levels `0..upto` (it was found at `upto`, or DRAM
     /// when `upto == levels.len()`), handling dirty-victim writebacks.
-    fn fill_levels(&mut self, line: u64, upto: usize, is_write: bool) {
+    fn fill_levels(
+        &mut self,
+        line: u64,
+        upto: usize,
+        is_write: bool,
+        slots: &[Option<Reserved>; MAX_LEVELS],
+    ) {
         for j in (0..upto).rev() {
             // Only the L1 copy is dirtied by a store; lower copies stay clean.
             let dirty = is_write && j == 0;
-            if let Some(victim) = self.levels[j].fill(line, dirty, false) {
+            if let Some(victim) = self.levels[j].fill_reserved(line, dirty, slots[j]) {
                 self.writeback(victim, j);
             }
         }
@@ -301,11 +427,14 @@ impl CorePipeline {
 
     /// Let level `k`'s prefetcher observe `line` and perform its fills.
     fn run_prefetcher(&mut self, k: usize, line: u64) {
-        let mut preds = std::mem::take(&mut self.pred_buf);
-        preds.clear();
+        self.pred_buf.clear();
         if let Some(pf) = self.prefetchers[k].as_mut() {
-            pf.observe(line, &mut preds);
+            pf.observe(line, &mut self.pred_buf);
         }
+        if self.pred_buf.is_empty() {
+            return;
+        }
+        let preds = std::mem::take(&mut self.pred_buf);
         let n = self.levels.len();
         for &p in &preds {
             if self.levels[k].contains(p) {
@@ -333,14 +462,100 @@ impl CorePipeline {
         }
         self.pred_buf = preds;
     }
+
+    /// Arm the repeat-line fast path on `line`, the data line whose
+    /// translate + demand flow just completed.
+    ///
+    /// Arming succeeds whenever the line ended the access resident in L1
+    /// with its prefetched flag consumed — hit or miss, with or without
+    /// prefetch fills along the way (`Cache::probe_for_repeat` re-checks
+    /// residency *after* any such fills, so an unlucky same-set eviction
+    /// simply leaves the path disarmed). The other two replay
+    /// preconditions hold by construction: the line's page was the last
+    /// DTLB translation, and the L1 prefetcher's last observation was
+    /// this line (page-walk traffic trains no prefetcher).
+    fn arm(&mut self, line: u64) {
+        self.armed = self.levels[0]
+            .probe_for_repeat(line)
+            .map(|(set, way, dirty)| ArmedLine {
+                line,
+                set,
+                way,
+                dirty,
+            });
+    }
+
+    /// Replay a touch of the armed line with direct state updates.
+    ///
+    /// Bit-identical to the full path for a repeat reference: the DTLB
+    /// lookup would hit its MRU entry (so only the hit counter moves —
+    /// re-touching the most recent entry cannot change LRU order), the L1
+    /// probe would hit the armed way ([`Cache::repeat_hit`] bumps the hit
+    /// counter and re-touches that way's recency exactly as the scan
+    /// would, with no stall or traffic), and the L1 prefetcher would
+    /// re-observe the same line (clock tick plus a recency refresh of the
+    /// matched stream entry, no predictions — see
+    /// [`Prefetcher::refresh_repeat`]). A store additionally sets the
+    /// dirty flag, exactly as a full-path store hit would.
+    fn replay_repeat(&mut self, is_write: bool) {
+        if self.tlb_enabled {
+            self.dtlb.note_repeat_hit();
+        }
+        if let Some(armed) = self.armed.as_mut() {
+            self.levels[0].repeat_hit(armed.set, armed.way);
+            if is_write && !armed.dirty {
+                armed.dirty = true;
+                let (set, way) = (armed.set, armed.way);
+                self.levels[0].mark_dirty(set, way);
+            }
+        }
+        if let Some(pf) = self.prefetchers[0].as_mut() {
+            pf.refresh_repeat();
+        }
+    }
 }
 
 impl TraceSink for CorePipeline {
     fn access(&mut self, access: MemAccess) {
+        let shift = self.line_bytes.trailing_zeros();
+        let is_write = access.kind.is_write();
+        // Repeat-line fast path: a single-line touch of the data line
+        // referenced immediately before replays as direct state updates
+        // (see `replay_repeat` for the equivalence argument).
+        if let Some(armed) = self.armed {
+            if access.addr >> shift == armed.line
+                && (access.size == 0 || (access.end() - 1) >> shift <= armed.line)
+            {
+                self.replay_repeat(is_write);
+                return;
+            }
+        }
+        self.armed = None;
+        // Scalar probes (the overwhelmingly common case) touch one line;
+        // go straight to it without the line-splitting iterator.
+        let first = access.addr >> shift;
+        let last = if access.size == 0 {
+            first
+        } else {
+            (access.end() - 1) >> shift
+        };
+        if first == last {
+            let walked = self.translate(access.addr);
+            self.demand_line(first, is_write, true, walked);
+            if self.fastpath {
+                self.arm(first);
+            }
+            return;
+        }
         let line_size = u64::from(self.line_bytes);
+        let mut last_line = 0;
         for line in access.lines(line_size) {
-            let walked = self.translate(line << self.line_bytes.trailing_zeros());
-            self.demand_line(line, access.kind.is_write(), true, walked);
+            let walked = self.translate(line << shift);
+            self.demand_line(line, is_write, true, walked);
+            last_line = line;
+        }
+        if self.fastpath {
+            self.arm(last_line);
         }
     }
 
@@ -350,6 +565,56 @@ impl TraceSink for CorePipeline {
 
     fn barrier(&mut self) {
         self.flush_phase();
+    }
+
+    /// Bulk unit-stride run: probe per line and translate per page
+    /// instead of per probe.
+    ///
+    /// Statistic-for-statistic identical to the default per-probe
+    /// splitting (the simulator never looks at probe *sizes*, only at
+    /// the line sequence): each line goes through the same
+    /// translate + demand flow, with two short-circuits — the repeat-line
+    /// fast path for a line that is still armed, and a DTLB repeat-hit
+    /// bump for lines within the page translated immediately before
+    /// (whose VPN is by construction the DTLB's MRU entry).
+    fn access_range(&mut self, addr: u64, len: u64, write: bool) {
+        if len == 0 {
+            return;
+        }
+        let shift = self.line_bytes.trailing_zeros();
+        let end = addr.saturating_add(len);
+        let first = addr >> shift;
+        let last = ((end - 1) >> shift).max(first);
+        let mut cur_vpn: Option<u64> = None;
+        for line in first..=last {
+            if let Some(armed) = self.armed {
+                if armed.line == line {
+                    self.replay_repeat(write);
+                    continue;
+                }
+            }
+            self.armed = None;
+            let base = line << shift;
+            let walked = if !self.tlb_enabled {
+                false
+            } else {
+                let vpn = self.dtlb.vpn_of(base);
+                if self.fastpath && cur_vpn == Some(vpn) {
+                    self.dtlb.note_repeat_hit();
+                    false
+                } else {
+                    let walked = self.translate(base);
+                    cur_vpn = Some(vpn);
+                    walked
+                }
+            };
+            self.demand_line(line, write, true, walked);
+            // Arming matters only for the state carried *out* of the run:
+            // within it, consecutive lines never repeat.
+            if self.fastpath && line == last {
+                self.arm(line);
+            }
+        }
     }
 }
 
@@ -385,6 +650,7 @@ mod tests {
             walk: PageWalk::sv39(),
             dram: DramConfig::new(100, 1.0, 1),
             tlb_enabled: false,
+            fastpath: true,
         })
     }
 

@@ -164,16 +164,19 @@ impl SimReport {
         }
     }
 
-    /// An order-insensitive FNV-1a digest over every *simulated* quantity
-    /// in the report (cycles, per-level counters, DRAM traffic, phase
-    /// structure) — everything except host wall time, which the report
-    /// does not carry.
+    /// An FNV-1a digest over every *simulated* quantity in the report
+    /// (cycles, per-level counters, DRAM traffic, phase structure) —
+    /// everything except host wall time, which the report does not carry.
     ///
-    /// The simulator is deterministic, so two runs of the same cell must
-    /// produce the same digest no matter how the experiment engine
-    /// scheduled them; the engine's serial-vs-parallel equivalence checks
-    /// compare exactly this value. Floats are hashed by bit pattern
-    /// (`f64::to_bits`), so even ULP-level divergence is caught.
+    /// The digest is *order-sensitive*: FNV-1a is fed the fields in one
+    /// fixed, documented sequence, so it pins both the values and their
+    /// arrangement (two reports with swapped counter values hash
+    /// differently). The simulator is deterministic, so two runs of the
+    /// same cell must produce the same digest no matter how the
+    /// experiment engine scheduled them; the engine's serial-vs-parallel
+    /// equivalence checks compare exactly this value. Floats are hashed
+    /// by bit pattern (`f64::to_bits`), so even ULP-level divergence is
+    /// caught.
     #[must_use]
     pub fn stats_digest(&self) -> u64 {
         let mut h = Fnv::new();
@@ -282,6 +285,7 @@ impl Fnv {
 #[derive(Debug, Clone)]
 pub struct Machine {
     spec: DeviceSpec,
+    fastpath: bool,
 }
 
 impl Machine {
@@ -300,7 +304,25 @@ impl Machine {
             spec.prefetchers.len(),
             "one prefetcher slot per cache level"
         );
-        Self { spec }
+        Self {
+            spec,
+            fastpath: true,
+        }
+    }
+
+    /// Disable the repeat-line fast path, forcing every reference through
+    /// the full translate-and-probe flow.
+    ///
+    /// The fast path is digest-preserving by construction; this reference
+    /// build exists so tests can *prove* it, by comparing
+    /// [`SimReport::stats_digest`] of the same trace through both
+    /// machines (see `tests/prop_fastpath.rs`). It is a property of the
+    /// machine, not the device: [`DeviceSpec`] serialization is
+    /// unaffected.
+    #[must_use]
+    pub fn without_fastpath(mut self) -> Self {
+        self.fastpath = false;
+        self
     }
 
     /// The wrapped device description.
@@ -358,6 +380,7 @@ impl Machine {
                 walk: self.spec.walk,
                 dram: self.spec.dram,
                 tlb_enabled: self.spec.tlb_enabled,
+                fastpath: self.fastpath,
             });
             trace(tid, &mut pipeline);
             outcomes.push(pipeline.finish());

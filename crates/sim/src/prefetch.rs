@@ -102,6 +102,11 @@ pub struct Prefetcher {
     config: PrefetcherConfig,
     table: Vec<StreamEntry>,
     clock: u64,
+    /// Table index whose entry ended the last [`Prefetcher::observe`] with
+    /// `last_line` equal to the observed line (matched or freshly
+    /// allocated). Lets [`Prefetcher::refresh_repeat`] replay a same-line
+    /// re-observation without rescanning the table.
+    last_match: Option<usize>,
 }
 
 impl Prefetcher {
@@ -116,6 +121,7 @@ impl Prefetcher {
             config,
             table: vec![StreamEntry::INVALID; streams],
             clock: 0,
+            last_match: None,
         }
     }
 
@@ -125,11 +131,29 @@ impl Prefetcher {
         self.config
     }
 
+    /// Replay an observation of the *same* line as the previous
+    /// [`Prefetcher::observe`] call, without scanning the stream table.
+    ///
+    /// A same-line re-observation advances the clock and refreshes the
+    /// recency of the entry the previous observation matched (its
+    /// `last_line` equals the line, so the rescan would find it with a
+    /// zero delta and emit no predictions); entries ahead of it in scan
+    /// order were non-matching then and are unchanged since. The
+    /// per-reference fast path in `CorePipeline` uses this to keep repeat
+    /// touches bit-identical to the full path without the table walk.
+    pub fn refresh_repeat(&mut self) {
+        self.clock += 1;
+        if let Some(i) = self.last_match {
+            self.table[i].last_used = self.clock;
+        }
+    }
+
     /// Observe a demand access to `line` and append predicted line
     /// addresses to `out`. The caller decides whether each prediction
     /// results in a fill (it skips lines already resident).
     pub fn observe(&mut self, line: u64, out: &mut Vec<u64>) {
         self.clock += 1;
+        self.last_match = None;
         match self.config {
             PrefetcherConfig::None => {}
             PrefetcherConfig::NextLine { degree } => {
@@ -145,9 +169,17 @@ impl Prefetcher {
             } => {
                 let max_stride = i64::from(max_stride_lines);
                 // Find the tracker this access extends: previous line within
-                // max_stride in either direction.
+                // max_stride in either direction. The same pass tracks the
+                // least-recently-used slot so a failed match allocates
+                // without rescanning (when no tracker matches, the loop has
+                // covered the whole table, so `oldest` is exact).
                 let mut found = None;
+                let mut oldest: Option<(usize, u64)> = None;
                 for (i, e) in self.table.iter().enumerate() {
+                    let key = if e.valid { e.last_used } else { 0 };
+                    if oldest.map_or(true, |(_, k)| key < k) {
+                        oldest = Some((i, key));
+                    }
                     if !e.valid {
                         continue;
                     }
@@ -166,8 +198,10 @@ impl Prefetcher {
                 match found {
                     Some((i, 0)) => {
                         self.table[i].last_used = self.clock;
+                        self.last_match = Some(i);
                     }
                     Some((i, delta)) => {
+                        self.last_match = Some(i);
                         let e = &mut self.table[i];
                         if delta == e.stride {
                             e.confidence += 1;
@@ -192,14 +226,9 @@ impl Prefetcher {
                         }
                     }
                     None => {
-                        // Allocate the least-recently-used tracker.
-                        let slot = self
-                            .table
-                            .iter()
-                            .enumerate()
-                            .min_by_key(|(_, e)| if e.valid { e.last_used } else { 0 })
-                            .map(|(i, _)| i);
-                        if let Some(i) = slot {
+                        // Allocate the least-recently-used tracker
+                        // (preselected during the match scan above).
+                        if let Some((i, _)) = oldest {
                             self.table[i] = StreamEntry {
                                 last_line: line,
                                 stride: 0,
@@ -207,6 +236,7 @@ impl Prefetcher {
                                 last_used: self.clock,
                                 valid: true,
                             };
+                            self.last_match = Some(i);
                         }
                     }
                 }
@@ -336,6 +366,53 @@ mod tests {
         let mut p = Prefetcher::new(PrefetcherConfig::c906());
         let preds = drive(&mut p, &[5, 5, 5, 5]);
         assert!(preds.iter().all(Vec::is_empty));
+    }
+
+    /// `refresh_repeat` must leave the prefetcher in exactly the state a
+    /// full same-line `observe` would — for matched, updated and freshly
+    /// allocated entries alike — so later predictions are identical.
+    #[test]
+    fn refresh_repeat_matches_a_full_same_line_observe() {
+        // Exercise allocation (first touch), stride update and same-line
+        // refresh paths, each followed by repeats, then let recency decide
+        // a table eviction: the LRU slot choice depends on `last_used`, so
+        // any drift shows up in the prediction stream.
+        let sequences: &[&[u64]] = &[
+            &[7, 7, 7],
+            &[10, 11, 11, 12, 12, 12, 13],
+            &[0, 100, 100, 5, 5, 205, 205, 310, 310, 415, 415, 1],
+        ];
+        for seq in sequences {
+            let mut fast = Prefetcher::new(PrefetcherConfig::Stride {
+                max_stride_lines: 16,
+                degree: 2,
+                ramp: true,
+                streams: 3,
+            });
+            let mut slow = fast.clone();
+            let mut last: Option<u64> = None;
+            for &line in *seq {
+                let mut out_fast = Vec::new();
+                let mut out_slow = Vec::new();
+                slow.observe(line, &mut out_slow);
+                if last == Some(line) {
+                    fast.refresh_repeat();
+                    assert!(out_slow.is_empty(), "repeat must not predict");
+                } else {
+                    fast.observe(line, &mut out_fast);
+                    assert_eq!(out_fast, out_slow, "preds diverged at {line}");
+                }
+                last = Some(line);
+            }
+            // Future behaviour must be identical too.
+            for probe in [2u64, 18, 34, 50] {
+                let mut a = Vec::new();
+                let mut b = Vec::new();
+                fast.observe(probe, &mut a);
+                slow.observe(probe, &mut b);
+                assert_eq!(a, b, "divergence after {seq:?} at {probe}");
+            }
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! three-level Sv39 page walk whose PTE loads the hierarchy replays
 //! through the data caches.
 
-use crate::assoc::{AssocArray, InsertOutcome};
+use crate::assoc::{AssocArray, InsertOutcome, Reserved};
 use crate::replacement::ReplacementPolicy;
 use crate::stats::LevelStats;
 use serde::{Deserialize, Serialize};
@@ -180,9 +180,45 @@ impl Tlb {
         }
     }
 
+    /// Account a repeat hit of the most recently translated page without
+    /// re-scanning the array. Equivalent to [`Tlb::lookup`] of a resident
+    /// MRU entry: the hit counter moves and the recency re-touch is a
+    /// no-op (the entry is already the most recent).
+    pub(crate) fn note_repeat_hit(&mut self) {
+        self.stats.hits += 1;
+    }
+
     /// Insert a translation for `vpn`, evicting per policy if needed.
     pub fn fill(&mut self, vpn: u64) {
         if let InsertOutcome::Evicted { .. } = self.array.insert(vpn, 0) {
+            self.stats.evictions += 1;
+        }
+    }
+
+    /// [`Tlb::lookup`] fused with fill-slot preselection: a miss also
+    /// reports where the post-walk [`Tlb::fill_reserved`] of this `vpn`
+    /// will install, so the set is scanned once instead of twice. The
+    /// slot stays valid across the walk because page walks touch the data
+    /// caches, never this TLB.
+    pub(crate) fn lookup_reserving(&mut self, vpn: u64) -> (bool, Option<Reserved>) {
+        let (hit, reserved) = self.array.access_demand_reserving(vpn, false);
+        if hit.is_some() {
+            self.stats.hits += 1;
+            (true, None)
+        } else {
+            self.stats.misses += 1;
+            (false, reserved)
+        }
+    }
+
+    /// [`Tlb::fill`] through a slot remembered by
+    /// [`Tlb::lookup_reserving`] for the same `vpn`.
+    pub(crate) fn fill_reserved(&mut self, vpn: u64, reserved: Option<Reserved>) {
+        let outcome = match reserved {
+            Some(r) => self.array.install_reserved(vpn, 0, r),
+            None => self.array.insert(vpn, 0),
+        };
+        if let InsertOutcome::Evicted { .. } = outcome {
             self.stats.evictions += 1;
         }
     }
@@ -231,18 +267,29 @@ impl PageWalk {
     /// a sequential sweep's walks mostly hit in the data caches.
     #[must_use]
     pub fn pte_addresses(&self, vpn: u64) -> Vec<u64> {
+        (0..self.levels).map(|i| self.pte_address(vpn, i)).collect()
+    }
+
+    /// The `i`-th PTE byte address of a walk of `vpn` (`i == 0` is the
+    /// root level, `i == levels - 1` the leaf). Walks are hot — a thrashed
+    /// TLB walks on nearly every reference — so the simulation loop
+    /// iterates this directly instead of materializing
+    /// [`PageWalk::pte_addresses`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds, via arithmetic underflow) if
+    /// `i >= self.levels`.
+    #[must_use]
+    pub fn pte_address(&self, vpn: u64, i: u32) -> u64 {
         const PT_BASE: u64 = 0x7f00_0000_0000;
-        let mut out = Vec::with_capacity(self.levels as usize);
         // Level k index: bits of the VPN, 9 bits per level (512-entry
         // nodes), highest level first. Each PTE is 8 bytes.
-        for k in (0..self.levels).rev() {
-            let idx = (vpn >> (9 * k)) & 0x1ff;
-            let node = vpn >> (9 * (k + 1)); // which table node at this level
-            let node_hash = node.wrapping_mul(0x9e37_79b9).wrapping_add(u64::from(k));
-            let addr = PT_BASE + (node_hash % (1 << 20)) * 4096 + idx * 8;
-            out.push(addr);
-        }
-        out
+        let k = self.levels - 1 - i;
+        let idx = (vpn >> (9 * k)) & 0x1ff;
+        let node = vpn >> (9 * (k + 1)); // which table node at this level
+        let node_hash = node.wrapping_mul(0x9e37_79b9).wrapping_add(u64::from(k));
+        PT_BASE + (node_hash % (1 << 20)) * 4096 + idx * 8
     }
 }
 

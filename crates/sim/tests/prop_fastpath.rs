@@ -1,0 +1,119 @@
+//! Property test for the repeat-line fast path: random reference
+//! sequences must produce bit-identical [`SimReport::stats_digest`]
+//! values through the fast path and through a reference machine built
+//! with [`Machine::without_fastpath`], on every device preset.
+//!
+//! The sequences mix loads and stores, straddling and page-crossing
+//! references, bulk unit-stride ranges (exercising the
+//! `TraceSink::access_range` override) and barriers, over a small enough
+//! address pool that same-line repeats — the pattern the fast path
+//! short-circuits — occur constantly.
+
+use membound_sim::{Device, Machine, SimReport};
+use membound_trace::TraceSink;
+use proptest::prelude::*;
+
+/// One scripted reference; op selects the flavour.
+type Op = (u8, u64, u32);
+
+/// Replay a scripted op sequence into a sink.
+///
+/// Addresses come from a deliberately small pool (two 4 KiB pages plus a
+/// far region that aliases nothing) so lines repeat often; odd sizes up
+/// to 72 bytes produce plenty of line-straddling and page-crossing
+/// references.
+fn replay<S: TraceSink>(ops: &[Op], sink: &mut S) {
+    for &(op, raw_addr, raw_size) in ops {
+        let addr = match op % 3 {
+            // Dense pool: offsets within two adjacent pages.
+            0 => 0x1000_0000_0000 + raw_addr % (2 * 4096),
+            // Page-boundary hugger: references that cross into the next
+            // page when the size runs over.
+            1 => 0x1000_0000_0000 + 4096 - (raw_addr % 80),
+            // Far region: evicts dense-pool lines now and then.
+            _ => 0x2000_0000_0000 + (raw_addr % 64) * 4096,
+        };
+        let size = 1 + raw_size % 72;
+        match op {
+            0..=1 => sink.load(addr, size),
+            2..=3 => sink.store(addr, size),
+            4 => sink.load_range(addr, u64::from(size) * 11),
+            5 => sink.store_range(addr, u64::from(size) * 11),
+            _ => sink.barrier(),
+        }
+    }
+}
+
+fn digest_on(device: Device, ops: &[Op], fastpath: bool) -> SimReport {
+    let machine = if fastpath {
+        Machine::new(device.spec())
+    } else {
+        Machine::new(device.spec()).without_fastpath()
+    };
+    machine.simulate(1, |_tid, sink| replay(ops, sink))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fast path and reference build agree, digest-for-digest, on all
+    /// four device presets.
+    #[test]
+    fn fastpath_digest_matches_reference_on_all_devices(
+        ops in proptest::collection::vec((0u8..7, 0u64..1 << 16, 0u32..1 << 16), 1..250),
+    ) {
+        for device in Device::all() {
+            let fast = digest_on(device, &ops, true);
+            let reference = digest_on(device, &ops, false);
+            prop_assert_eq!(
+                fast.stats_digest(),
+                reference.stats_digest(),
+                "fast path diverged from reference on {}: {:#?} vs {:#?}",
+                device,
+                fast,
+                reference
+            );
+        }
+    }
+}
+
+/// A dense deterministic soak: unit-stride sweeps with interleaved
+/// same-line stores — the exact pattern the fast path accelerates — must
+/// agree with the reference build everywhere, including multi-threaded
+/// partitioned-cache simulation.
+#[test]
+fn fastpath_digest_matches_reference_on_hot_patterns() {
+    for device in Device::all() {
+        let spec = device.spec();
+        let threads = spec.cores.min(2);
+        let trace = |tid: u32, sink: &mut dyn TraceSink| {
+            let base = 0x1000_0000_0000 + u64::from(tid) * (1 << 30);
+            // Transpose-style adjacent load/store pairs on one line.
+            for i in 0..2000u64 {
+                let col = base + i * 520; // strided: new line every time
+                let row = base + (1 << 24) + i * 8; // unit stride
+                sink.load(col, 8);
+                sink.load(row, 8);
+                sink.store(row, 8);
+                sink.store(col, 8);
+            }
+            sink.barrier();
+            // Bulk ranges with repeat touches at the seams.
+            for r in 0..50u64 {
+                let a = base + (1 << 25) + r * 4096;
+                sink.load_range(a, 4096);
+                sink.store_range(a, 64);
+                sink.store_range(a, 64);
+            }
+        };
+        let fast = Machine::new(spec.clone()).simulate(threads, |t, s| trace(t, s));
+        let reference = Machine::new(spec)
+            .without_fastpath()
+            .simulate(threads, |t, s| trace(t, s));
+        assert_eq!(
+            fast.stats_digest(),
+            reference.stats_digest(),
+            "hot-pattern divergence on {device}"
+        );
+    }
+}

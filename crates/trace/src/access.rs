@@ -127,10 +127,14 @@ impl MemAccess {
         );
         let shift = line_size.trailing_zeros();
         let first = self.addr >> shift;
+        // `end()` saturates at `u64::MAX`, so for references at the very
+        // top of the address space `end() - 1` can land *below* `addr`,
+        // which would make the range empty; clamp so the reference always
+        // touches at least its first line.
         let last = if self.size == 0 {
             first
         } else {
-            (self.end() - 1) >> shift
+            ((self.end() - 1) >> shift).max(first)
         };
         first..=last
     }
@@ -190,6 +194,17 @@ mod tests {
     fn straddling_access_touches_two_lines() {
         let a = MemAccess::load(60, 8);
         assert_eq!(a.lines(64).collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn saturating_end_still_touches_the_first_line() {
+        // `end()` saturates at u64::MAX here, so the naive `end() - 1`
+        // computation lands below `addr` and used to yield no lines.
+        let a = MemAccess::load(u64::MAX, 8);
+        assert_eq!(a.lines(1).collect::<Vec<_>>(), vec![u64::MAX]);
+        // With 64-byte lines the clamp keeps the last touched line sane.
+        let b = MemAccess::load(u64::MAX - 1, 8);
+        assert_eq!(b.lines(64).collect::<Vec<_>>(), vec![u64::MAX >> 6]);
     }
 
     #[test]

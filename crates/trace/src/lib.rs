@@ -78,22 +78,35 @@ pub trait TraceSink {
         self.access(MemAccess::store(addr, size));
     }
 
+    /// Consume a contiguous unit-stride run over `[addr, addr + len)`;
+    /// `write` selects stores over loads.
+    ///
+    /// The default splits the run into one [`MemAccess`] probe per
+    /// 64-byte cache line touched (sizes exact, so byte-traffic
+    /// statistics are preserved) and dispatches each through
+    /// [`TraceSink::access`]. Simulating sinks may override it to process
+    /// the whole run in bulk — amortizing address translation per page
+    /// and probing per line instead of per access — as long as every
+    /// observable statistic stays identical to the per-probe default.
+    fn access_range(&mut self, addr: u64, len: u64, write: bool) {
+        emit_range(self, addr, len, write);
+    }
+
     /// Emit a contiguous read of `[addr, addr + len)` as one line-granular
     /// probe per 64-byte cache line touched.
     ///
     /// Kernels use this for unit-stride inner loops: the cache model only
     /// cares about which lines are touched in which order, and the issue
     /// cost of the individual scalar loads is charged separately through
-    /// [`TraceSink::compute`]. Probe sizes are exact, so byte-traffic
-    /// statistics are preserved.
+    /// [`TraceSink::compute`].
     fn load_range(&mut self, addr: u64, len: u64) {
-        emit_range(self, addr, len, false);
+        self.access_range(addr, len, false);
     }
 
     /// Emit a contiguous write of `[addr, addr + len)` as one line-granular
     /// probe per 64-byte cache line touched. See [`TraceSink::load_range`].
     fn store_range(&mut self, addr: u64, len: u64) {
-        emit_range(self, addr, len, true);
+        self.access_range(addr, len, true);
     }
 }
 
@@ -126,6 +139,9 @@ impl<S: TraceSink + ?Sized> TraceSink for &mut S {
     }
     fn barrier(&mut self) {
         (**self).barrier();
+    }
+    fn access_range(&mut self, addr: u64, len: u64, write: bool) {
+        (**self).access_range(addr, len, write);
     }
 }
 
@@ -178,5 +194,34 @@ mod tests {
         let mut buf = TraceBuffer::new();
         buf.load_range(100, 0);
         assert!(buf.is_empty());
+    }
+
+    /// `load_range`/`store_range` must route through `access_range`, so a
+    /// sink that overrides it sees every range — including calls made
+    /// through a `&mut` reference.
+    #[test]
+    fn range_overrides_are_reachable_through_mut_refs() {
+        struct Counting {
+            ranges: Vec<(u64, u64, bool)>,
+        }
+        impl TraceSink for Counting {
+            fn access(&mut self, _access: MemAccess) {
+                panic!("bulk sink must not see per-probe accesses");
+            }
+            fn access_range(&mut self, addr: u64, len: u64, write: bool) {
+                self.ranges.push((addr, len, write));
+            }
+        }
+        let mut sink = Counting { ranges: Vec::new() };
+        {
+            let via_ref: &mut Counting = &mut sink;
+            via_ref.load_range(0, 128);
+            via_ref.store_range(64, 64);
+        }
+        sink.access_range(128, 8, false);
+        assert_eq!(
+            sink.ranges,
+            vec![(0, 128, false), (64, 64, true), (128, 8, false)]
+        );
     }
 }
