@@ -7,10 +7,11 @@
 //! never changes, only the naive variant's absolute time scales.
 
 use membound_bench::{scale_banner, Args};
-use membound_core::experiment::simulate_transpose;
+use membound_core::experiment::{simulate_transpose, simulate_transpose_budgeted};
 use membound_core::report::{fmt_seconds, to_json, TextTable};
+use membound_core::runner::resolve_jobs;
 use membound_core::{TransposeConfig, TransposeVariant};
-use membound_sim::Device;
+use membound_sim::{Device, JobBudget};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -35,6 +36,9 @@ fn main() {
             .to_vec(),
     );
     let mut rows = Vec::new();
+    // Devices are walked serially; the budget feeds the multi-core
+    // Dynamic-variant replay (Naive is single-core either way).
+    let budget = JobBudget::new(resolve_jobs(args.jobs));
     for device in [Device::MangoPiMqPro, Device::RaspberryPi4] {
         let base_mlp = device.spec().core.mlp;
         for factor in [0.5, 1.0, 2.0, 4.0] {
@@ -43,9 +47,10 @@ fn main() {
             let naive = simulate_transpose(&spec, TransposeVariant::Naive, cfg)
                 .expect("fits")
                 .seconds;
-            let dynamic = simulate_transpose(&spec, TransposeVariant::Dynamic, cfg)
-                .expect("fits")
-                .seconds;
+            let dynamic =
+                simulate_transpose_budgeted(&spec, TransposeVariant::Dynamic, cfg, &budget)
+                    .expect("fits")
+                    .seconds;
             table.row(vec![
                 device.label().into(),
                 format!("{:.1}", spec.core.mlp),

@@ -6,10 +6,11 @@
 //! to be prepared on time").
 
 use membound_bench::{scale_banner, Args};
-use membound_core::experiment::{simulate_blur, stream_dram_gbps};
+use membound_core::experiment::{simulate_blur, stream_dram_gbps_budgeted};
 use membound_core::report::{to_json, TextTable};
+use membound_core::runner::resolve_jobs;
 use membound_core::BlurVariant;
-use membound_sim::Device;
+use membound_sim::{Device, JobBudget};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -43,11 +44,14 @@ fn main() {
         .to_vec(),
     );
     let mut rows = Vec::new();
+    // Devices are walked serially; the whole budget is spare for the
+    // multi-core STREAM replays (the blur variant here is single-core).
+    let budget = JobBudget::new(resolve_jobs(args.jobs));
     for device in Device::all() {
         let with = device.spec();
         let without = device.spec().without_prefetchers();
-        let stream_with = stream_dram_gbps(&with);
-        let stream_without = stream_dram_gbps(&without);
+        let stream_with = stream_dram_gbps_budgeted(&with, &budget);
+        let stream_without = stream_dram_gbps_budgeted(&without, &budget);
         let blur_with = simulate_blur(&with, BlurVariant::UnitStride, cfg).seconds;
         let blur_without = simulate_blur(&without, BlurVariant::UnitStride, cfg).seconds;
         table.row(vec![

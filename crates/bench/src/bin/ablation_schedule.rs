@@ -7,9 +7,10 @@
 
 use membound_bench::{scale_banner, Args};
 use membound_core::report::{fmt_seconds, to_json, TextTable};
+use membound_core::runner::resolve_jobs;
 use membound_core::{TransposeConfig, TransposeTrace, TransposeVariant};
 use membound_parallel::Schedule;
-use membound_sim::{Device, Machine};
+use membound_sim::{Device, JobBudget, Machine};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -45,11 +46,14 @@ fn main() {
             .to_vec(),
     );
     let mut rows = Vec::new();
+    // One shared budget: cells run serially here, so every slot is spare
+    // for the per-core fan-out inside `Machine::simulate`.
+    let budget = JobBudget::new(resolve_jobs(args.jobs));
     for threads in [2u32, 4, 10] {
         for (name, schedule) in schedules {
             let weight = |i: u64| trace.weight(variant, i);
             let plan = schedule.plan(total, threads, weight);
-            let machine = Machine::new(spec.clone());
+            let machine = Machine::new(spec.clone()).with_budget(budget.clone());
             let report = machine.simulate(threads, |tid, sink| {
                 for range in &plan[tid as usize] {
                     trace.trace_outer(variant, sink, tid, range.start, range.end);

@@ -8,11 +8,12 @@
 //! restructuring (Memory) pays off.
 
 use membound_bench::Args;
-use membound_core::experiment::stream_dram_gbps;
+use membound_core::experiment::stream_dram_gbps_budgeted;
 use membound_core::report::{to_json, TextTable};
 use membound_core::roofline::{DeviceRoofline, KernelIntensity};
+use membound_core::runner::resolve_jobs;
 use membound_core::{BlurConfig, StreamOp, TransposeConfig};
-use membound_sim::Device;
+use membound_sim::{Device, JobBudget};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -50,9 +51,12 @@ fn main() {
         .to_vec(),
     );
     let mut rows = Vec::new();
+    // Devices are walked serially; the budget feeds the multi-core
+    // STREAM measurement inside each device.
+    let budget = JobBudget::new(resolve_jobs(args.jobs));
     for device in Device::all() {
         let spec = device.spec();
-        let stream = stream_dram_gbps(&spec);
+        let stream = stream_dram_gbps_budgeted(&spec, &budget);
         let roof = DeviceRoofline::for_device(&spec, stream);
         for k in &kernels {
             let i = k.intensity();

@@ -7,10 +7,13 @@
 //! model, against the paper's four devices.
 
 use membound_bench::{scale_banner, Args};
-use membound_core::experiment::{simulate_blur, simulate_transpose, stream_dram_gbps};
+use membound_core::experiment::{
+    simulate_blur_budgeted, simulate_transpose_budgeted, stream_dram_gbps_budgeted,
+};
 use membound_core::report::{fmt_seconds, to_json, TextTable};
+use membound_core::runner::resolve_jobs;
 use membound_core::{BlurVariant, TransposeConfig, TransposeVariant};
-use membound_sim::{future, Device, DeviceSpec};
+use membound_sim::{future, Device, DeviceSpec, JobBudget};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -45,12 +48,15 @@ fn main() {
         .to_vec(),
     );
     let mut rows = Vec::new();
+    // This binary walks devices serially, so the whole job budget is
+    // spare for the simulator's per-core fan-out on each device.
+    let budget = JobBudget::new(resolve_jobs(args.jobs));
     for spec in &specs {
-        let stream = stream_dram_gbps(spec);
-        let transpose = simulate_transpose(spec, TransposeVariant::Dynamic, tcfg)
+        let stream = stream_dram_gbps_budgeted(spec, &budget);
+        let transpose = simulate_transpose_budgeted(spec, TransposeVariant::Dynamic, tcfg, &budget)
             .map(|r| r.seconds)
             .unwrap_or(f64::NAN);
-        let blur = simulate_blur(spec, BlurVariant::Parallel, bcfg).seconds;
+        let blur = simulate_blur_budgeted(spec, BlurVariant::Parallel, bcfg, &budget).seconds;
         table.row(vec![
             spec.name.clone(),
             format!("{stream:.2}"),

@@ -9,11 +9,13 @@
 use crate::blur::{BlurConfig, BlurTrace, BlurVariant};
 use crate::stream::{StreamOp, StreamTrace};
 use crate::transpose::{traced::TransposeTrace, TransposeConfig, TransposeVariant};
+use membound_parallel::JobBudget;
 use membound_sim::{DeviceSpec, Machine, SimReport};
 use membound_trace::TraceSink;
 use serde::{Deserialize, Serialize};
 
-/// Simulate one transposition variant on a device.
+/// Simulate one transposition variant on a device, replaying simulated
+/// cores serially on the calling thread.
 ///
 /// Returns `None` when the matrix does not fit in device memory — exactly
 /// the missing Mango Pi bars in the 16384² panel of Fig. 2.
@@ -40,10 +42,23 @@ pub fn simulate_transpose(
     variant: TransposeVariant,
     cfg: TransposeConfig,
 ) -> Option<SimReport> {
+    simulate_transpose_budgeted(spec, variant, cfg, &JobBudget::serial())
+}
+
+/// [`simulate_transpose`] with per-core replay fanned out across host
+/// workers leased from `budget`. Simulated results and digests are
+/// bit-identical to the serial variant; only host wall time changes.
+#[must_use]
+pub fn simulate_transpose_budgeted(
+    spec: &DeviceSpec,
+    variant: TransposeVariant,
+    cfg: TransposeConfig,
+    budget: &JobBudget,
+) -> Option<SimReport> {
     if !spec.fits_in_memory(cfg.matrix_bytes()) {
         return None;
     }
-    let machine = Machine::new(spec.clone());
+    let machine = Machine::new(spec.clone()).with_budget(budget.clone());
     let trace = TransposeTrace::new(cfg);
     let threads = if variant.is_parallel() { spec.cores } else { 1 };
     let total = trace.outer_iterations(variant);
@@ -57,14 +72,27 @@ pub fn simulate_transpose(
     }))
 }
 
-/// Simulate one blur variant on a device.
+/// Simulate one blur variant on a device, replaying simulated cores
+/// serially on the calling thread.
 ///
 /// Sequential variants run on one simulated core; `Parallel` splits both
 /// separable passes statically across all cores with a barrier in between
 /// (two OpenMP parallel-for regions).
 #[must_use]
 pub fn simulate_blur(spec: &DeviceSpec, variant: BlurVariant, cfg: BlurConfig) -> SimReport {
-    let machine = Machine::new(spec.clone());
+    simulate_blur_budgeted(spec, variant, cfg, &JobBudget::serial())
+}
+
+/// [`simulate_blur`] with per-core replay fanned out across host workers
+/// leased from `budget` (digest-identical to the serial variant).
+#[must_use]
+pub fn simulate_blur_budgeted(
+    spec: &DeviceSpec,
+    variant: BlurVariant,
+    cfg: BlurConfig,
+    budget: &JobBudget,
+) -> SimReport {
+    let machine = Machine::new(spec.clone()).with_budget(budget.clone());
     let trace = BlurTrace::new(cfg);
     match variant {
         BlurVariant::Naive | BlurVariant::UnitStride => machine.simulate(1, |_tid, sink| {
@@ -93,11 +121,24 @@ pub fn simulate_blur(spec: &DeviceSpec, variant: BlurVariant, cfg: BlurConfig) -
     }
 }
 
-/// Simulate the fused-blur extension (see `blur::fused`): output bands
-/// split statically across all cores, each with its own ring buffer.
+/// Simulate the fused-blur extension (see `blur::fused`), replaying
+/// simulated cores serially: output bands split statically across all
+/// cores, each with its own ring buffer.
 #[must_use]
 pub fn simulate_fused_blur(spec: &DeviceSpec, cfg: BlurConfig, threads: u32) -> SimReport {
-    let machine = Machine::new(spec.clone());
+    simulate_fused_blur_budgeted(spec, cfg, threads, &JobBudget::serial())
+}
+
+/// [`simulate_fused_blur`] with per-core replay fanned out across host
+/// workers leased from `budget` (digest-identical to the serial variant).
+#[must_use]
+pub fn simulate_fused_blur_budgeted(
+    spec: &DeviceSpec,
+    cfg: BlurConfig,
+    threads: u32,
+    budget: &JobBudget,
+) -> SimReport {
+    let machine = Machine::new(spec.clone()).with_budget(budget.clone());
     let trace = crate::blur::FusedBlurTrace::new(cfg);
     let threads = threads.min(spec.cores).max(1);
     let plan = membound_parallel::Schedule::Static.plan(trace.output_rows(), threads, |_| 1.0);
@@ -170,6 +211,18 @@ fn dram_level_elements(spec: &DeviceSpec, arrays: u64) -> u64 {
 /// DRAM are measured with every core active.
 #[must_use]
 pub fn simulate_stream(spec: &DeviceSpec, op: StreamOp, level: Option<usize>) -> f64 {
+    simulate_stream_budgeted(spec, op, level, &JobBudget::serial())
+}
+
+/// [`simulate_stream`] with per-core replay fanned out across host
+/// workers leased from `budget` (digest-identical to the serial variant).
+#[must_use]
+pub fn simulate_stream_budgeted(
+    spec: &DeviceSpec,
+    op: StreamOp,
+    level: Option<usize>,
+    budget: &JobBudget,
+) -> f64 {
     let arrays = u64::from(op.arrays_used());
     let (elements, threads, scale) = match level {
         Some(k) => {
@@ -185,7 +238,7 @@ pub fn simulate_stream(spec: &DeviceSpec, op: StreamOp, level: Option<usize>) ->
         None => (dram_level_elements(spec, arrays), spec.cores, 1.0),
     };
 
-    let machine = Machine::new(spec.clone());
+    let machine = Machine::new(spec.clone()).with_budget(budget.clone());
     let per_thread = elements; // each simulated core streams its own arrays’ slice
     let report = machine.simulate(threads, |tid, sink| {
         // Each thread works on its own contiguous slice of logically
@@ -220,11 +273,21 @@ pub fn simulate_stream(spec: &DeviceSpec, op: StreamOp, level: Option<usize>) ->
 /// all four STREAM tests.
 #[must_use]
 pub fn simulate_stream_survey(spec: &DeviceSpec) -> Vec<StreamLevelResult> {
+    simulate_stream_survey_budgeted(spec, &JobBudget::serial())
+}
+
+/// [`simulate_stream_survey`] with per-core replay fanned out across
+/// host workers leased from `budget`.
+#[must_use]
+pub fn simulate_stream_survey_budgeted(
+    spec: &DeviceSpec,
+    budget: &JobBudget,
+) -> Vec<StreamLevelResult> {
     let mut out = Vec::new();
     for (k, cache) in spec.caches.iter().enumerate() {
         let mut gbps = [0.0; 4];
         for (g, op) in gbps.iter_mut().zip(StreamOp::all()) {
-            *g = simulate_stream(spec, op, Some(k));
+            *g = simulate_stream_budgeted(spec, op, Some(k), budget);
         }
         out.push(StreamLevelResult {
             level: cache.name.clone(),
@@ -238,7 +301,7 @@ pub fn simulate_stream_survey(spec: &DeviceSpec) -> Vec<StreamLevelResult> {
     }
     let mut gbps = [0.0; 4];
     for (g, op) in gbps.iter_mut().zip(StreamOp::all()) {
-        *g = simulate_stream(spec, op, None);
+        *g = simulate_stream_budgeted(spec, op, None, budget);
     }
     out.push(StreamLevelResult {
         level: "DRAM".into(),
@@ -254,6 +317,13 @@ pub fn simulate_stream_survey(spec: &DeviceSpec) -> Vec<StreamLevelResult> {
 #[must_use]
 pub fn stream_dram_gbps(spec: &DeviceSpec) -> f64 {
     simulate_stream(spec, StreamOp::Triad, None)
+}
+
+/// [`stream_dram_gbps`] with per-core replay fanned out across host
+/// workers leased from `budget`.
+#[must_use]
+pub fn stream_dram_gbps_budgeted(spec: &DeviceSpec, budget: &JobBudget) -> f64 {
+    simulate_stream_budgeted(spec, StreamOp::Triad, None, budget)
 }
 
 #[cfg(test)]
@@ -357,6 +427,35 @@ mod tests {
         let spec = Device::StarFiveVisionFive.spec();
         let r = simulate_fused_blur(&spec, BlurConfig::small(48, 64), 16);
         assert_eq!(r.threads, 2);
+    }
+
+    /// Budgeted replay is a host-side optimization only: digests from
+    /// the fanned-out and serial paths must be byte-identical for every
+    /// budgeted kernel entry point.
+    #[test]
+    fn budgeted_kernels_match_serial_digests() {
+        let spec = Device::RaspberryPi4.spec();
+        let budget = JobBudget::new(4);
+
+        let cfg = TransposeConfig::with_block(512, 32);
+        let serial = simulate_transpose(&spec, TransposeVariant::Parallel, cfg).unwrap();
+        let fanned =
+            simulate_transpose_budgeted(&spec, TransposeVariant::Parallel, cfg, &budget).unwrap();
+        assert_eq!(serial.stats_digest(), fanned.stats_digest());
+        assert!(fanned.host_workers > 1, "spare budget must be used");
+
+        let bcfg = BlurConfig::small(96, 96);
+        let serial = simulate_blur(&spec, BlurVariant::Parallel, bcfg);
+        let fanned = simulate_blur_budgeted(&spec, BlurVariant::Parallel, bcfg, &budget);
+        assert_eq!(serial.stats_digest(), fanned.stats_digest());
+
+        let serial = simulate_fused_blur(&spec, bcfg, 4);
+        let fanned = simulate_fused_blur_budgeted(&spec, bcfg, 4, &budget);
+        assert_eq!(serial.stats_digest(), fanned.stats_digest());
+
+        let serial = simulate_stream(&spec, StreamOp::Triad, None);
+        let fanned = simulate_stream_budgeted(&spec, StreamOp::Triad, None, &budget);
+        assert_eq!(serial.to_bits(), fanned.to_bits());
     }
 
     #[test]

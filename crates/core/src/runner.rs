@@ -16,12 +16,20 @@
 //!   speedup-vs-baseline per ladder, and renders the versioned JSONL
 //!   run log of [`crate::telemetry`].
 //!
+//! The `jobs` value is one shared [`JobBudget`] across *two* nested
+//! parallel layers: the engine's per-cell sharding leases one slot per
+//! outer worker, and each cell's [`membound_sim::Machine`] leases the
+//! spare slots to replay its simulated cores concurrently. `--jobs N`
+//! therefore bounds the total number of concurrently running host
+//! threads instead of multiplying into `cells × cores` (see DESIGN.md
+//! §9).
+//!
 //! Parallel runs are bit-identical to serial ones: the simulator is
-//! deterministic and results are slotted by cell index, so the per-cell
-//! [`SimReport`]s (and therefore their
-//! [`stats_digest`](SimReport::stats_digest)s and the run log's
+//! deterministic and results are slotted by cell index (and per-core
+//! outcomes by tid), so the per-cell [`SimReport`]s (and therefore
+//! their [`stats_digest`](SimReport::stats_digest)s and the run log's
 //! simulated fields) do not depend on the job count. Only host wall
-//! times differ.
+//! times and worker counts differ.
 
 use crate::blur::{BlurConfig, BlurVariant};
 use crate::experiment;
@@ -29,7 +37,7 @@ use crate::metrics::speedup;
 use crate::stream::StreamOp;
 use crate::telemetry::{self, CellRecord, RunHeader, SimRecord};
 use crate::transpose::{TransposeConfig, TransposeVariant};
-use membound_parallel::{Pool, Task};
+use membound_parallel::{JobBudget, Pool, Task};
 use membound_sim::{DeviceSpec, SimReport};
 use std::path::Path;
 use std::time::Instant;
@@ -317,20 +325,34 @@ impl Engine {
     /// Execute every cell of the matrix and return results in cell
     /// order, with speedups and utilizations attached.
     ///
+    /// The engine's `jobs` value is one *shared budget* of host worker
+    /// threads across both parallel layers: the outer per-cell sharding
+    /// leases one slot per worker it keeps busy (at most one per cell),
+    /// and inside each cell [`membound_sim::Machine::simulate`] leases
+    /// any spare slots to fan the per-core trace replay out. The two
+    /// layers therefore never multiply — total concurrent workers stay
+    /// bounded by `jobs` — while small matrices on many-core devices
+    /// (where the outer layer alone cannot fill the budget) still use
+    /// every slot.
+    ///
     /// Cells are claimed dynamically by the pool's threads; a panicking
     /// cell becomes [`CellOutcome::Panicked`] without affecting its
     /// neighbours. The simulated outcome of each cell — and hence the
-    /// whole result apart from wall times — is independent of `jobs`.
+    /// whole result apart from wall times and worker counts — is
+    /// independent of `jobs`.
     #[must_use]
     pub fn run(&self, matrix: &ExperimentMatrix) -> RunResults {
-        let pool = Pool::new(self.jobs);
+        let budget = JobBudget::new(self.jobs);
+        let outer = budget.lease((matrix.cells.len() as u32).min(self.jobs).max(1));
+        let pool = Pool::new(outer.granted().max(1));
+        let budget_ref = &budget;
         let tasks: Vec<Task<'_, (CellOutcome, f64)>> = matrix
             .cells
             .iter()
             .map(|cell| {
                 let b: Task<'_, (CellOutcome, f64)> = Box::new(move || {
                     let start = Instant::now();
-                    let outcome = execute(cell);
+                    let outcome = execute(cell, budget_ref);
                     (outcome, start.elapsed().as_secs_f64())
                 });
                 b
@@ -376,11 +398,15 @@ impl Engine {
     /// device, which is far harder to notice than a missing bar.
     #[must_use]
     pub fn stream_baselines(&self, devices: &[(String, DeviceSpec)]) -> Vec<(String, f64)> {
-        let pool = Pool::new(self.jobs);
+        let budget = JobBudget::new(self.jobs);
+        let outer = budget.lease((devices.len() as u32).min(self.jobs).max(1));
+        let pool = Pool::new(outer.granted().max(1));
+        let budget_ref = &budget;
         let tasks: Vec<Task<'_, f64>> = devices
             .iter()
             .map(|(_, spec)| {
-                let b: Task<'_, f64> = Box::new(move || experiment::stream_dram_gbps(spec));
+                let b: Task<'_, f64> =
+                    Box::new(move || experiment::stream_dram_gbps_budgeted(spec, budget_ref));
                 b
             })
             .collect();
@@ -401,23 +427,23 @@ impl Engine {
     }
 }
 
-fn execute(cell: &Cell) -> CellOutcome {
+fn execute(cell: &Cell, budget: &JobBudget) -> CellOutcome {
     match &cell.kind {
         CellKind::Transpose { variant, cfg } => {
-            match experiment::simulate_transpose(&cell.spec, *variant, *cfg) {
+            match experiment::simulate_transpose_budgeted(&cell.spec, *variant, *cfg, budget) {
                 Some(report) => CellOutcome::Report(Box::new(report)),
                 None => CellOutcome::DoesNotFit,
             }
         }
         CellKind::Blur { variant, cfg } => CellOutcome::Report(Box::new(
-            experiment::simulate_blur(&cell.spec, *variant, *cfg),
+            experiment::simulate_blur_budgeted(&cell.spec, *variant, *cfg, budget),
         )),
         CellKind::FusedBlur { cfg, threads } => CellOutcome::Report(Box::new(
-            experiment::simulate_fused_blur(&cell.spec, *cfg, *threads),
+            experiment::simulate_fused_blur_budgeted(&cell.spec, *cfg, *threads, budget),
         )),
-        CellKind::Stream { op, level } => {
-            CellOutcome::Gbps(experiment::simulate_stream(&cell.spec, *op, *level))
-        }
+        CellKind::Stream { op, level } => CellOutcome::Gbps(experiment::simulate_stream_budgeted(
+            &cell.spec, *op, *level, budget,
+        )),
     }
 }
 

@@ -24,7 +24,14 @@ use serde::{Deserialize, Serialize};
 ///
 /// Bump on any change to the field set or meaning of [`RunHeader`] /
 /// [`CellRecord`]; the validator rejects mismatched logs.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// History:
+/// * 2 — `hit_rate` of an untouched level is now `1.0` (the
+///   `membound_sim::LevelStats::hit_rate` convention; it was `0.0`,
+///   silently disagreeing with the simulator's text reports), and
+///   [`SimRecord`] carries `host_workers`.
+/// * 1 — initial schema.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// First line of a run log.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -70,24 +77,32 @@ pub struct CacheLevelRecord {
     pub hits: u64,
     /// Demand misses.
     pub misses: u64,
-    /// `hits / (hits + misses)`, 0 when the level saw no accesses.
+    /// `hits / (hits + misses)`; `1.0` when the level saw no accesses.
+    ///
+    /// The untouched-level convention deliberately matches
+    /// [`membound_sim::LevelStats::hit_rate`] ("an untouched level never
+    /// missed"), so JSONL run logs agree number-for-number with the
+    /// simulator's own reports. Schema version 1 wrote `0.0` here, which
+    /// made the same untouched level look like a 100% *miss* rate in the
+    /// log and a 100% *hit* rate in text reports.
     pub hit_rate: f64,
 }
 
 impl CacheLevelRecord {
-    /// Build from raw counters.
+    /// Build from raw counters; the rate delegates to
+    /// [`membound_sim::LevelStats::hit_rate`] so the two layers cannot
+    /// drift apart again.
     #[must_use]
     pub fn new(hits: u64, misses: u64) -> Self {
-        let total = hits + misses;
-        let hit_rate = if total == 0 {
-            0.0
-        } else {
-            hits as f64 / total as f64
+        let stats = membound_sim::LevelStats {
+            hits,
+            misses,
+            ..Default::default()
         };
         Self {
             hits,
             misses,
-            hit_rate,
+            hit_rate: stats.hit_rate(),
         }
     }
 }
@@ -116,6 +131,10 @@ pub struct SimRecord {
     /// [`membound_sim::SimReport::stats_digest`] as 16 hex digits: the
     /// value the serial-vs-parallel equivalence checks compare.
     pub stats_digest: String,
+    /// Host worker threads that replayed this cell's simulated cores (1
+    /// for serial replay). Host-side diagnostic like `wall_seconds`:
+    /// varies with the job budget, never with the simulated results.
+    pub host_workers: u32,
 }
 
 impl SimRecord {
@@ -137,6 +156,7 @@ impl SimRecord {
             dram_reads: report.dram.reads,
             dram_writes: report.dram.writes,
             stats_digest: format!("{:016x}", report.stats_digest()),
+            host_workers: report.host_workers,
         }
     }
 }
@@ -344,12 +364,39 @@ mod tests {
                 dram_reads: 10,
                 dram_writes: 5,
                 stats_digest: "00deadbeef001234".into(),
+                host_workers: 1,
             }),
             gbps: None,
             speedup_vs_naive: Some(1.0),
             bandwidth_utilization: None,
             error: None,
         }
+    }
+
+    /// Regression: schema v1 reported an untouched level as `0.0` while
+    /// `LevelStats::hit_rate` said `1.0` for the very same counters —
+    /// the log and the text reports disagreed. The record now delegates
+    /// to the simulator's convention for *every* input.
+    #[test]
+    fn hit_rate_convention_matches_the_simulator() {
+        for (hits, misses) in [(0u64, 0u64), (3, 1), (0, 7), (1, 0), (1000, 24)] {
+            let stats = membound_sim::LevelStats {
+                hits,
+                misses,
+                ..Default::default()
+            };
+            let record = CacheLevelRecord::new(hits, misses);
+            assert_eq!(
+                record.hit_rate.to_bits(),
+                stats.hit_rate().to_bits(),
+                "hits={hits} misses={misses}"
+            );
+        }
+        assert_eq!(
+            CacheLevelRecord::new(0, 0).hit_rate,
+            1.0,
+            "an untouched level never missed"
+        );
     }
 
     #[test]

@@ -1,0 +1,227 @@
+//! Shared worker-thread accounting across nested parallel layers.
+//!
+//! The reproduction parallelizes on two levels: the experiment engine
+//! shards *cells* across workers, and inside each cell the simulator
+//! fans the per-core trace replay out across workers too. Without a
+//! shared ledger the two layers multiply — `--jobs 8` on a matrix of
+//! 10-core Xeon cells would burst to 80 host threads. [`JobBudget`] is
+//! that ledger: one atomic pool of worker *slots* sized by `--jobs`,
+//! from which every layer leases the threads it wants and to which the
+//! lease returns them on drop.
+//!
+//! The accounting is intentionally one-directional and race-tolerant:
+//! a lease grabs *up to* the requested count and the caller simply runs
+//! with fewer workers (down to serial) when the pool is dry. Which
+//! layer wins a race for spare slots changes only host wall time, never
+//! simulated results — the simulator is deterministic and both layers
+//! slot results by index (see DESIGN.md §9).
+//!
+//! # Example
+//!
+//! ```
+//! use membound_parallel::JobBudget;
+//!
+//! let budget = JobBudget::new(8);
+//! let outer = budget.lease(3); // e.g. three experiment cells
+//! assert_eq!(outer.granted(), 3);
+//! let inner = budget.lease(10); // a 10-core device inside one cell
+//! assert_eq!(inner.granted(), 5); // only the spare slots
+//! drop(inner);
+//! assert_eq!(budget.available(), 5); // returned on drop
+//! ```
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// A shared pool of host worker-thread slots.
+///
+/// Cloning is cheap and shares the pool: every layer of a run holds a
+/// clone of the same budget. A slot stands for one *concurrently
+/// running* worker thread; a layer that runs work on its own (already
+/// accounted-for) thread leases only the extra workers it spawns.
+#[derive(Debug, Clone)]
+pub struct JobBudget {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    total: u32,
+    spare: AtomicU32,
+}
+
+impl JobBudget {
+    /// A budget of `total` worker slots (clamped to at least one).
+    #[must_use]
+    pub fn new(total: u32) -> Self {
+        let total = total.max(1);
+        Self {
+            inner: Arc::new(Inner {
+                total,
+                spare: AtomicU32::new(total),
+            }),
+        }
+    }
+
+    /// A budget with no slots to hand out: every `lease` is granted
+    /// zero workers, so budget-aware layers degrade to running serially
+    /// on the caller's thread. This is the default for standalone
+    /// simulator use — callers opt into fan-out by passing a real
+    /// budget.
+    #[must_use]
+    pub fn serial() -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                total: 0,
+                spare: AtomicU32::new(0),
+            }),
+        }
+    }
+
+    /// Total slots the budget was created with.
+    #[must_use]
+    pub fn total(&self) -> u32 {
+        self.inner.total
+    }
+
+    /// Slots currently unleased.
+    #[must_use]
+    pub fn available(&self) -> u32 {
+        self.inner.spare.load(Ordering::Acquire)
+    }
+
+    /// Atomically take up to `want` slots; the returned lease reports
+    /// how many were actually granted (possibly zero) and returns them
+    /// to the pool when dropped.
+    #[must_use]
+    pub fn lease(&self, want: u32) -> Lease {
+        let mut cur = self.inner.spare.load(Ordering::Acquire);
+        loop {
+            let take = cur.min(want);
+            if take == 0 {
+                return Lease {
+                    inner: Arc::clone(&self.inner),
+                    granted: 0,
+                };
+            }
+            match self.inner.spare.compare_exchange_weak(
+                cur,
+                cur - take,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    return Lease {
+                        inner: Arc::clone(&self.inner),
+                        granted: take,
+                    }
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+/// Worker slots held out of a [`JobBudget`]; returned on drop.
+#[derive(Debug)]
+pub struct Lease {
+    inner: Arc<Inner>,
+    granted: u32,
+}
+
+impl Lease {
+    /// How many of the requested slots were actually granted.
+    #[must_use]
+    pub fn granted(&self) -> u32 {
+        self.granted
+    }
+}
+
+impl Drop for Lease {
+    fn drop(&mut self) {
+        if self.granted > 0 {
+            self.inner.spare.fetch_add(self.granted, Ordering::AcqRel);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_takes_at_most_whats_available() {
+        let b = JobBudget::new(4);
+        assert_eq!(b.total(), 4);
+        let a = b.lease(3);
+        assert_eq!(a.granted(), 3);
+        assert_eq!(b.available(), 1);
+        let c = b.lease(3);
+        assert_eq!(c.granted(), 1);
+        assert_eq!(b.available(), 0);
+        let d = b.lease(1);
+        assert_eq!(d.granted(), 0);
+    }
+
+    #[test]
+    fn dropping_a_lease_returns_its_slots() {
+        let b = JobBudget::new(2);
+        let a = b.lease(2);
+        assert_eq!(b.available(), 0);
+        drop(a);
+        assert_eq!(b.available(), 2);
+        assert_eq!(b.lease(5).granted(), 2);
+    }
+
+    #[test]
+    fn serial_budget_never_grants() {
+        let b = JobBudget::serial();
+        assert_eq!(b.total(), 0);
+        assert_eq!(b.lease(8).granted(), 0);
+        assert_eq!(b.available(), 0);
+    }
+
+    #[test]
+    fn zero_want_is_a_no_op() {
+        let b = JobBudget::new(3);
+        let l = b.lease(0);
+        assert_eq!(l.granted(), 0);
+        assert_eq!(b.available(), 3);
+    }
+
+    #[test]
+    fn new_clamps_to_one_slot() {
+        assert_eq!(JobBudget::new(0).total(), 1);
+    }
+
+    #[test]
+    fn clones_share_one_pool() {
+        let a = JobBudget::new(4);
+        let b = a.clone();
+        let held = a.lease(3);
+        assert_eq!(b.available(), 1);
+        drop(held);
+        assert_eq!(b.available(), 4);
+    }
+
+    #[test]
+    fn concurrent_leases_never_oversubscribe() {
+        let b = JobBudget::new(5);
+        let peak = std::sync::atomic::AtomicU32::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..200 {
+                        let l = b.lease(3);
+                        let outstanding = 5 - b.available();
+                        peak.fetch_max(outstanding, Ordering::Relaxed);
+                        assert!(outstanding <= 5, "oversubscribed: {outstanding}");
+                        drop(l);
+                    }
+                });
+            }
+        });
+        assert_eq!(b.available(), 5, "all slots must come home");
+        assert!(peak.load(Ordering::Relaxed) <= 5);
+    }
+}

@@ -13,6 +13,11 @@
 //!   earliest-idle-thread simulation for dynamic/guided), which the
 //!   simulator uses to generate one reference stream per simulated core.
 //!
+//! [`JobBudget`] is the glue between nested parallel layers: a shared
+//! atomic pool of worker slots that keeps the experiment engine's
+//! per-cell sharding and the simulator's per-core fan-out jointly
+//! bounded by one `--jobs` value instead of multiplying.
+//!
 //! [`SharedSlice`] is the crate's single unsafe construct: a raw shared
 //! view of a mutable slice for in-place parallel kernels whose
 //! disjointness is arithmetic rather than structural (see its module docs).
@@ -38,11 +43,13 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+mod budget;
 mod pool;
 mod schedule;
 mod shared;
 mod tasks;
 
+pub use budget::{JobBudget, Lease};
 pub use pool::Pool;
 pub use schedule::Schedule;
 pub use shared::SharedSlice;

@@ -272,6 +272,10 @@ impl AssocArray {
         new_flags: u8,
         r: Reserved,
     ) -> InsertOutcome {
+        // Installing the sentinel would create a phantom "empty" way that
+        // is silently lost to every later scan; catch it on both install
+        // paths (see `insert` for the same guard).
+        debug_assert_ne!(key, TAG_INVALID, "key collides with the empty-way sentinel");
         debug_assert!(
             self.peek(key).is_none(),
             "reserved install of a present key"
@@ -501,6 +505,37 @@ mod tests {
         assert!(matches!(a.insert(13, 0), InsertOutcome::Installed(_)));
         assert!(a.lookup(13).is_some());
         assert_eq!(a.valid_entries(), 1);
+    }
+
+    /// The top line of the address space hashes to `u64::MAX` for 1-byte
+    /// lines (see `membound_trace::MemAccess::lines` and its
+    /// end-of-address-space clamp test); storing it would alias the
+    /// empty-way sentinel and leak the way. Both install paths must
+    /// refuse it in debug builds.
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "empty-way sentinel"))]
+    fn insert_rejects_the_sentinel_key() {
+        if !cfg!(debug_assertions) {
+            panic!("empty-way sentinel"); // keep the expectation meaningful
+        }
+        let mut a = AssocArray::new(4, 2, ReplacementPolicy::Lru, 1);
+        let _ = a.insert(TAG_INVALID, 0);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "empty-way sentinel"))]
+    fn install_reserved_rejects_the_sentinel_key() {
+        if !cfg!(debug_assertions) {
+            panic!("empty-way sentinel");
+        }
+        let mut a = AssocArray::new(4, 2, ReplacementPolicy::Lru, 1);
+        // Reserve a slot through the normal miss flow, then try to land
+        // the sentinel in it: the guard must fire before any state
+        // changes, exactly as on the fused fast path.
+        let (hit, reserved) = a.access_demand_reserving(7, false);
+        assert!(hit.is_none());
+        let r = reserved.expect("LRU reserves a victim on miss");
+        let _ = a.install_reserved(TAG_INVALID, 0, r);
     }
 
     #[test]

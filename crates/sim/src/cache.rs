@@ -118,7 +118,22 @@ impl CacheConfig {
 
     /// A copy of this config with capacity divided by `n` (used to
     /// partition shared levels between active cores). Associativity is
-    /// kept; capacity never drops below one set row.
+    /// kept; capacity never drops below one set row (`ways ×
+    /// line_bytes`).
+    ///
+    /// Two edges of the arithmetic are deliberate and digest-stable:
+    ///
+    /// * When `n` exceeds the set count, the per-core share is clamped
+    ///   *up* to one full set row, so the partitions jointly model more
+    ///   capacity than the physical level. That over-approximation is
+    ///   preferred to a degenerate zero-set cache; a one-time warning is
+    ///   emitted on stderr so surveys over many-core what-if devices
+    ///   don't silently rely on it.
+    /// * The quotient set count need not stay a power of two (e.g. 128
+    ///   sets split 3 ways gives 42). [`crate::Cache`] handles this: its
+    ///   set indexing uses the fast mask only for power-of-two set
+    ///   counts and falls back to modulo otherwise, at a small host-time
+    ///   (never simulated-result) cost.
     #[must_use]
     pub fn partitioned(&self, n: u64) -> Self {
         let mut cfg = self.clone();
@@ -126,6 +141,17 @@ impl CacheConfig {
             return cfg;
         }
         let min_size = u64::from(cfg.ways) * u64::from(cfg.line_bytes);
+        if cfg.size_bytes / n < min_size {
+            static CLAMPED: std::sync::Once = std::sync::Once::new();
+            CLAMPED.call_once(|| {
+                eprintln!(
+                    "warning: partitioning cache {:?} ({} B, {} ways) across {} cores \
+                     clamps each share up to one {} B set row; the partitions jointly \
+                     model more capacity than the level has",
+                    cfg.name, cfg.size_bytes, cfg.ways, n, min_size
+                );
+            });
+        }
         let target = (cfg.size_bytes / n).max(min_size);
         let rows = (target / min_size).max(1);
         cfg.size_bytes = rows * min_size;
@@ -548,6 +574,46 @@ mod tests {
     fn partitioned_by_one_is_identity() {
         let cfg = CacheConfig::new("L2", 128 * 1024, 8, 64);
         assert_eq!(cfg.partitioned(1), cfg);
+    }
+
+    #[test]
+    fn partitioned_beyond_set_count_clamps_to_one_row_per_core() {
+        // 2048 B / (2 ways × 64 B) = 16 sets; asking for 64 partitions
+        // would leave a fraction of a row, so each core gets the one-row
+        // floor — jointly over-modelling capacity, per the documented
+        // approximation (and warned about once on stderr).
+        let cfg = CacheConfig::new("L2", 2048, 2, 64).shared();
+        let share = cfg.partitioned(64);
+        assert_eq!(share.size_bytes, 128, "one 2-way × 64 B set row");
+        assert_eq!(share.sets(), 1);
+        assert_eq!(share.ways, cfg.ways, "associativity preserved");
+        // The clamp floor is also reproducible: same input, same share.
+        assert_eq!(share, cfg.partitioned(64));
+    }
+
+    #[test]
+    fn partitioned_may_produce_non_power_of_two_sets() {
+        // 64 KiB / (8 ways × 64 B) = 128 sets; a 5-way split yields 25
+        // sets. The cache must stay fully functional on the modulo
+        // set-index fallback (the fast mask needs a power of two).
+        let cfg = CacheConfig::new("L2", 64 * 1024, 8, 64).shared();
+        let share = cfg.partitioned(5);
+        assert_eq!(share.sets(), 25);
+        assert!(!share.sets().is_power_of_two());
+        let mut c = Cache::new(share);
+        // Lines that collide under mod-25 indexing still behave like a
+        // set-associative cache: fill, re-hit, and evict coherently.
+        for line in 0..400u64 {
+            if !c.access(line, false).hit {
+                c.fill(line, false, false);
+            }
+        }
+        for line in 0..400u64 {
+            let _ = c.access(line, false);
+        }
+        let s = c.stats();
+        assert_eq!(s.accesses(), 800);
+        assert!(s.hits > 0 && s.misses > 0, "{s:?}");
     }
 
     #[test]

@@ -21,9 +21,10 @@
 //!   parallelism; converts `membound_trace::IterCost` into issue cycles
 //!   and decides how much miss latency is exposed.
 //! * [`DramConfig`] — latency + aggregate channel bandwidth.
-//! * [`Machine`] — runs one trace stream per simulated core, partitions
-//!   shared cache capacity, aligns barrier phases, and reports the
-//!   limiting [`Bottleneck`] per phase.
+//! * [`Machine`] — runs one trace stream per simulated core (fanning the
+//!   replay out across host workers leased from a [`JobBudget`] when one
+//!   is attached), partitions shared cache capacity, aligns barrier
+//!   phases, and reports the limiting [`Bottleneck`] per phase.
 //!
 //! # Example
 //!
@@ -64,6 +65,9 @@ pub use devices::Device;
 pub use dram::DramConfig;
 pub use hierarchy::{CorePipeline, PhaseAccum};
 pub use machine::{Bottleneck, DeviceSpec, Machine, PhaseReport, SimReport};
+// Re-exported so `Machine::with_budget` callers need no direct
+// `membound-parallel` dependency.
+pub use membound_parallel::JobBudget;
 pub use prefetch::{Prefetcher, PrefetcherConfig};
 pub use replacement::ReplacementPolicy;
 pub use stats::{CycleBreakdown, DramStats, LevelStats};

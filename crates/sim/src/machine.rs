@@ -7,6 +7,7 @@ use crate::hierarchy::{CoreOutcome, CorePipeline, PhaseAccum, PipelineConfig};
 use crate::prefetch::PrefetcherConfig;
 use crate::stats::{CycleBreakdown, DramStats, LevelStats};
 use crate::tlb::{PageWalk, TlbConfig};
+use membound_parallel::{JobBudget, Pool, Task};
 use serde::{Deserialize, Serialize};
 
 /// Full static description of a device (one of the paper's four boards, or
@@ -136,6 +137,11 @@ pub struct SimReport {
     /// Issue/stall totals summed over cores (diagnostic; wall-clock comes
     /// from `cycles`).
     pub core_cycles_total: CycleBreakdown,
+    /// Host worker threads that replayed the simulated cores (1 when the
+    /// replay ran serially). A host-side diagnostic like wall time: it
+    /// depends on the [`membound_parallel::JobBudget`] and is excluded
+    /// from [`SimReport::stats_digest`].
+    pub host_workers: u32,
 }
 
 impl SimReport {
@@ -166,7 +172,10 @@ impl SimReport {
 
     /// An FNV-1a digest over every *simulated* quantity in the report
     /// (cycles, per-level counters, DRAM traffic, phase structure) —
-    /// everything except host wall time, which the report does not carry.
+    /// everything host-independent. Host-side diagnostics (wall time,
+    /// which the report does not carry, and
+    /// [`host_workers`](SimReport::host_workers)) are excluded: the
+    /// digest must not change with the job budget.
     ///
     /// The digest is *order-sensitive*: FNV-1a is fed the fields in one
     /// fixed, documented sequence, so it pins both the values and their
@@ -286,6 +295,7 @@ impl Fnv {
 pub struct Machine {
     spec: DeviceSpec,
     fastpath: bool,
+    budget: JobBudget,
 }
 
 impl Machine {
@@ -307,6 +317,7 @@ impl Machine {
         Self {
             spec,
             fastpath: true,
+            budget: JobBudget::serial(),
         }
     }
 
@@ -325,6 +336,21 @@ impl Machine {
         self
     }
 
+    /// Attach a [`JobBudget`] so [`Machine::simulate`] may replay
+    /// simulated cores on extra host workers leased from it.
+    ///
+    /// The default budget is [`JobBudget::serial`]: standalone machines
+    /// replay every core on the caller's thread, exactly as before. The
+    /// experiment engine passes its shared `--jobs` budget here so the
+    /// per-cell and per-core parallel layers stay jointly bounded. The
+    /// budget affects host wall time only — simulated results and
+    /// [`SimReport::stats_digest`] are bit-identical for any budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: JobBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
     /// The wrapped device description.
     #[must_use]
     pub fn spec(&self) -> &DeviceSpec {
@@ -332,7 +358,18 @@ impl Machine {
     }
 
     /// Simulate a parallel region: `trace(tid, sink)` is called once per
-    /// simulated core, in turn, and must emit that core's references.
+    /// simulated core — concurrently on host workers leased from the
+    /// machine's [`JobBudget`] when it grants any, on the calling thread
+    /// otherwise — and must emit that core's references.
+    ///
+    /// Each simulated core replays into its own independent
+    /// [`CorePipeline`], so the per-core replays never share mutable
+    /// state; `trace` therefore only needs `Fn + Sync`, which every
+    /// closure capturing its inputs by shared reference satisfies. The
+    /// per-core outcomes are collected *in tid order* regardless of
+    /// which host worker produced them and merged by one deterministic
+    /// combine step, so [`SimReport::stats_digest`] is bit-identical
+    /// between serial and fanned-out replay (see DESIGN.md §9).
     ///
     /// Shared cache levels are capacity-partitioned between the `threads`
     /// active cores (an approximation documented in DESIGN.md: the kernels
@@ -342,10 +379,12 @@ impl Machine {
     ///
     /// # Panics
     ///
-    /// Panics if `threads` is zero or exceeds the device's core count.
-    pub fn simulate<F>(&self, threads: u32, mut trace: F) -> SimReport
+    /// Panics if `threads` is zero or exceeds the device's core count,
+    /// or if `trace` panics (the panic message is forwarded once every
+    /// in-flight core replay has finished).
+    pub fn simulate<F>(&self, threads: u32, trace: F) -> SimReport
     where
-        F: FnMut(u32, &mut CorePipeline),
+        F: Fn(u32, &mut CorePipeline) + Sync,
     {
         assert!(threads > 0, "need at least one thread");
         assert!(
@@ -369,8 +408,7 @@ impl Machine {
             })
             .collect();
 
-        let mut outcomes: Vec<CoreOutcome> = Vec::with_capacity(threads as usize);
-        for tid in 0..threads {
+        let run_core = |tid: u32| -> CoreOutcome {
             let mut pipeline = CorePipeline::new(PipelineConfig {
                 core: self.spec.core.clone(),
                 caches: caches.clone(),
@@ -383,10 +421,45 @@ impl Machine {
                 fastpath: self.fastpath,
             });
             trace(tid, &mut pipeline);
-            outcomes.push(pipeline.finish());
-        }
+            pipeline.finish()
+        };
 
-        self.combine(threads, outcomes)
+        // Lease extra workers beyond the calling thread; a dry budget
+        // (or a single-core region) degrades to the serial loop.
+        let lease = if threads > 1 {
+            Some(self.budget.lease(threads - 1))
+        } else {
+            None
+        };
+        let workers = 1 + lease.as_ref().map_or(0, |l| l.granted());
+
+        let (outcomes, host_workers) = if workers > 1 {
+            let run_core = &run_core;
+            let tasks: Vec<Task<'_, CoreOutcome>> = (0..threads)
+                .map(|tid| {
+                    let b: Task<'_, CoreOutcome> = Box::new(move || run_core(tid));
+                    b
+                })
+                .collect();
+            // `run_tasks` slots each outcome at its task's index, so the
+            // collected vector is in tid order for any worker count. A
+            // panicking core replay is contained per task; forward the
+            // first message so callers observe the same panic they would
+            // have seen from the serial loop.
+            let outcomes = Pool::new(workers)
+                .run_tasks(tasks)
+                .into_iter()
+                .map(|r| r.unwrap_or_else(|p| panic!("{}", p.message)))
+                .collect();
+            (outcomes, workers)
+        } else {
+            ((0..threads).map(run_core).collect(), 1)
+        };
+        drop(lease);
+
+        let mut report = self.combine(threads, outcomes);
+        report.host_workers = host_workers;
+        report
     }
 
     fn combine(&self, threads: u32, outcomes: Vec<CoreOutcome>) -> SimReport {
@@ -480,6 +553,7 @@ impl Machine {
             l2tlb_stats,
             dram,
             core_cycles_total,
+            host_workers: 1,
         }
     }
 }
@@ -661,6 +735,64 @@ mod tests {
         assert!(Bottleneck::SharedCache { level: 2 }
             .to_string()
             .contains("L3"));
+    }
+
+    #[test]
+    fn budgeted_fanout_matches_serial_digest_and_reports_workers() {
+        let m = Machine::new(Device::RaspberryPi4.spec());
+        let serial = m.simulate(4, |tid, s| {
+            sweep(s, u64::from(tid) << 30, 2048);
+            s.barrier();
+            strided(s, (u64::from(tid) + 8) << 30, 512);
+        });
+        assert_eq!(serial.host_workers, 1);
+
+        let budget = JobBudget::new(4);
+        let parallel = m.clone().with_budget(budget.clone()).simulate(4, |tid, s| {
+            sweep(s, u64::from(tid) << 30, 2048);
+            s.barrier();
+            strided(s, (u64::from(tid) + 8) << 30, 512);
+        });
+        assert_eq!(parallel.host_workers, 4, "own thread + 3 leased");
+        assert_eq!(serial.stats_digest(), parallel.stats_digest());
+        assert_eq!(
+            budget.available(),
+            4,
+            "leased workers must return to the budget"
+        );
+    }
+
+    #[test]
+    fn dry_budget_degrades_to_serial_replay() {
+        let m = Machine::new(Device::StarFiveVisionFive.spec()).with_budget(JobBudget::serial());
+        let r = m.simulate(2, |tid, s| sweep(s, u64::from(tid) << 30, 64));
+        assert_eq!(r.host_workers, 1);
+    }
+
+    #[test]
+    fn single_core_region_never_leases_workers() {
+        let budget = JobBudget::new(8);
+        let m = Machine::new(Device::MangoPiMqPro.spec()).with_budget(budget.clone());
+        let r = m.simulate(1, |_, s| sweep(s, 0, 64));
+        assert_eq!(r.host_workers, 1);
+        assert_eq!(budget.available(), 8);
+    }
+
+    #[test]
+    fn core_panic_is_forwarded_from_the_fanout() {
+        let m = Machine::new(Device::RaspberryPi4.spec()).with_budget(JobBudget::new(4));
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.simulate(4, |tid, s| {
+                sweep(s, u64::from(tid) << 30, 16);
+                assert!(tid != 2, "core 2 exploded");
+            })
+        }));
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("core 2 exploded"), "{msg:?}");
     }
 
     #[test]

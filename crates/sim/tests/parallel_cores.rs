@@ -1,0 +1,133 @@
+//! Properties of the per-core-parallel replay path.
+//!
+//! Two contracts from the nested-parallelism design (DESIGN.md §9):
+//!
+//! 1. **Serial/parallel digest identity** — replaying the same traces
+//!    with and without a [`JobBudget`] must produce byte-identical
+//!    [`SimReport::stats_digest`] values on every device preset, for
+//!    arbitrary trace content.
+//! 2. **Ragged barrier counts** — cores may emit *different* numbers of
+//!    barriers; `Machine::combine` pads the missing phases with empty
+//!    accumulators, and that padding must agree between the serial loop
+//!    and the fanned-out replay too.
+
+use membound_sim::{Device, JobBudget, Machine, SimReport};
+use membound_trace::TraceSink;
+use proptest::prelude::*;
+
+/// One scripted reference; op selects the flavour (load/store/range/
+/// barrier), sized so barriers are frequent enough to exercise phase
+/// alignment.
+type Op = (u8, u64, u32);
+
+fn replay(tid: u32, ops: &[Op], barriers_for_tid: u32, sink: &mut dyn TraceSink) {
+    let base = 0x4000_0000_0000 + u64::from(tid) * (1 << 32);
+    let mut barriers = 0;
+    for &(op, raw_addr, raw_size) in ops {
+        let addr = base + raw_addr % (4 * 4096);
+        let size = 1 + raw_size % 64;
+        match op {
+            0..=2 => sink.load(addr, size),
+            3..=4 => sink.store(addr, size),
+            5 => sink.load_range(addr, u64::from(size) * 9),
+            _ => {
+                // Give each core a *different* barrier count: core `tid`
+                // stops emitting barriers after `barriers_for_tid`.
+                if barriers < barriers_for_tid {
+                    sink.barrier();
+                    barriers += 1;
+                }
+            }
+        }
+    }
+}
+
+fn run(device: Device, ops: &[Op], budget: Option<JobBudget>) -> SimReport {
+    let spec = device.spec();
+    let threads = spec.cores;
+    let machine = match budget {
+        Some(b) => Machine::new(spec).with_budget(b),
+        None => Machine::new(spec),
+    };
+    // Core `tid` emits at most `tid` barriers: with 2+ cores the phase
+    // lists are ragged by construction.
+    machine.simulate(threads, |tid, sink| replay(tid, ops, tid, sink))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Serial and per-core-parallel replay agree, digest for digest, on
+    /// all four device presets — including ragged per-core barrier
+    /// counts.
+    #[test]
+    fn parallel_replay_digest_matches_serial_on_all_devices(
+        ops in proptest::collection::vec((0u8..8, 0u64..1 << 16, 0u32..1 << 16), 1..200),
+    ) {
+        for device in Device::all() {
+            let serial = run(device, &ops, None);
+            let parallel = run(device, &ops, Some(JobBudget::new(device.spec().cores)));
+            prop_assert_eq!(
+                serial.stats_digest(),
+                parallel.stats_digest(),
+                "digest diverged on {}: serial {:#?} vs parallel {:#?}",
+                device,
+                serial,
+                parallel
+            );
+            prop_assert_eq!(serial.threads, parallel.threads);
+        }
+    }
+
+    /// `Machine::combine` pads ragged phase lists deterministically: the
+    /// report has exactly `max(barriers) + 1` phases and re-running is
+    /// bit-identical.
+    #[test]
+    fn ragged_barrier_counts_combine_deterministically(
+        ops in proptest::collection::vec((0u8..8, 0u64..1 << 16, 0u32..1 << 16), 1..200),
+    ) {
+        let device = Device::IntelXeon4310T; // 10 cores: most raggedness
+        let spec = device.spec();
+        let barrier_ops = ops.iter().filter(|(op, _, _)| *op >= 6).count() as u32;
+        let a = run(device, &ops, None);
+        let b = run(device, &ops, None);
+        prop_assert_eq!(a.stats_digest(), b.stats_digest());
+        // The slowest-to-stop core is `cores - 1`, capped by how many
+        // barrier ops the script contains at all.
+        let max_barriers = barrier_ops.min(spec.cores - 1);
+        prop_assert_eq!(a.phases.len() as u32, max_barriers + 1);
+        for phase in &a.phases {
+            prop_assert!(phase.cycles >= 0.0);
+            prop_assert!(phase.cycles.is_finite());
+        }
+    }
+}
+
+/// A tight deterministic check that an *undersized* budget (fewer spare
+/// workers than simulated cores) still yields identical digests — the
+/// pool just runs with fewer workers.
+#[test]
+fn undersized_budget_keeps_digests_identical() {
+    let spec = Device::IntelXeon4310T.spec();
+    let trace = |tid: u32, sink: &mut dyn TraceSink| {
+        let base = 0x2000_0000_0000 + u64::from(tid) * (1 << 30);
+        for i in 0..3000u64 {
+            sink.load(base + i * 72, 8);
+            if i % 1000 == 999 {
+                sink.barrier();
+            }
+        }
+    };
+    let serial = Machine::new(spec.clone()).simulate(10, |t, s| trace(t, s));
+    for budget_size in [1u32, 2, 3, 10, 64] {
+        let fanned = Machine::new(spec.clone())
+            .with_budget(JobBudget::new(budget_size))
+            .simulate(10, |t, s| trace(t, s));
+        assert_eq!(
+            serial.stats_digest(),
+            fanned.stats_digest(),
+            "budget {budget_size}"
+        );
+        assert!(fanned.host_workers >= 1 && fanned.host_workers <= 10);
+    }
+}

@@ -208,6 +208,25 @@ mod tests {
     }
 
     #[test]
+    fn top_of_address_space_line_index_reaches_u64_max() {
+        // With 1-byte lines the very last address yields the line index
+        // u64::MAX — a legal value consumers must not repurpose. The
+        // cache model in membound-sim uses u64::MAX as its empty-way
+        // sentinel and guards its install paths against exactly this
+        // aliasing (see the sentinel tests in membound-sim's assoc
+        // module); this test pins the trace-side fact those guards rely
+        // on.
+        let a = MemAccess::load(u64::MAX, 1);
+        assert_eq!(a.lines(1).collect::<Vec<_>>(), vec![u64::MAX]);
+        // Any line size of 2+ bytes keeps indices strictly below
+        // u64::MAX, so realistic cache geometries cannot collide.
+        for shift in 1..8u32 {
+            let line = 1u64 << shift;
+            assert!(a.lines(line).all(|l| l < u64::MAX), "line size {line}");
+        }
+    }
+
+    #[test]
     fn zero_size_access_touches_its_line_only() {
         let a = MemAccess::load(64, 0);
         assert_eq!(a.lines(64).collect::<Vec<_>>(), vec![1]);
