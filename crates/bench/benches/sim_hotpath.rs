@@ -86,6 +86,48 @@ fn bench_unit_stride(c: &mut Criterion) {
     group.finish();
 }
 
+/// Strided column walk expressed as `access_strided` batches: one batch
+/// per column of a 512×512 doubles matrix (stride = one 4096-byte row),
+/// the access pattern the transpose column side and the blur vertical
+/// pass emit. The `reference/` leg dispatches each batch element by
+/// element through the trait defaults.
+fn replay_strided_batches(machine: &Machine, cols: u64, rows: u64) {
+    machine.simulate(1, |_tid, sink| {
+        for col in 0..cols {
+            sink.access_strided(col * 8, (cols * 8) as i64, rows, 8, false);
+        }
+    });
+}
+
+/// The same walk as read-modify-write batches — the in-place transpose
+/// column side (load + store per element against one armed line).
+fn replay_strided_rmw(machine: &Machine, cols: u64, rows: u64) {
+    machine.simulate(1, |_tid, sink| {
+        for col in 0..cols {
+            sink.access_strided_rmw(col * 8, (cols * 8) as i64, rows, 8);
+        }
+    });
+}
+
+fn bench_strided(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath_strided");
+    let (cols, rows) = (512u64, 512u64);
+    group.throughput(Throughput::Elements(cols * rows));
+    for device in [Device::MangoPiMqPro, Device::IntelXeon4310T] {
+        for (mode, machine) in fast_and_reference(device) {
+            let id = format!("{mode}/{}", device.label());
+            group.bench_with_input(BenchmarkId::from_parameter(id), &machine, |b, machine| {
+                b.iter(|| replay_strided_batches(machine, cols, rows));
+            });
+            let id = format!("rmw_{mode}/{}", device.label());
+            group.bench_with_input(BenchmarkId::from_parameter(id), &machine, |b, machine| {
+                b.iter(|| replay_strided_rmw(machine, cols, rows));
+            });
+        }
+    }
+    group.finish();
+}
+
 fn bench_range_vs_elements(c: &mut Criterion) {
     let mut group = c.benchmark_group("hotpath_range_sweep");
     let bytes = 8u64 << 20;
@@ -118,6 +160,7 @@ criterion_group!(
     benches,
     bench_repeat_touch,
     bench_unit_stride,
+    bench_strided,
     bench_range_vs_elements,
     bench_fig2_cell
 );

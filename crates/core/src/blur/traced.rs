@@ -107,10 +107,18 @@ impl BlurTrace {
                 let off = ls * LINE;
                 let len = LINE.min(row_bytes - off);
                 // Leading edge of the sliding window: one new line per
-                // filter row.
-                for i_f in 0..f {
-                    sink.load_range(self.row_addr(self.src, i + i_f) + off, len);
-                }
+                // filter row. Rows are visited at a constant stride of
+                // `row_bytes`, and each segment is line-aligned with
+                // `len <= LINE`, so the strided batch expands to exactly
+                // the one-probe-per-row stream the `load_range` loop
+                // emitted.
+                sink.access_strided(
+                    self.row_addr(self.src, i) + off,
+                    row_bytes as i64,
+                    f,
+                    len as u32,
+                    false,
+                );
                 sink.store_range(self.row_addr(self.dst, i + middle) + off, len);
             }
             sink.compute(cost, taps_per_row);
@@ -161,9 +169,16 @@ impl BlurTrace {
                     for ls in 0..line_steps {
                         let off = ls * LINE;
                         let len = LINE.min(row_bytes - off);
-                        for i_f in 0..f {
-                            sink.load_range(self.row_addr(self.tmp, i + i_f) + off, len);
-                        }
+                        // F interleaved tap-row streams, one aligned
+                        // single-line probe each — emitted as one
+                        // constant-stride batch per line step.
+                        sink.access_strided(
+                            self.row_addr(self.tmp, i) + off,
+                            row_bytes as i64,
+                            f,
+                            len as u32,
+                            false,
+                        );
                         sink.store_range(self.row_addr(self.dst, i + middle) + off, len);
                     }
                     sink.compute(cost, taps_per_row);

@@ -72,6 +72,35 @@ pub fn simulate_transpose_budgeted(
     }))
 }
 
+/// [`simulate_transpose`] on a reference machine built with
+/// [`Machine::without_fastpath`]: the same trace, but every strided batch
+/// is dispatched through the per-element trait defaults instead of the
+/// bulk executors (and repeat lines are never armed). Its `stats_digest`
+/// must equal the batched run's — the CI bench-smoke strided gate and
+/// `membound-cli strided-gate` enforce exactly that.
+#[must_use]
+pub fn simulate_transpose_reference(
+    spec: &DeviceSpec,
+    variant: TransposeVariant,
+    cfg: TransposeConfig,
+) -> Option<SimReport> {
+    if !spec.fits_in_memory(cfg.matrix_bytes()) {
+        return None;
+    }
+    let machine = Machine::new(spec.clone()).without_fastpath();
+    let trace = TransposeTrace::new(cfg);
+    let threads = if variant.is_parallel() { spec.cores } else { 1 };
+    let total = trace.outer_iterations(variant);
+    let plan = variant
+        .schedule()
+        .plan(total, threads, |i| trace.weight(variant, i));
+    Some(machine.simulate(threads, |tid, sink| {
+        for range in &plan[tid as usize] {
+            trace.trace_outer(variant, sink, tid, range.start, range.end);
+        }
+    }))
+}
+
 /// Simulate one blur variant on a device, replaying simulated cores
 /// serially on the calling thread.
 ///

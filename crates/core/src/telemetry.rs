@@ -26,12 +26,18 @@ use serde::{Deserialize, Serialize};
 /// [`CellRecord`]; the validator rejects mismatched logs.
 ///
 /// History:
+/// * 3 — [`SimRecord`] carries `strided_batches`, the count of bulk
+///   strided reference batches ([`membound_trace::TraceSink::access_strided`]
+///   and friends) the simulated cores executed. Diagnostic only: like
+///   `host_workers` it is excluded from `stats_digest`, so a batched and
+///   a per-element replay of the same program still combine to the same
+///   digest while the log shows which path ran.
 /// * 2 — `hit_rate` of an untouched level is now `1.0` (the
 ///   `membound_sim::LevelStats::hit_rate` convention; it was `0.0`,
 ///   silently disagreeing with the simulator's text reports), and
 ///   [`SimRecord`] carries `host_workers`.
 /// * 1 — initial schema.
-pub const SCHEMA_VERSION: u32 = 2;
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// First line of a run log.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -135,6 +141,12 @@ pub struct SimRecord {
     /// for serial replay). Host-side diagnostic like `wall_seconds`:
     /// varies with the job budget, never with the simulated results.
     pub host_workers: u32,
+    /// Bulk strided batches the simulated cores executed
+    /// ([`membound_sim::SimReport::strided_batches`]), summed over cores.
+    /// Diagnostic: excluded from `stats_digest`, so it records whether a
+    /// run took the batched replay path without perturbing the
+    /// digest-equality contract.
+    pub strided_batches: u64,
 }
 
 impl SimRecord {
@@ -157,6 +169,7 @@ impl SimRecord {
             dram_writes: report.dram.writes,
             stats_digest: format!("{:016x}", report.stats_digest()),
             host_workers: report.host_workers,
+            strided_batches: report.strided_batches,
         }
     }
 }
@@ -365,6 +378,7 @@ mod tests {
                 dram_writes: 5,
                 stats_digest: "00deadbeef001234".into(),
                 host_workers: 1,
+                strided_batches: 4,
             }),
             gbps: None,
             speedup_vs_naive: Some(1.0),

@@ -4,10 +4,12 @@
 //! counterpart performs. Contiguous (row-side) accesses are emitted at
 //! line granularity (one probe per 64-byte line — see
 //! `membound_trace::TraceSink::load_range`); strided (column-side)
-//! accesses are emitted per element, since each one touches its own line.
-//! Instruction issue cost is charged separately via
-//! [`membound_trace::IterCost`], so probe coarsening does not distort
-//! timing.
+//! accesses are emitted as constant-stride batches
+//! (`membound_trace::TraceSink::access_strided_rmw`, one call per run of
+//! pure load+store pairs between row-line boundaries) whose per-element
+//! expansion is identical to the old per-element emission. Instruction
+//! issue cost is charged separately via [`membound_trace::IterCost`], so
+//! probe coarsening does not distort timing.
 
 use super::{TransposeConfig, TransposeVariant};
 use membound_trace::{IterCost, TraceSink};
@@ -107,24 +109,39 @@ impl TransposeTrace {
     }
 
     /// Element swaps of row `i` against column `i`, for `j` in
-    /// `jlo..jhi`: the column side is emitted per element (one line per
-    /// element), the row side once per line.
+    /// `jlo..jhi`: the column side is emitted as constant-stride
+    /// load+store batches (one `access_strided_rmw` per run of pure pairs
+    /// between row-line boundaries), the row side once per line.
     fn trace_row_swaps<S: TraceSink + ?Sized>(&self, sink: &mut S, i: u64, jlo: u64, jhi: u64) {
+        let col_stride = self.cfg.n as u64 * 8;
         let mut last_row_line = u64::MAX;
-        for j in jlo..jhi {
+        let mut j = jlo;
+        while j < jhi {
             let row_addr = self.addr(i, j);
             let col_addr = self.addr(j, i);
-            sink.load(col_addr, 8);
             let row_line = row_addr / LINE;
             if row_line != last_row_line {
+                // Row-line boundary: the row side's new line is refreshed
+                // between this element's column halves, exactly as the
+                // per-element loop interleaved them.
+                sink.load(col_addr, 8);
                 // Element-aligned 8-byte ranges never straddle a line, so
                 // these emit exactly the probes `load`/`store` would while
                 // letting simulating sinks take their batched-range path.
                 sink.load_range(row_addr, 8);
                 sink.store_range(row_addr, 8);
                 last_row_line = row_line;
+                sink.store(col_addr, 8);
+                j += 1;
+                continue;
             }
-            sink.store(col_addr, 8);
+            // Pure column pairs until the row side crosses into a new
+            // line: one strided batch. `row_addr` is 8-aligned, so the
+            // division is exact and at least one element remains.
+            let until_line_end = (LINE - row_addr % LINE) / 8;
+            let run = until_line_end.min(jhi - j);
+            sink.access_strided_rmw(col_addr, col_stride as i64, run, 8);
+            j += run;
         }
         let iters = jhi.saturating_sub(jlo);
         sink.compute(IterCost::new(4, 0).mem(2, 2).elem_bytes(8), iters);

@@ -243,6 +243,7 @@ impl Cache {
 
     /// Whether `line_addr` is currently resident (no state change).
     #[must_use]
+    #[inline]
     pub fn contains(&self, line_addr: u64) -> bool {
         self.array.peek(line_addr).is_some()
     }
@@ -252,6 +253,7 @@ impl Cache {
     /// request/response flow of a real hierarchy.
     ///
     /// `is_write` marks the resident line dirty on a hit.
+    #[inline]
     pub fn access(&mut self, line_addr: u64, is_write: bool) -> CacheAccessResult {
         if let Some((_, prefetch_hit)) = self.array.access_demand(line_addr, is_write) {
             if prefetch_hit {
@@ -278,6 +280,7 @@ impl Cache {
     /// will use, so the miss scan is not repeated. The slot is only valid
     /// while nothing else touches *this* cache level (other levels and
     /// DRAM accounting are fine).
+    #[inline]
     pub(crate) fn access_reserving(
         &mut self,
         line_addr: u64,
@@ -311,6 +314,7 @@ impl Cache {
     ///
     /// `is_write` marks the new line dirty (write-allocate store miss);
     /// `prefetched` tags it as a prefetch fill for accuracy accounting.
+    #[inline]
     pub fn fill(&mut self, line_addr: u64, is_write: bool, prefetched: bool) -> Option<u64> {
         let outcome = self
             .array
@@ -322,6 +326,7 @@ impl Cache {
     /// [`Cache::access_reserving`] (same line, nothing touched this level
     /// in between), skipping the redundant placement scan. Falls back to a
     /// plain fill when the miss could not reserve a slot.
+    #[inline]
     pub(crate) fn fill_reserved(
         &mut self,
         line_addr: u64,
@@ -336,6 +341,7 @@ impl Cache {
         self.account_fill(outcome, false)
     }
 
+    #[inline]
     fn fill_flags(is_write: bool, prefetched: bool) -> u8 {
         let mut flags = 0u8;
         if is_write {
@@ -347,6 +353,7 @@ impl Cache {
         flags
     }
 
+    #[inline]
     fn account_fill(&mut self, outcome: InsertOutcome, prefetched: bool) -> Option<u64> {
         match outcome {
             InsertOutcome::AlreadyPresent(_) => None,
@@ -381,6 +388,7 @@ impl Cache {
     /// [`Cache::repeat_hit`] reproduces [`Cache::access`] exactly. The
     /// last-hit hint usually resolves this in one comparison (a demand hit
     /// or demand fill of the line leaves the hint on its way).
+    #[inline]
     pub(crate) fn probe_for_repeat(&self, line_addr: u64) -> Option<(usize, u32, bool)> {
         let set = self.array.set_of(line_addr);
         let hinted = self.array.hint_of(set);
@@ -404,6 +412,7 @@ impl Cache {
     /// plain resident line — valid and not awaiting its first
     /// post-prefetch demand touch — so a demand read of it is a bare hit
     /// that [`Cache::repeat_hit`] reproduces exactly.
+    #[inline]
     pub(crate) fn holds_plain(&self, set: usize, way: u32, line_addr: u64) -> bool {
         self.array.flags_of(set, way) & (FLAG_VALID | FLAG_PREFETCHED) == FLAG_VALID
             && self.array.tag_of(set, way) == line_addr
@@ -415,12 +424,14 @@ impl Cache {
     /// moves and the way's recency (and last-hit hint) are re-touched —
     /// only the tag scan is skipped. The write half (dirty flag) is
     /// [`Cache::mark_dirty`].
+    #[inline]
     pub(crate) fn repeat_hit(&mut self, set: usize, way: u32) {
         self.stats.hits += 1;
         self.array.retouch(set, way);
     }
 
     /// Mark `(set, way)` dirty — the store half of a repeat hit.
+    #[inline]
     pub(crate) fn mark_dirty(&mut self, set: usize, way: u32) {
         self.array.set_flags(set, way, FLAG_DIRTY);
     }

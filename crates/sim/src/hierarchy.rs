@@ -12,7 +12,7 @@ use crate::dram::DramConfig;
 use crate::prefetch::{Prefetcher, PrefetcherConfig};
 use crate::stats::{CycleBreakdown, DramStats, LevelStats};
 use crate::tlb::{PageWalk, Tlb, TlbConfig};
-use membound_trace::{IterCost, MemAccess, TraceSink};
+use membound_trace::{strided_addr, IterCost, MemAccess, TraceSink};
 use serde::{Deserialize, Serialize};
 
 /// Upper bound on modelled cache levels (real devices have 2-3); sized
@@ -93,11 +93,23 @@ pub struct CorePipeline {
     tlb_enabled: bool,
     fastpath: bool,
     armed: Option<ArmedLine>,
+    /// Constant-stride batches received through
+    /// [`TraceSink::access_strided`] / [`TraceSink::access_strided_rmw`]
+    /// — a digest-excluded diagnostic surfaced through
+    /// [`crate::SimReport`].
+    strided_batches: u64,
     /// Per radix level, where the previous page walk's PTE line sat in L1
     /// (`(line, set, way)`). Consecutive walks of nearby pages share their
     /// upper-level PTE lines, so most re-probes replay as direct hits; the
     /// slot is re-validated against the live L1 state before every use.
     walk_memo: [Option<(u64, usize, u32)>; MAX_WALK_LEVELS],
+    /// `vpn >> 9` of the previous page walk. Every *non-leaf* PTE address
+    /// depends on the VPN only through these bits (each level consumes 9
+    /// index bits and the leaf level is the only one reading the low 9),
+    /// so while they are unchanged the memoized upper-level lines are
+    /// this walk's lines too and `PageWalk::pte_address` need not be
+    /// recomputed for them.
+    walk_upper_node: Option<u64>,
 }
 
 /// The repeat-line fast path's memory of the last data line referenced:
@@ -180,7 +192,9 @@ impl CorePipeline {
             tlb_enabled: cfg.tlb_enabled,
             fastpath: cfg.fastpath,
             armed: None,
+            strided_batches: 0,
             walk_memo: [None; MAX_WALK_LEVELS],
+            walk_upper_node: None,
         }
     }
 
@@ -216,6 +230,7 @@ impl CorePipeline {
             cache_stats: self.levels.iter().map(Cache::stats).collect(),
             dtlb_stats: self.dtlb.stats(),
             l2tlb_stats: self.l2tlb.as_ref().map(Tlb::stats),
+            strided_batches: self.strided_batches,
         }
     }
 
@@ -257,8 +272,15 @@ impl CorePipeline {
         // data caches (no prefetcher training on page-table addresses).
         self.cur.cycles.stall_cycles += f64::from(self.walk.overhead_cycles);
         let line_shift = self.line_bytes.trailing_zeros();
+        let node = vpn >> 9;
+        // Non-leaf levels (`i < upper`) read none of the VPN's low 9
+        // bits, so an unchanged `node` means their PTE lines are exactly
+        // the previous walk's — the memo invariant below keeps
+        // `walk_memo[i]`'s line equal to the *previous* walk's level-`i`
+        // line whenever it is populated.
+        let upper = self.walk.levels.saturating_sub(1);
+        let node_unchanged = self.fastpath && self.walk_upper_node == Some(node);
         for i in 0..self.walk.levels {
-            let line = self.walk.pte_address(vpn, i) >> line_shift;
             let memo = self.walk_memo.get(i as usize).copied().flatten();
             if self.fastpath {
                 // Same PTE line as the previous walk at this level and
@@ -267,13 +289,39 @@ impl CorePipeline {
                 // the hit count and recency — replay those directly. Any
                 // staleness (evicted, moved, re-filled by a prefetch)
                 // fails the check and takes the full path below, which
-                // also refreshes the memo.
+                // also refreshes the memo. For upper levels with `node`
+                // unchanged the memoized line needs no address
+                // recomputation at all.
                 if let Some((mline, set, way)) = memo {
+                    if i < upper && node_unchanged {
+                        if self.levels[0].holds_plain(set, way, mline) {
+                            self.levels[0].repeat_hit(set, way);
+                        } else {
+                            // Stale slot, but the line itself is still
+                            // the memoized one: demand it and re-probe.
+                            self.demand_line(mline, false, false, false);
+                            if let Some(slot) = self.walk_memo.get_mut(i as usize) {
+                                *slot = self.levels[0]
+                                    .probe_for_repeat(mline)
+                                    .map(|(set, way, _)| (mline, set, way));
+                            }
+                        }
+                        continue;
+                    }
+                    let line = self.walk.pte_address(vpn, i) >> line_shift;
                     if mline == line && self.levels[0].holds_plain(set, way, line) {
                         self.levels[0].repeat_hit(set, way);
                         continue;
                     }
+                    self.demand_line(line, false, false, false);
+                    if let Some(slot) = self.walk_memo.get_mut(i as usize) {
+                        *slot = self.levels[0]
+                            .probe_for_repeat(line)
+                            .map(|(set, way, _)| (line, set, way));
+                    }
+                    continue;
                 }
+                let line = self.walk.pte_address(vpn, i) >> line_shift;
                 self.demand_line(line, false, false, false);
                 if let Some(slot) = self.walk_memo.get_mut(i as usize) {
                     *slot = self.levels[0]
@@ -281,8 +329,12 @@ impl CorePipeline {
                         .map(|(set, way, _)| (line, set, way));
                 }
             } else {
+                let line = self.walk.pte_address(vpn, i) >> line_shift;
                 self.demand_line(line, false, false, false);
             }
+        }
+        if self.fastpath {
+            self.walk_upper_node = Some(node);
         }
         if let Some(l2) = self.l2tlb.as_mut() {
             l2.fill_reserved(vpn, l2_slot);
@@ -616,6 +668,200 @@ impl TraceSink for CorePipeline {
             }
         }
     }
+
+    /// Bulk constant-stride run: one dispatch for the whole batch, with
+    /// same-page spans paying a single DTLB translation.
+    ///
+    /// Statistic-for-statistic identical to the default per-element
+    /// emission. Each element takes the scalar flow with three
+    /// short-circuits, every one already carrying a PR 2 equivalence
+    /// argument: (1) an element whose line is still armed replays through
+    /// `replay_repeat`; (2) an element on the page translated immediately
+    /// before (the DTLB's MRU entry by construction — `note_repeat_hit`
+    /// survives armed replays, which touch no TLB order) books a repeat
+    /// hit without the lookup scan; (3) when `|stride| >= line_bytes`,
+    /// consecutive single-line elements can never share a line, so arming
+    /// mid-run is unobservable (`Cache::probe_for_repeat` is read-only)
+    /// and only the final element arms. Elements straddling a line
+    /// boundary fall back to the scalar multi-line flow verbatim.
+    fn access_strided(&mut self, base: u64, stride_bytes: i64, count: u64, size: u32, write: bool) {
+        if count == 0 {
+            return;
+        }
+        self.strided_batches += 1;
+        if !self.fastpath {
+            // Reference build: per-element dispatch, exactly the trait
+            // default.
+            for i in 0..count {
+                let addr = strided_addr(base, stride_bytes, i);
+                self.access(if write {
+                    MemAccess::store(addr, size)
+                } else {
+                    MemAccess::load(addr, size)
+                });
+            }
+            return;
+        }
+        let shift = self.line_bytes.trailing_zeros();
+        let may_repeat = stride_bytes.unsigned_abs() < u64::from(self.line_bytes);
+        // A stride of at least a page moves every element to a fresh
+        // page (a mod-2^64 wrap lands at least 2^63 bytes away), so the
+        // same-page shortcut can never fire and its VPN bookkeeping is
+        // skipped wholesale.
+        let page_repeat =
+            self.tlb_enabled && stride_bytes.unsigned_abs() < self.dtlb.config().page_bytes;
+        let mut cur_vpn: Option<u64> = None;
+        for i in 0..count {
+            let addr = strided_addr(base, stride_bytes, i);
+            let first = addr >> shift;
+            let last = if size == 0 {
+                first
+            } else {
+                (addr.saturating_add(u64::from(size)) - 1) >> shift
+            };
+            if let Some(armed) = self.armed {
+                if first == armed.line && last <= armed.line {
+                    self.replay_repeat(write);
+                    continue;
+                }
+            }
+            self.armed = None;
+            if first != last {
+                // Straddling element: the scalar multi-line flow.
+                let mut last_line = 0;
+                for line in first..=last {
+                    let walked = self.translate(line << shift);
+                    self.demand_line(line, write, true, walked);
+                    last_line = line;
+                }
+                self.arm(last_line);
+                cur_vpn = None;
+                continue;
+            }
+            let walked = if !self.tlb_enabled {
+                false
+            } else if page_repeat {
+                let vpn = self.dtlb.vpn_of(addr);
+                if cur_vpn == Some(vpn) {
+                    self.dtlb.note_repeat_hit();
+                    false
+                } else {
+                    let walked = self.translate(addr);
+                    cur_vpn = Some(vpn);
+                    walked
+                }
+            } else {
+                self.translate(addr)
+            };
+            self.demand_line(first, write, true, walked);
+            if may_repeat || i + 1 == count {
+                self.arm(first);
+            }
+        }
+    }
+
+    /// Bulk constant-stride load+store pairs — the transpose column walk.
+    ///
+    /// Per element, the load takes the same flow as
+    /// [`CorePipeline::access_strided`]; the store then replays against
+    /// the line the load left in L1 — the very updates the scalar store
+    /// would make through the armed path, with the arm's
+    /// `probe_for_repeat` inlined (the probe is read-only, so performing
+    /// it before the store instead of as `arm` is unobservable). When the
+    /// probe fails (a same-set prefetch fill displaced the line between
+    /// the load's fill and now), the store takes the full scalar path,
+    /// exactly as the per-element default would after a failed arm.
+    fn access_strided_rmw(&mut self, base: u64, stride_bytes: i64, count: u64, size: u32) {
+        if count == 0 {
+            return;
+        }
+        self.strided_batches += 1;
+        if !self.fastpath {
+            for i in 0..count {
+                let addr = strided_addr(base, stride_bytes, i);
+                self.access(MemAccess::load(addr, size));
+                self.access(MemAccess::store(addr, size));
+            }
+            return;
+        }
+        let shift = self.line_bytes.trailing_zeros();
+        // See `access_strided`: page-or-larger strides cannot revisit the
+        // previous element's page, so the VPN shortcut is compiled out of
+        // the loop.
+        let page_repeat =
+            self.tlb_enabled && stride_bytes.unsigned_abs() < self.dtlb.config().page_bytes;
+        let mut cur_vpn: Option<u64> = None;
+        for i in 0..count {
+            let addr = strided_addr(base, stride_bytes, i);
+            let first = addr >> shift;
+            let last = if size == 0 {
+                first
+            } else {
+                (addr.saturating_add(u64::from(size)) - 1) >> shift
+            };
+            if let Some(armed) = self.armed {
+                if first == armed.line && last <= armed.line {
+                    self.replay_repeat(false);
+                    self.replay_repeat(true);
+                    continue;
+                }
+            }
+            self.armed = None;
+            if first != last {
+                // Straddling pair: both halves through the scalar flow
+                // (the load's arm and the store's replay happen inside
+                // `access`).
+                self.access(MemAccess::load(addr, size));
+                self.access(MemAccess::store(addr, size));
+                cur_vpn = None;
+                continue;
+            }
+            let walked = if !self.tlb_enabled {
+                false
+            } else if page_repeat {
+                let vpn = self.dtlb.vpn_of(addr);
+                if cur_vpn == Some(vpn) {
+                    self.dtlb.note_repeat_hit();
+                    false
+                } else {
+                    let walked = self.translate(addr);
+                    cur_vpn = Some(vpn);
+                    walked
+                }
+            } else {
+                self.translate(addr)
+            };
+            self.demand_line(first, false, true, walked);
+            match self.levels[0].probe_for_repeat(first) {
+                Some((set, way, dirty)) => {
+                    if self.tlb_enabled {
+                        self.dtlb.note_repeat_hit();
+                    }
+                    self.levels[0].repeat_hit(set, way);
+                    if !dirty {
+                        self.levels[0].mark_dirty(set, way);
+                    }
+                    if let Some(pf) = self.prefetchers[0].as_mut() {
+                        pf.refresh_repeat();
+                    }
+                    self.armed = Some(ArmedLine {
+                        line: first,
+                        set,
+                        way,
+                        dirty: true,
+                    });
+                }
+                None => {
+                    let walked = self.translate(addr);
+                    self.demand_line(first, true, true, walked);
+                    self.arm(first);
+                    if self.tlb_enabled {
+                        cur_vpn = Some(self.dtlb.vpn_of(addr));
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Everything a finished core run hands back to the machine.
@@ -625,6 +871,7 @@ pub(crate) struct CoreOutcome {
     pub cache_stats: Vec<LevelStats>,
     pub dtlb_stats: LevelStats,
     pub l2tlb_stats: Option<LevelStats>,
+    pub strided_batches: u64,
 }
 
 #[cfg(test)]
@@ -831,5 +1078,94 @@ mod tests {
         p.load(0, 8); // miss to DRAM: both buses + DRAM
         assert_eq!(p.cur.supply_bytes[1], 64, "L2->L1 bus");
         assert_eq!(p.cur.supply_bytes[2], 64, "DRAM bus");
+    }
+
+    /// Drive a pipeline pair — one through the bulk batch executors, one
+    /// through the per-element expansion — and require every observable
+    /// counter to match, not just the digest.
+    fn assert_strided_counters_match(
+        prefetch: PrefetcherConfig,
+        batched: impl Fn(&mut CorePipeline),
+        scalar: impl Fn(&mut CorePipeline),
+    ) {
+        let mut b = test_pipeline(prefetch);
+        let mut s = test_pipeline(prefetch);
+        batched(&mut b);
+        scalar(&mut s);
+        assert_eq!(b.cache_stats(), s.cache_stats(), "cache counters diverged");
+        assert_eq!(b.dtlb_stats(), s.dtlb_stats(), "DTLB counters diverged");
+        assert_eq!(b.l2tlb_stats(), s.l2tlb_stats(), "L2 TLB counters diverged");
+        assert_eq!(b.cur, s.cur, "phase accumulators diverged");
+    }
+
+    #[test]
+    fn strided_batch_counters_match_per_element_loads() {
+        for pf in [PrefetcherConfig::None, PrefetcherConfig::c906()] {
+            assert_strided_counters_match(
+                pf,
+                |p| p.access_strided(0x1000, 192, 48, 8, false),
+                |p| {
+                    for i in 0..48 {
+                        p.load(strided_addr(0x1000, 192, i), 8);
+                    }
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn strided_batch_counters_match_with_negative_stride_and_straddles() {
+        assert_strided_counters_match(
+            PrefetcherConfig::c906(),
+            |p| p.access_strided(0x20_0000, -60, 40, 16, true),
+            |p| {
+                for i in 0..40 {
+                    p.store(strided_addr(0x20_0000, -60, i), 16);
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn strided_batch_counters_match_when_entering_an_armed_line() {
+        // The scalar store arms the repeat line the batch then lands on.
+        assert_strided_counters_match(
+            PrefetcherConfig::None,
+            |p| {
+                p.store(0x4000, 8);
+                p.access_strided(0x4000, 8, 24, 8, false);
+            },
+            |p| {
+                p.store(0x4000, 8);
+                for i in 0..24 {
+                    p.load(0x4000 + i * 8, 8);
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn strided_rmw_counters_match_load_store_pairs_across_pages() {
+        for stride in [4096i64, 8192, -8192] {
+            assert_strided_counters_match(
+                PrefetcherConfig::c906(),
+                |p| p.access_strided_rmw(0x80_0000, stride, 32, 8),
+                |p| {
+                    for i in 0..32 {
+                        let a = strided_addr(0x80_0000, stride, i);
+                        p.load(a, 8);
+                        p.store(a, 8);
+                    }
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn strided_batches_are_tallied_but_not_digested() {
+        let mut p = test_pipeline(PrefetcherConfig::None);
+        p.access_strided(0x1000, 64, 8, 8, false);
+        p.access_strided_rmw(0x8000, 64, 8, 8);
+        assert_eq!(p.finish().strided_batches, 2);
     }
 }

@@ -142,6 +142,14 @@ pub struct SimReport {
     /// depends on the [`membound_parallel::JobBudget`] and is excluded
     /// from [`SimReport::stats_digest`].
     pub host_workers: u32,
+    /// Constant-stride batches the cores received through
+    /// [`membound_trace::TraceSink::access_strided`] /
+    /// [`membound_trace::TraceSink::access_strided_rmw`], summed over
+    /// cores. A diagnostic of how much of the reference stream took the
+    /// bulk path; like `host_workers` it describes *how* the replay ran,
+    /// not what it simulated, and is excluded from
+    /// [`SimReport::stats_digest`].
+    pub strided_batches: u64,
 }
 
 impl SimReport {
@@ -172,10 +180,12 @@ impl SimReport {
 
     /// An FNV-1a digest over every *simulated* quantity in the report
     /// (cycles, per-level counters, DRAM traffic, phase structure) —
-    /// everything host-independent. Host-side diagnostics (wall time,
-    /// which the report does not carry, and
-    /// [`host_workers`](SimReport::host_workers)) are excluded: the
-    /// digest must not change with the job budget.
+    /// everything host-independent. Replay-side diagnostics (wall time,
+    /// which the report does not carry,
+    /// [`host_workers`](SimReport::host_workers) and
+    /// [`strided_batches`](SimReport::strided_batches)) are excluded: the
+    /// digest must not change with the job budget or with how the
+    /// reference stream was batched.
     ///
     /// The digest is *order-sensitive*: FNV-1a is fed the fields in one
     /// fixed, documented sequence, so it pins both the values and their
@@ -528,7 +538,9 @@ impl Machine {
             self.spec.l2tlb.as_ref().map(|_| LevelStats::default());
         let mut dram = DramStats::default();
         let mut core_cycles_total = CycleBreakdown::default();
+        let mut strided_batches = 0u64;
         for o in &outcomes {
+            strided_batches += o.strided_batches;
             for (agg, s) in cache_stats.iter_mut().zip(&o.cache_stats) {
                 agg.merge(s);
             }
@@ -554,6 +566,7 @@ impl Machine {
             dram,
             core_cycles_total,
             host_workers: 1,
+            strided_batches,
         }
     }
 }

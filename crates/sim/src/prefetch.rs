@@ -107,6 +107,21 @@ pub struct Prefetcher {
     /// allocated). Lets [`Prefetcher::refresh_repeat`] replay a same-line
     /// re-observation without rescanning the table.
     last_match: Option<usize>,
+    /// Slots claimed by the most recent allocations, oldest at
+    /// `ring_head` — the deterministic victim rotation the fused batch
+    /// update relies on (see [`Prefetcher::observe`]).
+    alloc_ring: Vec<usize>,
+    ring_head: usize,
+    /// Length of the trailing run of *consecutive* allocations whose
+    /// observed lines advance by one constant delta (`streak_delta`,
+    /// defined once the run has two members). Same-line refreshes of the
+    /// newest entry are transparent to the run; any match resets it.
+    const_streak: u32,
+    streak_delta: i64,
+    streak_line: u64,
+    /// Slot of the most recent allocation (distinguishes a transparent
+    /// same-line refresh from a run-breaking match of an older entry).
+    last_alloc_slot: Option<usize>,
 }
 
 impl Prefetcher {
@@ -122,6 +137,12 @@ impl Prefetcher {
             table: vec![StreamEntry::INVALID; streams],
             clock: 0,
             last_match: None,
+            alloc_ring: vec![0; streams],
+            ring_head: 0,
+            const_streak: 0,
+            streak_delta: 0,
+            streak_line: 0,
+            last_alloc_slot: None,
         }
     }
 
@@ -168,17 +189,53 @@ impl Prefetcher {
                 ..
             } => {
                 let max_stride = i64::from(max_stride_lines);
+                // Fused batch update: once `streams` consecutive
+                // allocations advanced by one constant delta, every table
+                // entry is a line of that run (each allocation claimed the
+                // LRU slot, which was provably not yet a run slot), and the
+                // next same-delta observation cannot match any of them —
+                // its delta to the k-th most recent run line is k·delta,
+                // and |delta| > max_stride or it would have matched instead
+                // of allocating. The scan outcome is therefore forced:
+                // allocate the oldest run slot, which the ring tracks in
+                // claim order. Skip the scan entirely.
+                let run_owns_table = self.const_streak as usize >= self.table.len().max(2);
+                if run_owns_table
+                    && (line as i64).wrapping_sub(self.streak_line as i64) == self.streak_delta
+                {
+                    let victim = self.alloc_ring[self.ring_head];
+                    self.table[victim] = StreamEntry {
+                        last_line: line,
+                        stride: 0,
+                        confidence: 0,
+                        last_used: self.clock,
+                        valid: true,
+                    };
+                    self.last_match = Some(victim);
+                    self.last_alloc_slot = Some(victim);
+                    self.ring_head += 1;
+                    if self.ring_head == self.alloc_ring.len() {
+                        self.ring_head = 0;
+                    }
+                    self.const_streak = self.const_streak.saturating_add(1);
+                    self.streak_line = line;
+                    return;
+                }
                 // Find the tracker this access extends: previous line within
                 // max_stride in either direction. The same pass tracks the
                 // least-recently-used slot so a failed match allocates
                 // without rescanning (when no tracker matches, the loop has
                 // covered the whole table, so `oldest` is exact).
                 let mut found = None;
-                let mut oldest: Option<(usize, u64)> = None;
+                // Plain-value first-minimum tracking (same result as the
+                // previous `Option` fold, compare-and-select per entry).
+                let mut oldest_i = 0usize;
+                let mut oldest_key = u64::MAX;
                 for (i, e) in self.table.iter().enumerate() {
                     let key = if e.valid { e.last_used } else { 0 };
-                    if oldest.map_or(true, |(_, k)| key < k) {
-                        oldest = Some((i, key));
+                    if key < oldest_key {
+                        oldest_key = key;
+                        oldest_i = i;
                     }
                     if !e.valid {
                         continue;
@@ -199,8 +256,16 @@ impl Prefetcher {
                     Some((i, 0)) => {
                         self.table[i].last_used = self.clock;
                         self.last_match = Some(i);
+                        // Refreshing the *newest* allocation only bumps its
+                        // recency (already the maximum), so a live
+                        // allocation run survives it; any other match
+                        // breaks the run.
+                        if self.last_alloc_slot != Some(i) {
+                            self.const_streak = 0;
+                        }
                     }
                     Some((i, delta)) => {
+                        self.const_streak = 0;
                         self.last_match = Some(i);
                         let e = &mut self.table[i];
                         if delta == e.stride {
@@ -228,7 +293,8 @@ impl Prefetcher {
                     None => {
                         // Allocate the least-recently-used tracker
                         // (preselected during the match scan above).
-                        if let Some((i, _)) = oldest {
+                        if !self.table.is_empty() {
+                            let i = oldest_i;
                             self.table[i] = StreamEntry {
                                 last_line: line,
                                 stride: 0,
@@ -237,6 +303,27 @@ impl Prefetcher {
                                 valid: true,
                             };
                             self.last_match = Some(i);
+                            // Track the allocation run. A delta of zero is
+                            // impossible here (the previous allocation's
+                            // line is still resident and would have
+                            // matched), so `streak_delta` is a genuine
+                            // stride once the run has two members.
+                            self.alloc_ring[self.ring_head] = i;
+                            self.ring_head += 1;
+                            if self.ring_head == self.alloc_ring.len() {
+                                self.ring_head = 0;
+                            }
+                            let delta = (line as i64).wrapping_sub(self.streak_line as i64);
+                            if self.const_streak >= 2 && delta == self.streak_delta {
+                                self.const_streak += 1;
+                            } else if self.const_streak >= 1 {
+                                self.streak_delta = delta;
+                                self.const_streak = 2;
+                            } else {
+                                self.const_streak = 1;
+                            }
+                            self.streak_line = line;
+                            self.last_alloc_slot = Some(i);
                         }
                     }
                 }

@@ -164,6 +164,7 @@ impl Tlb {
 
     /// Virtual page number of a byte address.
     #[must_use]
+    #[inline]
     pub fn vpn_of(&self, addr: u64) -> u64 {
         addr >> self.page_shift
     }
@@ -184,6 +185,7 @@ impl Tlb {
     /// re-scanning the array. Equivalent to [`Tlb::lookup`] of a resident
     /// MRU entry: the hit counter moves and the recency re-touch is a
     /// no-op (the entry is already the most recent).
+    #[inline]
     pub(crate) fn note_repeat_hit(&mut self) {
         self.stats.hits += 1;
     }
@@ -200,6 +202,7 @@ impl Tlb {
     /// will install, so the set is scanned once instead of twice. The
     /// slot stays valid across the walk because page walks touch the data
     /// caches, never this TLB.
+    #[inline]
     pub(crate) fn lookup_reserving(&mut self, vpn: u64) -> (bool, Option<Reserved>) {
         let (hit, reserved) = self.array.access_demand_reserving(vpn, false);
         if hit.is_some() {
@@ -213,6 +216,7 @@ impl Tlb {
 
     /// [`Tlb::fill`] through a slot remembered by
     /// [`Tlb::lookup_reserving`] for the same `vpn`.
+    #[inline]
     pub(crate) fn fill_reserved(&mut self, vpn: u64, reserved: Option<Reserved>) {
         let outcome = match reserved {
             Some(r) => self.array.install_reserved(vpn, 0, r),

@@ -1,0 +1,219 @@
+//! Property tests for the strided-batch replay pipeline: a
+//! [`TraceSink::access_strided`] / [`TraceSink::access_strided_rmw`]
+//! batch must produce bit-identical [`SimReport::stats_digest`] values
+//! to the equivalent per-element scalar emission, on every device
+//! preset — and both must agree with a reference machine built with
+//! [`Machine::without_fastpath`], which dispatches batches through the
+//! trait-default per-element path.
+//!
+//! The generated programs mix negative strides, strides larger than a
+//! page, zero strides (every element repeats the armed line),
+//! sub-line strides, and batches whose first elements straddle a line
+//! armed by a preceding scalar reference — the interactions the bulk
+//! executors special-case.
+
+use membound_sim::{Device, Machine, SimReport};
+use membound_trace::synthetic::StridedSweep;
+use membound_trace::{strided_addr, TraceSink, TracedProgram};
+use proptest::prelude::*;
+
+/// One scripted op: `(kind, base selector, packed stride/count/size)`.
+type Op = (u8, u64, u64);
+
+/// Stride menu covering every executor regime: backward and forward,
+/// below a line, exactly a line, line-misaligned, around and beyond a
+/// 4 KiB page.
+const STRIDES: [i64; 19] = [
+    -40000, -32768, -4097, -4096, -520, -64, -9, -8, -1, 0, 1, 8, 63, 64, 65, 520, 4096, 4097,
+    32768,
+];
+
+fn decode(op: &Op) -> (u8, u64, i64, u64, u32) {
+    let &(kind, raw_base, packed) = op;
+    let base = match raw_base % 3 {
+        // Dense pool: two adjacent pages, so batches collide with
+        // scalar traffic and with each other.
+        0 => 0x1000_0000_0000 + raw_base % (2 * 4096),
+        // Page-boundary hugger: first elements sit just below a page
+        // edge, so strides walk straight across it.
+        1 => 0x1000_0000_0000 + 4096 - (raw_base % 80),
+        // Far region: far enough to alias nothing, evicting dense
+        // lines when visited.
+        _ => 0x2000_0000_0000 + (raw_base % 64) * 4096,
+    };
+    let stride = STRIDES[packed as usize % STRIDES.len()];
+    let count = (packed >> 8) % 40;
+    let size = 1 + ((packed >> 16) % 72) as u32;
+    (kind, base, stride, count, size)
+}
+
+/// Replay through the bulk batch entry points.
+fn replay_batched<S: TraceSink + ?Sized>(ops: &[Op], sink: &mut S) {
+    for op in ops {
+        let (kind, base, stride, count, size) = decode(op);
+        match kind {
+            0 => sink.access_strided(base, stride, count, size, false),
+            1 => sink.access_strided(base, stride, count, size, true),
+            2 => sink.access_strided_rmw(base, stride, count, size),
+            // Scalar interludes: arm repeat lines right before a batch
+            // starts and tear batch state down mid-program.
+            3 => sink.load(base, size),
+            4 => sink.store(base, size),
+            5 => sink.load_range(base, u64::from(size) * 11),
+            _ => sink.barrier(),
+        }
+    }
+}
+
+/// Replay the same program with every batch expanded element by
+/// element — the emission `access_strided` replaces.
+fn replay_scalar<S: TraceSink + ?Sized>(ops: &[Op], sink: &mut S) {
+    for op in ops {
+        let (kind, base, stride, count, size) = decode(op);
+        match kind {
+            0 | 1 => {
+                for i in 0..count {
+                    let addr = strided_addr(base, stride, i);
+                    if kind == 0 {
+                        sink.load(addr, size);
+                    } else {
+                        sink.store(addr, size);
+                    }
+                }
+            }
+            2 => {
+                for i in 0..count {
+                    let addr = strided_addr(base, stride, i);
+                    sink.load(addr, size);
+                    sink.store(addr, size);
+                }
+            }
+            3 => sink.load(base, size),
+            4 => sink.store(base, size),
+            5 => sink.load_range(base, u64::from(size) * 11),
+            _ => sink.barrier(),
+        }
+    }
+}
+
+fn simulate(device: Device, fastpath: bool, f: impl Fn(&mut dyn TraceSink) + Sync) -> SimReport {
+    let machine = if fastpath {
+        Machine::new(device.spec())
+    } else {
+        Machine::new(device.spec()).without_fastpath()
+    };
+    machine.simulate(1, |_tid, sink| f(sink))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Batched, scalar-expanded and reference-machine replays agree,
+    /// digest-for-digest, on all four device presets.
+    #[test]
+    fn strided_digest_matches_scalar_on_all_devices(
+        ops in proptest::collection::vec((0u8..7, 0u64..1 << 16, 0u64..1 << 24), 1..60),
+    ) {
+        for device in Device::all() {
+            let batched = simulate(device, true, |s| replay_batched(&ops, s));
+            let scalar = simulate(device, true, |s| replay_scalar(&ops, s));
+            prop_assert_eq!(
+                batched.stats_digest(),
+                scalar.stats_digest(),
+                "batched vs scalar emission diverged on {}",
+                device
+            );
+            let reference = simulate(device, false, |s| replay_batched(&ops, s));
+            prop_assert_eq!(
+                batched.stats_digest(),
+                reference.stats_digest(),
+                "batched fast path diverged from reference machine on {}",
+                device
+            );
+        }
+    }
+}
+
+/// Deterministic soak of the executor seams on every preset: armed-line
+/// handoff into a batch, zero stride (pure repeat), sub-line strides,
+/// negative page-hopping strides, and the transpose-style rmw column
+/// walk with strides beyond a page.
+#[test]
+fn strided_seams_match_scalar_on_all_devices() {
+    let program = |sink: &mut dyn TraceSink| {
+        let base = 0x1000_0000_0000u64;
+        // Arm a line, then start a batch on that very line: the first
+        // elements must replay through the armed path.
+        sink.store(base, 8);
+        sink.access_strided(base, 8, 16, 8, false);
+        // Zero stride: every element after the first replays.
+        sink.access_strided(base + 640, 0, 12, 8, true);
+        // Sub-line stride crossing lines every eighth element.
+        sink.access_strided(base + 8192, 8, 96, 8, false);
+        sink.barrier();
+        // Column walks: forward and backward, stride far beyond a page.
+        sink.access_strided_rmw(base + (1 << 20), 32768, 64, 8);
+        sink.access_strided_rmw(base + (1 << 22), -32768, 64, 8);
+        // Misaligned stride straddling lines *and* pages.
+        sink.access_strided(base + (1 << 23) + 4090, 4097, 32, 16, true);
+        sink.barrier();
+    };
+    let scalar_program = |sink: &mut dyn TraceSink| {
+        let base = 0x1000_0000_0000u64;
+        sink.store(base, 8);
+        for i in 0..16 {
+            sink.load(strided_addr(base, 8, i), 8);
+        }
+        for _ in 0..12 {
+            sink.store(base + 640, 8);
+        }
+        for i in 0..96 {
+            sink.load(strided_addr(base + 8192, 8, i), 8);
+        }
+        sink.barrier();
+        for i in 0..64 {
+            let a = strided_addr(base + (1 << 20), 32768, i);
+            sink.load(a, 8);
+            sink.store(a, 8);
+        }
+        for i in 0..64 {
+            let a = strided_addr(base + (1 << 22), -32768, i);
+            sink.load(a, 8);
+            sink.store(a, 8);
+        }
+        for i in 0..32 {
+            sink.store(strided_addr(base + (1 << 23) + 4090, 4097, i), 16);
+        }
+        sink.barrier();
+    };
+    for device in Device::all() {
+        let batched = simulate(device, true, |s| program(s));
+        let scalar = simulate(device, true, |s| scalar_program(s));
+        assert_eq!(
+            batched.stats_digest(),
+            scalar.stats_digest(),
+            "seam soak diverged on {device}"
+        );
+    }
+}
+
+/// The STREAM calibration generator routes through `access_strided`;
+/// its batched trace must simulate identically to the per-element
+/// dispatch of the reference machine, forward and backward.
+#[test]
+fn strided_sweep_simulates_identically_via_batches() {
+    for device in Device::all() {
+        for &stride in &[64i64, -64, 192, 8, -8, 32768] {
+            let sweep = StridedSweep::new(0x3000_0000_0000, 512, 8, stride).writing();
+            let fast = Machine::new(device.spec()).simulate(1, |_t, sink| sweep.trace_all(sink));
+            let reference = Machine::new(device.spec())
+                .without_fastpath()
+                .simulate(1, |_t, sink| sweep.trace_all(sink));
+            assert_eq!(
+                fast.stats_digest(),
+                reference.stats_digest(),
+                "StridedSweep stride {stride} diverged on {device}"
+            );
+        }
+    }
+}

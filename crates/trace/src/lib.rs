@@ -108,17 +108,83 @@ pub trait TraceSink {
     fn store_range(&mut self, addr: u64, len: u64) {
         self.access_range(addr, len, true);
     }
+
+    /// Consume a constant-stride batch: `count` references of
+    /// `access_size` bytes each, element `i` at
+    /// `base + stride_bytes * i` (wrapping; `stride_bytes` may be
+    /// negative or zero). `write` selects stores over loads.
+    ///
+    /// The default dispatches one [`MemAccess`] per element through
+    /// [`TraceSink::access`], in index order — semantically identical to
+    /// the scalar loop it replaces. Simulating sinks may override it to
+    /// execute the whole batch in bulk (amortizing translation over
+    /// same-page spans, fusing prefetcher updates), as long as every
+    /// observable statistic stays identical to the per-element default.
+    fn access_strided(
+        &mut self,
+        base: u64,
+        stride_bytes: i64,
+        count: u64,
+        access_size: u32,
+        write: bool,
+    ) {
+        emit_strided(self, base, stride_bytes, count, access_size, write);
+    }
+
+    /// Consume a constant-stride batch of read-modify-write pairs: for
+    /// each of the `count` elements, a load at
+    /// `base + stride_bytes * i` immediately followed by a store to the
+    /// same address (the transpose swap's column-side pattern).
+    ///
+    /// The default dispatches the load and the store per element through
+    /// [`TraceSink::access`], preserving the exact interleaving of the
+    /// scalar emission it replaces.
+    fn access_strided_rmw(&mut self, base: u64, stride_bytes: i64, count: u64, access_size: u32) {
+        for i in 0..count {
+            let addr = strided_addr(base, stride_bytes, i);
+            self.access(MemAccess::load(addr, access_size));
+            self.access(MemAccess::store(addr, access_size));
+        }
+    }
 }
 
 /// Granularity of range probes: one probe per this many bytes. Matches the
 /// 64-byte cache lines used by all four devices in the paper.
 pub const PROBE_LINE_BYTES: u64 = 64;
 
+/// Address of element `i` in a constant-stride batch (wrapping, so
+/// negative strides and end-of-address-space bases are well-defined).
+#[must_use]
+pub fn strided_addr(base: u64, stride_bytes: i64, i: u64) -> u64 {
+    base.wrapping_add_signed(stride_bytes.wrapping_mul(i as i64))
+}
+
+fn emit_strided<S: TraceSink + ?Sized>(
+    sink: &mut S,
+    base: u64,
+    stride_bytes: i64,
+    count: u64,
+    access_size: u32,
+    write: bool,
+) {
+    for i in 0..count {
+        let addr = strided_addr(base, stride_bytes, i);
+        if write {
+            sink.access(MemAccess::store(addr, access_size));
+        } else {
+            sink.access(MemAccess::load(addr, access_size));
+        }
+    }
+}
+
 fn emit_range<S: TraceSink + ?Sized>(sink: &mut S, addr: u64, len: u64, write: bool) {
     let end = addr.saturating_add(len);
     let mut cur = addr;
     while cur < end {
-        let line_end = (cur / PROBE_LINE_BYTES + 1) * PROBE_LINE_BYTES;
+        // `|` then saturate instead of `(cur / LINE + 1) * LINE`: the
+        // latter overflows for addresses in the top line of the address
+        // space (the same clamp `MemAccess::lines()` uses).
+        let line_end = (cur | (PROBE_LINE_BYTES - 1)).saturating_add(1);
         let stop = line_end.min(end);
         let size = (stop - cur) as u32;
         if write {
@@ -142,6 +208,19 @@ impl<S: TraceSink + ?Sized> TraceSink for &mut S {
     }
     fn access_range(&mut self, addr: u64, len: u64, write: bool) {
         (**self).access_range(addr, len, write);
+    }
+    fn access_strided(
+        &mut self,
+        base: u64,
+        stride_bytes: i64,
+        count: u64,
+        access_size: u32,
+        write: bool,
+    ) {
+        (**self).access_strided(base, stride_bytes, count, access_size, write);
+    }
+    fn access_strided_rmw(&mut self, base: u64, stride_bytes: i64, count: u64, access_size: u32) {
+        (**self).access_strided_rmw(base, stride_bytes, count, access_size);
     }
 }
 
@@ -222,6 +301,95 @@ mod tests {
         assert_eq!(
             sink.ranges,
             vec![(0, 128, false), (64, 64, true), (128, 8, false)]
+        );
+    }
+
+    /// Regression: `emit_range` computed the next line boundary as
+    /// `(cur / 64 + 1) * 64`, which overflows for addresses in the top
+    /// cache line of the address space (debug panic, release hang via
+    /// `stop - cur` underflow). The saturating form clamps like
+    /// `MemAccess::lines()`.
+    #[test]
+    fn range_in_top_line_of_address_space_terminates() {
+        let mut buf = TraceBuffer::new();
+        buf.load_range(u64::MAX - 8, 16);
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.as_slice()[0].addr, u64::MAX - 8);
+        assert_eq!(buf.as_slice()[0].size, 8);
+    }
+
+    /// The per-element default of `access_strided` must be
+    /// probe-for-probe identical to the scalar loop it replaces, for
+    /// positive, negative and zero strides.
+    #[test]
+    fn strided_default_matches_scalar_loop() {
+        for &(base, stride) in &[
+            (0x1000u64, 128i64),
+            (0x8000, -640),
+            (0x2000, 0),
+            (u64::MAX - 100, 24),
+        ] {
+            let mut batched = TraceBuffer::new();
+            batched.access_strided(base, stride, 9, 8, false);
+            batched.access_strided(base, stride, 9, 8, true);
+            batched.access_strided_rmw(base, stride, 9, 8);
+
+            let mut scalar = TraceBuffer::new();
+            for i in 0..9u64 {
+                scalar.load(strided_addr(base, stride, i), 8);
+            }
+            for i in 0..9u64 {
+                scalar.store(strided_addr(base, stride, i), 8);
+            }
+            for i in 0..9u64 {
+                let addr = strided_addr(base, stride, i);
+                scalar.load(addr, 8);
+                scalar.store(addr, 8);
+            }
+            assert_eq!(
+                batched.as_slice(),
+                scalar.as_slice(),
+                "base {base:#x} stride {stride}"
+            );
+        }
+    }
+
+    /// Strided batches must route through `access_strided`, so a sink
+    /// that overrides it sees every batch — including through `&mut`.
+    #[test]
+    fn strided_overrides_are_reachable_through_mut_refs() {
+        struct Counting {
+            batches: Vec<(u64, i64, u64, u32, bool)>,
+        }
+        impl TraceSink for Counting {
+            fn access(&mut self, _access: MemAccess) {
+                panic!("bulk sink must not see per-element accesses");
+            }
+            fn access_strided(
+                &mut self,
+                base: u64,
+                stride: i64,
+                count: u64,
+                size: u32,
+                write: bool,
+            ) {
+                self.batches.push((base, stride, count, size, write));
+            }
+            fn access_strided_rmw(&mut self, base: u64, stride: i64, count: u64, size: u32) {
+                self.batches.push((base, stride, count, size, true));
+            }
+        }
+        let mut sink = Counting {
+            batches: Vec::new(),
+        };
+        {
+            let via_ref: &mut Counting = &mut sink;
+            via_ref.access_strided(0x100, 64, 4, 8, false);
+            via_ref.access_strided_rmw(0x200, -64, 4, 8);
+        }
+        assert_eq!(
+            sink.batches,
+            vec![(0x100, 64, 4, 8, false), (0x200, -64, 4, 8, true)]
         );
     }
 }

@@ -74,14 +74,16 @@ impl TracedProgram for StridedSweep {
     }
 
     fn trace_range<S: TraceSink + ?Sized>(&self, sink: &mut S, lo: u64, hi: u64) {
-        for i in lo..hi {
-            let addr = self.addr_of(i);
-            if self.write {
-                sink.store(addr, self.access_size);
-            } else {
-                sink.load(addr, self.access_size);
-            }
-        }
+        // One batch for the whole range: the per-element default is
+        // identical to the old scalar loop, and simulating sinks get to
+        // execute the calibration sweep through their bulk path.
+        sink.access_strided(
+            self.addr_of(lo),
+            self.stride_bytes,
+            hi - lo,
+            self.access_size,
+            self.write,
+        );
         let unit_stride = self.stride_bytes.unsigned_abs() == u64::from(self.access_size);
         let cost = IterCost::new(2, 0)
             .mem(u32::from(!self.write), u32::from(self.write))
@@ -299,6 +301,32 @@ mod tests {
         // confirm trace shape.
         let s = StridedSweep::new(0, 8, 8, 8);
         assert_eq!(s.footprint().bytes_read, 64);
+    }
+
+    /// The sweep must reach bulk sinks as one `access_strided` batch per
+    /// traced range, not per-element probes.
+    #[test]
+    fn strided_sweep_batches_through_access_strided() {
+        struct Batches(Vec<(u64, i64, u64, u32, bool)>);
+        impl crate::TraceSink for Batches {
+            fn access(&mut self, _a: crate::MemAccess) {
+                panic!("sweep must not fall back to per-element emission");
+            }
+            fn access_strided(
+                &mut self,
+                base: u64,
+                stride: i64,
+                count: u64,
+                size: u32,
+                write: bool,
+            ) {
+                self.0.push((base, stride, count, size, write));
+            }
+        }
+        let s = StridedSweep::new(1000, 10, 8, -24).writing();
+        let mut sink = Batches(Vec::new());
+        s.trace_range(&mut sink, 2, 7);
+        assert_eq!(sink.0, vec![(1000 - 48, -24, 5, 8, true)]);
     }
 
     #[test]

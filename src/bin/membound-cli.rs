@@ -17,7 +17,8 @@
 //! of a table.
 
 use membound::core::experiment::{
-    simulate_blur, simulate_stream, simulate_stream_survey, simulate_transpose, stream_dram_gbps,
+    simulate_blur, simulate_stream, simulate_stream_survey, simulate_transpose,
+    simulate_transpose_reference, stream_dram_gbps,
 };
 use membound::core::metrics::{attach_speedups, Measurement};
 use membound::core::report::{fmt_seconds, fmt_speedup, to_json, TextTable};
@@ -43,6 +44,7 @@ fn usage() -> ! {
          \x20 native-transpose                transposition on this host\n\
          \x20 native-blur                     Gaussian blur on this host\n\
          \x20 validate-runlog <path>          check a JSONL run log against the telemetry schema\n\
+         \x20 strided-gate                    prove batched strided replay matches per-element\n\
          common options:\n\
          \x20 --device mangopi|starfive|rpi4|xeon|all   (default: all)\n\
          \x20 --variant <ladder variant>|all            (default: all)\n\
@@ -461,6 +463,76 @@ fn cmd_validate_runlog(args: &[String]) -> ExitCode {
     }
 }
 
+/// `strided-gate`: simulate transposition cells twice — once on the
+/// default machine (column walks execute as `access_strided` batches)
+/// and once on a [`Machine::without_fastpath`] reference that dispatches
+/// every batch element by element — and require bit-identical stats
+/// digests. Exits nonzero on any divergence, or if no cell actually
+/// exercised the batched path; the CI bench-smoke job keys on this.
+fn cmd_strided_gate(opts: &Opts) -> ExitCode {
+    let n: usize = opts.num("n", 1024);
+    let cfg = TransposeConfig::new(n);
+    let mut table = TextTable::new(
+        [
+            "device",
+            "variant",
+            "batches",
+            "batched digest",
+            "reference digest",
+            "gate",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    let mut failures = 0u32;
+    let mut batches_seen = 0u64;
+    for device in opts.devices() {
+        let spec = device.spec();
+        for variant in transpose_variants(opts) {
+            let (Some(batched), Some(reference)) = (
+                simulate_transpose(&spec, variant, cfg),
+                simulate_transpose_reference(&spec, variant, cfg),
+            ) else {
+                table.row(vec![
+                    device.label().into(),
+                    variant.label().into(),
+                    "-".into(),
+                    "does not fit in memory".into(),
+                    "-".into(),
+                    "skip".into(),
+                ]);
+                continue;
+            };
+            let ok = batched.stats_digest() == reference.stats_digest();
+            failures += u32::from(!ok);
+            batches_seen += batched.strided_batches;
+            table.row(vec![
+                device.label().into(),
+                variant.label().into(),
+                batched.strided_batches.to_string(),
+                format!("{:016x}", batched.stats_digest()),
+                format!("{:016x}", reference.stats_digest()),
+                if ok { "ok" } else { "DIVERGED" }.into(),
+            ]);
+        }
+    }
+    println!("strided gate, {n}x{n} transposition\n{}", table.render());
+    if failures > 0 {
+        eprintln!(
+            "strided gate FAILED: {failures} cell(s) diverged from the per-element reference"
+        );
+        return ExitCode::FAILURE;
+    }
+    if batches_seen == 0 {
+        eprintln!(
+            "strided gate FAILED: no cell executed a strided batch — the gate proved nothing"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("strided gate passed: {batches_seen} batches, all digests bit-identical");
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
@@ -468,6 +540,9 @@ fn main() -> ExitCode {
         return cmd_validate_runlog(&args[1..]);
     }
     let opts = Opts::parse(&args[1..]);
+    if cmd == "strided-gate" {
+        return cmd_strided_gate(&opts);
+    }
     match cmd.as_str() {
         "devices" => cmd_devices(&opts),
         "stream" => cmd_stream(&opts),
