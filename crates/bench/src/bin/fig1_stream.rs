@@ -50,7 +50,7 @@ fn main() {
             matrix.push(Cell::stream("DRAM", device.label(), &spec, op, None));
         }
     }
-    let results = engine.run(&matrix);
+    let results = args.run_matrix(&engine, &matrix);
 
     let mut table = TextTable::new(
         ["device", "level", "mode", "Copy", "Scale", "Add", "Triad"]

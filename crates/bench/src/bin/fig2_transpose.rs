@@ -49,7 +49,7 @@ fn main() {
             }
         }
     }
-    let results = engine.run(&matrix);
+    let results = args.run_matrix(&engine, &matrix);
 
     let mut rows = Vec::new();
     let mut cells = results.cells.iter().peekable();
@@ -70,59 +70,62 @@ fn main() {
                 break;
             }
             let r = cells.next().expect("peeked");
-            match &r.outcome {
-                CellOutcome::Report(report) => {
-                    let speedup = r.speedup_vs_naive.unwrap_or(0.0);
-                    table.row(vec![
-                        r.cell.device.clone(),
-                        r.cell.variant.clone(),
-                        report.threads.to_string(),
-                        fmt_seconds(report.seconds),
-                        fmt_speedup(speedup),
-                    ]);
-                    chart.bar(
-                        &r.cell.device,
-                        &r.cell.variant,
-                        report.seconds,
-                        &if r.cell.variant == "Naive" {
-                            format!("{} s", fmt_seconds(report.seconds))
-                        } else {
-                            fmt_speedup(speedup)
-                        },
-                    );
-                    rows.push(Row {
-                        panel_n: n,
-                        device: r.cell.device.clone(),
-                        variant: r.cell.variant.clone(),
-                        threads: report.threads,
-                        seconds: report.seconds,
-                        speedup_vs_naive: speedup,
-                        fits_in_memory: true,
-                    });
-                }
-                outcome => {
-                    let note = match outcome {
-                        CellOutcome::DoesNotFit => "does not fit in memory".to_string(),
-                        CellOutcome::Panicked(msg) => format!("panicked: {msg}"),
-                        CellOutcome::Report(_) | CellOutcome::Gbps(_) => unreachable!(),
-                    };
-                    table.row(vec![
-                        r.cell.device.clone(),
-                        r.cell.variant.clone(),
-                        "-".into(),
-                        note,
-                        "-".into(),
-                    ]);
-                    rows.push(Row {
-                        panel_n: n,
-                        device: r.cell.device.clone(),
-                        variant: r.cell.variant.clone(),
-                        threads: 0,
-                        seconds: f64::NAN,
-                        speedup_vs_naive: f64::NAN,
-                        fits_in_memory: false,
-                    });
-                }
+            // sim_summary() serves freshly simulated and --resume
+            // restored cells alike.
+            if let Some(sim) = r.sim_summary() {
+                let speedup = r.speedup_vs_naive.unwrap_or(0.0);
+                table.row(vec![
+                    r.cell.device.clone(),
+                    r.cell.variant.clone(),
+                    sim.threads.to_string(),
+                    fmt_seconds(sim.seconds),
+                    fmt_speedup(speedup),
+                ]);
+                chart.bar(
+                    &r.cell.device,
+                    &r.cell.variant,
+                    sim.seconds,
+                    &if r.cell.variant == "Naive" {
+                        format!("{} s", fmt_seconds(sim.seconds))
+                    } else {
+                        fmt_speedup(speedup)
+                    },
+                );
+                rows.push(Row {
+                    panel_n: n,
+                    device: r.cell.device.clone(),
+                    variant: r.cell.variant.clone(),
+                    threads: sim.threads,
+                    seconds: sim.seconds,
+                    speedup_vs_naive: speedup,
+                    fits_in_memory: true,
+                });
+            } else {
+                let note = match &r.outcome {
+                    CellOutcome::DoesNotFit => "does not fit in memory".to_string(),
+                    CellOutcome::Panicked(msg) => format!("panicked: {msg}"),
+                    CellOutcome::Failed(msg) => format!("failed: {msg}"),
+                    CellOutcome::TimedOut(msg) => format!("timed out: {msg}"),
+                    CellOutcome::Report(_) | CellOutcome::Restored(_) | CellOutcome::Gbps(_) => {
+                        unreachable!()
+                    }
+                };
+                table.row(vec![
+                    r.cell.device.clone(),
+                    r.cell.variant.clone(),
+                    "-".into(),
+                    note,
+                    "-".into(),
+                ]);
+                rows.push(Row {
+                    panel_n: n,
+                    device: r.cell.device.clone(),
+                    variant: r.cell.variant.clone(),
+                    threads: 0,
+                    seconds: f64::NAN,
+                    speedup_vs_naive: f64::NAN,
+                    fits_in_memory: false,
+                });
             }
         }
         println!("{}", table.render());

@@ -58,7 +58,7 @@ fn main() {
             }
         }
     }
-    let results = engine.run(&matrix);
+    let results = args.run_matrix(&engine, &matrix);
 
     let mut rows = Vec::new();
     for n in [n1, n2] {

@@ -45,7 +45,7 @@ fn main() {
             ));
         }
     }
-    let results = engine.run(&matrix);
+    let results = args.run_matrix(&engine, &matrix);
 
     let mut table = TextTable::new(
         ["device", "variant", "threads", "time", "speedup"]
@@ -55,21 +55,22 @@ fn main() {
     let mut rows = Vec::new();
     let mut chart = BarChart::new("simulated time, normalized per device");
     for r in &results.cells {
-        let report = r.report().expect("blur cells always produce a report");
+        // sim_summary() covers fresh and --resume restored cells alike.
+        let sim = r.sim_summary().expect("blur cells always produce a report");
         let speedup = r.speedup_vs_naive.unwrap_or(0.0);
         table.row(vec![
             r.cell.device.clone(),
             r.cell.variant.clone(),
-            report.threads.to_string(),
-            fmt_seconds(report.seconds),
+            sim.threads.to_string(),
+            fmt_seconds(sim.seconds),
             fmt_speedup(speedup),
         ]);
         chart.bar(
             &r.cell.device,
             &r.cell.variant,
-            report.seconds,
+            sim.seconds,
             &if r.cell.variant == "Naive" {
-                format!("{} s", fmt_seconds(report.seconds))
+                format!("{} s", fmt_seconds(sim.seconds))
             } else {
                 fmt_speedup(speedup)
             },
@@ -77,8 +78,8 @@ fn main() {
         rows.push(Row {
             device: r.cell.device.clone(),
             variant: r.cell.variant.clone(),
-            threads: report.threads,
-            seconds: report.seconds,
+            threads: sim.threads,
+            seconds: sim.seconds,
             speedup_vs_naive: speedup,
         });
     }

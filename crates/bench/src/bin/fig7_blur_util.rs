@@ -58,7 +58,7 @@ fn main() {
             ));
         }
     }
-    let results = engine.run(&matrix);
+    let results = args.run_matrix(&engine, &matrix);
 
     let mut table = TextTable::new(
         ["device", "variant", "utilization", "vs 1D_kernels"]

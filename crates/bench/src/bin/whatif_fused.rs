@@ -67,7 +67,7 @@ fn main() {
             spec.cores,
         ));
     }
-    let results = engine.run(&matrix);
+    let results = args.run_matrix(&engine, &matrix);
 
     let mut table = TextTable::new(
         [
@@ -85,8 +85,9 @@ fn main() {
     );
     let mut rows = Vec::new();
     for pair in results.cells.chunks(2) {
-        let parallel = pair[0].report().expect("parallel blur always runs");
-        let fused = pair[1].report().expect("fused blur always runs");
+        // sim_summary() covers fresh and --resume restored cells alike.
+        let parallel = pair[0].sim_summary().expect("parallel blur always runs");
+        let fused = pair[1].sim_summary().expect("fused blur always runs");
         let gain = parallel.seconds / fused.seconds;
         let p_util = pair[0].bandwidth_utilization.unwrap_or(0.0);
         let f_util = pair[1].bandwidth_utilization.unwrap_or(0.0);
@@ -96,8 +97,8 @@ fn main() {
             fmt_seconds(parallel.seconds),
             fmt_seconds(fused.seconds),
             format!("x{gain:.2}"),
-            (parallel.dram.bytes_total() >> 20).to_string(),
-            (fused.dram.bytes_total() >> 20).to_string(),
+            (parallel.dram_bytes_total >> 20).to_string(),
+            (fused.dram_bytes_total >> 20).to_string(),
             format!("{p_util:.3}"),
             format!("{f_util:.3}"),
         ]);
@@ -106,8 +107,8 @@ fn main() {
             parallel_seconds: parallel.seconds,
             fused_seconds: fused.seconds,
             fused_gain: gain,
-            parallel_dram_mb: parallel.dram.bytes_total() >> 20,
-            fused_dram_mb: fused.dram.bytes_total() >> 20,
+            parallel_dram_mb: parallel.dram_bytes_total >> 20,
+            fused_dram_mb: fused.dram_bytes_total >> 20,
             parallel_util: p_util,
             fused_util: f_util,
         });

@@ -9,8 +9,10 @@
 
 #![warn(missing_docs)]
 
-use membound_core::runner::{resolve_jobs, Engine};
+use membound_core::runner::{resolve_jobs, Engine, ExperimentMatrix, RunOptions, RunResults};
+use membound_core::telemetry::parse_partial_run_log;
 use membound_core::BlurConfig;
+use membound_parallel::Failpoint;
 use membound_sim::Device;
 use std::path::PathBuf;
 
@@ -28,7 +30,18 @@ use std::path::PathBuf;
 /// * `--device <label>` — restrict the device axis to one device
 ///   (label or a case-insensitive prefix, e.g. `visionfive`).
 /// * `--run-log <path>` — where to write the JSONL telemetry run log
-///   (defaults to `results/<name>.jsonl`).
+///   (defaults to `results/<name>.jsonl`). The log is *streamed*: each
+///   cell's line is appended and synced as the cell finishes, so a
+///   killed run leaves a valid truncated log.
+/// * `--resume <run-log>` — restore finished cells from a (possibly
+///   truncated) run log of the same figure and re-simulate only the
+///   missing ones. The resumed run's digest-bearing fields are
+///   byte-identical to an uninterrupted run's.
+/// * `--retries <N>` — re-run a panicking cell up to N times before
+///   recording it as `failed` (default 0: a panic is recorded directly).
+/// * `--cell-deadline <seconds>` — discard any cell attempt that
+///   finishes past this wall-clock budget and record the cell as
+///   `timed_out` (checked at attempt boundaries).
 #[derive(Debug, Clone)]
 pub struct Args {
     /// Run the paper's full workload sizes.
@@ -41,6 +54,12 @@ pub struct Args {
     pub device_filter: Option<String>,
     /// Output path for the JSONL run log.
     pub run_log_path: PathBuf,
+    /// Partial run log to resume from, if given.
+    pub resume: Option<PathBuf>,
+    /// Per-cell retry budget for panicking cells.
+    pub retries: u32,
+    /// Per-cell wall-clock deadline in seconds, if given.
+    pub cell_deadline: Option<f64>,
 }
 
 impl Args {
@@ -53,13 +72,18 @@ impl Args {
     #[must_use]
     pub fn parse(name: &str) -> Self {
         let usage = format!(
-            "usage: {name} [--full] [--json <path>] [--jobs <N>] [--device <label>] [--run-log <path>]"
+            "usage: {name} [--full] [--json <path>] [--jobs <N>] [--device <label>] \
+             [--run-log <path>] [--resume <run-log>] [--retries <N>] \
+             [--cell-deadline <seconds>]"
         );
         let mut full = false;
         let mut json_path = PathBuf::from(format!("results/{name}.json"));
         let mut jobs = None;
         let mut device_filter = None;
         let mut run_log_path = PathBuf::from(format!("results/{name}.jsonl"));
+        let mut resume = None;
+        let mut retries = 0;
+        let mut cell_deadline = None;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -81,6 +105,29 @@ impl Args {
                     run_log_path =
                         PathBuf::from(args.next().expect("--run-log requires a path argument"));
                 }
+                "--resume" => {
+                    resume = Some(PathBuf::from(
+                        args.next()
+                            .expect("--resume requires the path of a partial run log"),
+                    ));
+                }
+                "--retries" => {
+                    let v = args.next().expect("--retries requires a count");
+                    retries = v.parse().unwrap_or_else(|_| {
+                        panic!("--retries requires a non-negative integer, got {v:?}")
+                    });
+                }
+                "--cell-deadline" => {
+                    let v = args.next().expect("--cell-deadline requires seconds");
+                    let seconds: f64 = v
+                        .parse()
+                        .unwrap_or_else(|_| panic!("--cell-deadline requires seconds, got {v:?}"));
+                    assert!(
+                        seconds > 0.0,
+                        "--cell-deadline requires positive seconds, got {v:?}"
+                    );
+                    cell_deadline = Some(seconds);
+                }
                 "--help" | "-h" => {
                     println!("{usage}");
                     std::process::exit(0);
@@ -94,6 +141,9 @@ impl Args {
             jobs,
             device_filter,
             run_log_path,
+            resume,
+            retries,
+            cell_deadline,
         }
     }
 
@@ -102,6 +152,56 @@ impl Args {
     #[must_use]
     pub fn engine(&self) -> Engine {
         Engine::new(resolve_jobs(self.jobs))
+    }
+
+    /// Execute `matrix` under this invocation's fault-tolerance policy:
+    /// streaming telemetry to the `--run-log` path, `--resume` /
+    /// `--retries` / `--cell-deadline`, and any `MEMBOUND_FAILPOINT`
+    /// fault injection.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with the underlying message) when the `--resume` log
+    /// cannot be read, is corrupt, or does not describe `matrix`, and on
+    /// a malformed `MEMBOUND_FAILPOINT` spec.
+    #[must_use]
+    pub fn run_matrix(&self, engine: &Engine, matrix: &ExperimentMatrix) -> RunResults {
+        let resume = self.resume.as_ref().map(|path| {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("--resume {}: {e}", path.display()));
+            let partial = parse_partial_run_log(&text)
+                .unwrap_or_else(|e| panic!("--resume {}: {e}", path.display()));
+            println!(
+                "[resuming from {}: {} of {} cell records present{}]",
+                path.display(),
+                partial.records.len(),
+                partial.header.cells,
+                if partial.truncated_tail {
+                    ", torn final line dropped"
+                } else {
+                    ""
+                }
+            );
+            partial
+        });
+        let options = RunOptions {
+            resume,
+            retries: self.retries,
+            cell_deadline: self.cell_deadline,
+            stream_log: Some(self.run_log_path.clone()),
+            failpoint: Failpoint::from_env(),
+        };
+        let results = engine
+            .run_with(matrix, &options)
+            .unwrap_or_else(|e| panic!("{e}"));
+        if results.restored > 0 {
+            println!(
+                "[restored {} cells from the resume log; re-simulated {}]",
+                results.restored,
+                results.cells.len() as u64 - results.restored
+            );
+        }
+        results
     }
 
     /// The devices the run covers: all four, or the one picked by
@@ -212,6 +312,9 @@ mod tests {
             jobs: None,
             device_filter: None,
             run_log_path: PathBuf::from("x.jsonl"),
+            resume: None,
+            retries: 0,
+            cell_deadline: None,
         }
     }
 

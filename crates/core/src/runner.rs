@@ -35,23 +35,43 @@ use crate::blur::{BlurConfig, BlurVariant};
 use crate::experiment;
 use crate::metrics::speedup;
 use crate::stream::StreamOp;
-use crate::telemetry::{self, CellRecord, RunHeader, SimRecord};
+use crate::telemetry::{self, CellRecord, PartialRunLog, RunHeader, SimRecord, StreamingRunLog};
 use crate::transpose::{TransposeConfig, TransposeVariant};
-use membound_parallel::{JobBudget, Pool, Task};
+use membound_parallel::{Failpoint, JobBudget, Pool, Task};
 use membound_sim::{DeviceSpec, SimReport};
-use std::path::Path;
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// How many worker threads to use, resolved from (in precedence order)
 /// an explicit `--jobs` value, the `MEMBOUND_JOBS` environment variable,
 /// and the host's available parallelism.
+///
+/// A requested value of `0` is clamped to one worker with a warning: in
+/// this codebase "zero workers" is the [`JobBudget::serial`] convention
+/// — run on the calling thread with no extra parallelism — and one
+/// pool worker is exactly that, but the clamp should never be silent.
 #[must_use]
 pub fn resolve_jobs(cli: Option<u32>) -> u32 {
     if let Some(n) = cli {
+        if n == 0 {
+            eprintln!(
+                "warning: --jobs 0 means serial execution (the JobBudget::serial \
+                 convention); clamping to 1 worker"
+            );
+        }
         return n.max(1);
     }
     if let Ok(v) = std::env::var("MEMBOUND_JOBS") {
         if let Ok(n) = v.trim().parse::<u32>() {
+            if n == 0 {
+                eprintln!(
+                    "warning: MEMBOUND_JOBS=0 means serial execution (the \
+                     JobBudget::serial convention); clamping to 1 worker"
+                );
+            }
             return n.max(1);
         }
         eprintln!(
@@ -225,8 +245,21 @@ pub enum CellOutcome {
     Gbps(f64),
     /// The workload exceeds the device's memory.
     DoesNotFit,
-    /// The cell's simulation panicked; contains the message.
+    /// The cell's simulation panicked with no retry budget; contains
+    /// the message.
     Panicked(String),
+    /// Every attempt under a retry policy panicked; contains the last
+    /// message.
+    Failed(String),
+    /// The cell overran its wall-clock deadline; contains a
+    /// description. Any result the late attempt produced was discarded.
+    TimedOut(String),
+    /// Not re-simulated: the cell's telemetry record was restored from
+    /// a `--resume` run log. Carries the same digest-bearing fields a
+    /// fresh [`CellOutcome::Report`] would flatten into the log, so a
+    /// resumed run's telemetry is byte-identical to an uninterrupted
+    /// one in every digest-bearing field.
+    Restored(Box<SimRecord>),
 }
 
 /// One executed cell, in matrix order.
@@ -236,8 +269,13 @@ pub struct CellResult {
     pub cell: Cell,
     /// What it produced.
     pub outcome: CellOutcome,
-    /// Host wall-clock seconds the simulation took (nondeterministic).
+    /// Host wall-clock seconds the simulation took (nondeterministic;
+    /// cumulative over retries; carried over from the original run for
+    /// restored cells).
     pub wall_seconds: f64,
+    /// Execution attempts behind this result (1 = first try; >1 =
+    /// retried after panics).
+    pub attempts: u32,
     /// Speedup over the ladder's first successful cell (1.0 for the
     /// baseline itself); `None` when the ladder has no baseline or the
     /// cell produced no report.
@@ -247,12 +285,47 @@ pub struct CellResult {
     pub bandwidth_utilization: Option<f64>,
 }
 
+/// The simulated quantities the figure binaries render, available
+/// whether a cell was freshly simulated ([`CellOutcome::Report`]) or
+/// restored from a resumed run log ([`CellOutcome::Restored`], which
+/// carries no full [`SimReport`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimSummary {
+    /// Simulated threads (= cores used).
+    pub threads: u32,
+    /// Simulated duration in seconds.
+    pub seconds: f64,
+    /// Total DRAM bytes moved (read + written).
+    pub dram_bytes_total: u64,
+}
+
 impl CellResult {
-    /// The simulator report, when the cell produced one.
+    /// The simulator report, when the cell was freshly simulated.
+    /// Restored cells have no report — use [`CellResult::sim_summary`]
+    /// for the rendered quantities, which both kinds carry.
     #[must_use]
     pub fn report(&self) -> Option<&SimReport> {
         match &self.outcome {
             CellOutcome::Report(r) => Some(r.as_ref()),
+            _ => None,
+        }
+    }
+
+    /// The simulated quantities of a report-bearing cell, fresh or
+    /// restored.
+    #[must_use]
+    pub fn sim_summary(&self) -> Option<SimSummary> {
+        match &self.outcome {
+            CellOutcome::Report(r) => Some(SimSummary {
+                threads: r.threads,
+                seconds: r.seconds,
+                dram_bytes_total: r.dram.bytes_total(),
+            }),
+            CellOutcome::Restored(rec) => Some(SimSummary {
+                threads: rec.threads,
+                seconds: rec.seconds,
+                dram_bytes_total: rec.dram_bytes_read + rec.dram_bytes_written,
+            }),
             _ => None,
         }
     }
@@ -303,6 +376,66 @@ impl ExperimentMatrix {
     }
 }
 
+/// Fault-tolerance and resumption policy for one engine run.
+///
+/// The default is exactly the pre-crash-safety behaviour: no resume, no
+/// retries, no deadline, no streaming, no fault injection.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// A partial run log to resume from: cells whose records are
+    /// present and resumable (`ok`/`does_not_fit`) are restored instead
+    /// of re-simulated; panicked/failed/timed-out records are retried.
+    /// The log must be compatible with the matrix (see
+    /// [`Engine::run_with`]).
+    pub resume: Option<PartialRunLog>,
+    /// How many times to re-run a panicking cell before recording it as
+    /// `failed` (0 = no retries, panic recorded directly).
+    pub retries: u32,
+    /// Optional per-cell wall-clock deadline in seconds, checked at
+    /// attempt boundaries (a running attempt is never preempted — the
+    /// simulator has no cancellation points). An attempt that finishes
+    /// past the deadline has its result discarded and the cell recorded
+    /// as `timed_out`.
+    pub cell_deadline: Option<f64>,
+    /// Stream the run log here as cells finish (header first, then one
+    /// synced line per cell in index order), so a killed run leaves a
+    /// valid truncated log. The path is atomically replaced at the
+    /// start of the run; a mid-run write failure disables streaming
+    /// with a warning rather than killing the run.
+    pub stream_log: Option<PathBuf>,
+    /// Fault injection for crash-safety tests: checked once per cell
+    /// *attempt* at site `"cell"` with the cell's matrix index.
+    pub failpoint: Option<Failpoint>,
+}
+
+/// Why [`Engine::run_with`] could not run.
+#[derive(Debug)]
+pub enum RunError {
+    /// The resume log does not describe this matrix (different figure,
+    /// cell count, or per-cell identity); resuming over it would
+    /// misattribute results.
+    Incompatible(String),
+    /// Creating the streaming run log failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Incompatible(why) => write!(f, "resume log incompatible: {why}"),
+            RunError::Io(e) => write!(f, "streaming run log: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<std::io::Error> for RunError {
+    fn from(e: std::io::Error) -> Self {
+        RunError::Io(e)
+    }
+}
+
 /// Executes experiment matrices on a pool of worker threads.
 #[derive(Debug, Clone)]
 pub struct Engine {
@@ -342,50 +475,124 @@ impl Engine {
     /// independent of `jobs`.
     #[must_use]
     pub fn run(&self, matrix: &ExperimentMatrix) -> RunResults {
+        self.run_with(matrix, &RunOptions::default())
+            .expect("a run without resume or streaming has no failure path")
+    }
+
+    /// [`Engine::run`] with a fault-tolerance policy: resumption from a
+    /// partial run log, per-cell retries and deadlines, streaming
+    /// telemetry, and fault injection (see [`RunOptions`]).
+    ///
+    /// When resuming, the log must be *compatible* with the matrix:
+    /// same figure name, same cell count, and every restored record's
+    /// (panel, device, kernel, variant) identity must match the cell at
+    /// its index. The job count may differ — it never affects simulated
+    /// results. Restored `ok`/`does_not_fit` cells are not
+    /// re-simulated; their digest-bearing telemetry fields are carried
+    /// over verbatim, and speedups/utilizations are recomputed from the
+    /// restored seconds (bit-exact: JSON round-trips `f64` losslessly),
+    /// so a resumed run's final log is byte-identical to an
+    /// uninterrupted run's in every digest-bearing field.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Incompatible`] when the resume log does not describe
+    /// this matrix; [`RunError::Io`] when the streaming log cannot be
+    /// created. Mid-run streaming failures only warn.
+    pub fn run_with(
+        &self,
+        matrix: &ExperimentMatrix,
+        options: &RunOptions,
+    ) -> Result<RunResults, RunError> {
+        let n = matrix.cells.len();
+        let mut restored_results: Vec<(usize, CellResult)> = Vec::new();
+        if let Some(partial) = &options.resume {
+            check_resume_compat(matrix, partial)?;
+            for (index, record) in partial.records.iter().enumerate() {
+                if let Some(result) = restore_cell(&matrix.cells[index], record) {
+                    restored_results.push((index, result));
+                }
+            }
+        }
+        let restored = restored_results.len() as u64;
+
+        let writer = match &options.stream_log {
+            Some(path) => Some(create_stream_log(
+                path,
+                &RunHeader::new(&matrix.figure, self.jobs, n as u64),
+            )?),
+            None => None,
+        };
+
+        let state = Mutex::new(StreamState {
+            flushed: Vec::with_capacity(n),
+            pending: BTreeMap::new(),
+            baselines: &matrix.stream_baselines,
+            writer,
+            total: n,
+        });
+        {
+            let mut state = state.lock().expect("stream state poisoned");
+            for (index, result) in restored_results {
+                state.insert(index, result);
+            }
+        }
+
+        // Only the cells with no restored result are simulated.
+        let missing: Vec<usize> = {
+            let state = state.lock().expect("stream state poisoned");
+            (0..n).filter(|i| !state.contains(*i)).collect()
+        };
+
         let budget = JobBudget::new(self.jobs);
-        let outer = budget.lease((matrix.cells.len() as u32).min(self.jobs).max(1));
+        let outer = budget.lease((missing.len() as u32).min(self.jobs).max(1));
         let pool = Pool::new(outer.granted().max(1));
         let budget_ref = &budget;
-        let tasks: Vec<Task<'_, (CellOutcome, f64)>> = matrix
-            .cells
+        let retries = options.retries;
+        let deadline = options.cell_deadline;
+        let failpoint = options.failpoint.as_ref();
+        let tasks: Vec<Task<'_, (CellOutcome, f64, u32)>> = missing
             .iter()
-            .map(|cell| {
-                let b: Task<'_, (CellOutcome, f64)> = Box::new(move || {
-                    let start = Instant::now();
-                    let outcome = execute(cell, budget_ref);
-                    (outcome, start.elapsed().as_secs_f64())
+            .map(|&index| {
+                let cell = &matrix.cells[index];
+                let b: Task<'_, (CellOutcome, f64, u32)> = Box::new(move || {
+                    execute_cell(cell, index, budget_ref, retries, deadline, failpoint)
                 });
                 b
             })
             .collect();
 
-        let mut results: Vec<CellResult> = pool
-            .run_tasks(tasks)
-            .into_iter()
-            .zip(matrix.cells.iter())
-            .map(|(result, cell)| {
-                let (outcome, wall_seconds) = match result {
-                    Ok((outcome, wall)) => (outcome, wall),
-                    Err(panic) => (CellOutcome::Panicked(panic.message), 0.0),
-                };
+        let missing_ref = &missing;
+        let state_ref = &state;
+        pool.run_tasks_with(tasks, move |k, result| {
+            let index = missing_ref[k];
+            let (outcome, wall_seconds, attempts) = match result {
+                Ok((outcome, wall, attempts)) => (outcome.clone(), *wall, *attempts),
+                // execute_cell contains its own panics; this arm only
+                // fires if the containment itself breaks.
+                Err(panic) => (CellOutcome::Panicked(panic.message.clone()), 0.0, 1),
+            };
+            state_ref.lock().expect("stream state poisoned").insert(
+                index,
                 CellResult {
-                    cell: cell.clone(),
+                    cell: matrix.cells[index].clone(),
                     outcome,
                     wall_seconds,
+                    attempts,
                     speedup_vs_naive: None,
                     bandwidth_utilization: None,
-                }
-            })
-            .collect();
+                },
+            );
+        });
 
-        attach_speedups(&mut results);
-        attach_utilization(&mut results, &matrix.stream_baselines);
-
-        RunResults {
+        let state = state.into_inner().expect("stream state poisoned");
+        debug_assert_eq!(state.flushed.len(), n, "every cell flushed");
+        Ok(RunResults {
             figure: matrix.figure.clone(),
             jobs: self.jobs,
-            cells: results,
-        }
+            restored,
+            cells: state.flushed,
+        })
     }
 
     /// Measure the STREAM DRAM (Triad) baseline of each device, in
@@ -447,45 +654,285 @@ fn execute(cell: &Cell, budget: &JobBudget) -> CellOutcome {
     }
 }
 
-/// For each run of consecutive cells sharing (panel, device, kernel),
-/// the first cell with a report is the baseline; every report cell of
-/// the run gets `baseline.seconds / cell.seconds`.
-fn attach_speedups(results: &mut [CellResult]) {
-    let mut i = 0;
-    while i < results.len() {
-        let key = results[i].cell.ladder_key();
-        let mut j = i;
-        while j < results.len() && results[j].cell.ladder_key() == key {
-            j += 1;
-        }
-        let baseline = results[i..j]
-            .iter()
-            .find_map(|r| r.report().map(|rep| rep.seconds));
-        if let Some(base) = baseline {
-            for r in &mut results[i..j] {
-                if let Some(rep_seconds) = r.report().map(|rep| rep.seconds) {
-                    r.speedup_vs_naive = Some(speedup(base, rep_seconds));
+/// Run one cell under the retry/deadline policy. Returns the outcome,
+/// the cumulative wall seconds across attempts, and the attempt count.
+///
+/// Each attempt is wrapped in its own `catch_unwind` (so an injected or
+/// organic panic is retryable), and the optional failpoint is evaluated
+/// *inside* the guard — an injected panic takes exactly the path an
+/// organic one would. The deadline is checked after each attempt: the
+/// simulator has no cancellation points, so a late attempt cannot be
+/// preempted, only discarded.
+fn execute_cell(
+    cell: &Cell,
+    index: usize,
+    budget: &JobBudget,
+    retries: u32,
+    deadline: Option<f64>,
+    failpoint: Option<&Failpoint>,
+) -> (CellOutcome, f64, u32) {
+    let start = Instant::now();
+    let max_attempts = retries.saturating_add(1);
+    let mut last_panic = String::new();
+    for attempt in 1..=max_attempts {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(fp) = failpoint {
+                fp.check("cell", index as u64);
+            }
+            execute(cell, budget)
+        }));
+        let elapsed = start.elapsed().as_secs_f64();
+        let overran = deadline.is_some_and(|limit| elapsed > limit);
+        match result {
+            Ok(outcome) => {
+                if overran {
+                    let why = format!(
+                        "exceeded the {:.3}s cell deadline after {elapsed:.3}s \
+                         (attempt {attempt}); result discarded",
+                        deadline.unwrap_or(0.0)
+                    );
+                    return (CellOutcome::TimedOut(why), elapsed, attempt);
+                }
+                return (outcome, elapsed, attempt);
+            }
+            Err(payload) => {
+                last_panic = membound_parallel::panic_message(payload);
+                if overran {
+                    let why = format!(
+                        "exceeded the {:.3}s cell deadline after {elapsed:.3}s \
+                         (attempt {attempt} panicked: {last_panic})",
+                        deadline.unwrap_or(0.0)
+                    );
+                    return (CellOutcome::TimedOut(why), elapsed, attempt);
                 }
             }
         }
-        i = j;
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let outcome = if retries == 0 {
+        CellOutcome::Panicked(last_panic)
+    } else {
+        CellOutcome::Failed(format!("{last_panic} (after {max_attempts} attempts)"))
+    };
+    (outcome, wall, max_attempts)
+}
+
+/// Simulated seconds of a report-bearing cell, fresh or restored — the
+/// quantity the ladder-speedup and utilization metrics are computed
+/// from. Restored seconds are bit-exact copies of the original run's
+/// (JSON round-trips `f64` losslessly), so every derived metric is too.
+fn sim_seconds(r: &CellResult) -> Option<f64> {
+    r.sim_summary().map(|s| s.seconds)
+}
+
+/// Speedup of cell `m` over its ladder baseline: within the run of
+/// consecutive cells sharing (panel, device, kernel) that contains `m`,
+/// the first report-bearing cell is the baseline. Only inspects indices
+/// `<= m` — the baseline of a ladder always precedes (or is) the cell —
+/// so the streaming writer can compute it the moment the contiguous
+/// prefix reaches `m`, and the value is identical to a whole-run pass.
+fn speedup_for(results: &[CellResult], m: usize) -> Option<f64> {
+    let seconds = sim_seconds(&results[m])?;
+    let key = results[m].cell.ladder_key();
+    let mut start = m;
+    while start > 0 && results[start - 1].cell.ladder_key() == key {
+        start -= 1;
+    }
+    let base = results[start..=m].iter().find_map(sim_seconds)?;
+    Some(speedup(base, seconds))
+}
+
+/// The §3.3 utilization metric for one cell, when its kind has a
+/// nominal byte count and its device a declared STREAM baseline.
+/// Restored cells recompute through the same formula as
+/// [`SimReport::bandwidth_utilization`] on bit-identical seconds, so
+/// the value matches the original run's exactly.
+fn utilization_for(r: &CellResult, baselines: &[(String, f64)]) -> Option<f64> {
+    let nominal = r.cell.kind.nominal_bytes()?;
+    let &(_, gbps) = baselines.iter().find(|(d, _)| *d == r.cell.device)?;
+    match &r.outcome {
+        CellOutcome::Report(report) => Some(report.bandwidth_utilization(nominal, gbps)),
+        CellOutcome::Restored(rec) => {
+            // Mirrors SimReport::{achieved_gbps, bandwidth_utilization}
+            // (crates/sim/src/machine.rs) on the restored seconds; a
+            // unit test pins the two formulas together.
+            if rec.seconds <= 0.0 || gbps <= 0.0 {
+                Some(0.0)
+            } else {
+                Some(nominal as f64 / rec.seconds / 1e9 / gbps)
+            }
+        }
+        _ => None,
     }
 }
 
-fn attach_utilization(results: &mut [CellResult], baselines: &[(String, f64)]) {
-    if baselines.is_empty() {
-        return;
+/// Accumulates cell results in matrix order and streams each one to the
+/// run log the moment the contiguous prefix reaches it.
+///
+/// Workers complete cells out of order; records in a run log must be in
+/// index order (the digests are order-sensitive). Out-of-order arrivals
+/// wait in `pending`; every time the contiguous prefix grows, the newly
+/// contiguous cells get their ladder speedup and utilization attached
+/// (both only need indices `<=` their own) and their record line
+/// appended and synced. When the run finishes, `flushed` *is* the final
+/// result vector — the streaming and terminal paths cannot disagree
+/// because they are the same path.
+struct StreamState<'m> {
+    flushed: Vec<CellResult>,
+    pending: BTreeMap<usize, CellResult>,
+    baselines: &'m [(String, f64)],
+    writer: Option<StreamingRunLog>,
+    total: usize,
+}
+
+impl StreamState<'_> {
+    fn contains(&self, index: usize) -> bool {
+        index < self.flushed.len() || self.pending.contains_key(&index)
     }
-    for r in results {
-        let Some(nominal) = r.cell.kind.nominal_bytes() else {
-            continue;
-        };
-        let Some(&(_, gbps)) = baselines.iter().find(|(d, _)| *d == r.cell.device) else {
-            continue;
-        };
-        if let CellOutcome::Report(report) = &r.outcome {
-            r.bandwidth_utilization = Some(report.bandwidth_utilization(nominal, gbps));
+
+    fn insert(&mut self, index: usize, result: CellResult) {
+        debug_assert!(index < self.total && !self.contains(index));
+        self.pending.insert(index, result);
+        while let Some(result) = self.pending.remove(&self.flushed.len()) {
+            let m = self.flushed.len();
+            self.flushed.push(result);
+            self.flushed[m].speedup_vs_naive = speedup_for(&self.flushed, m);
+            self.flushed[m].bandwidth_utilization =
+                utilization_for(&self.flushed[m], self.baselines);
+            if let Some(writer) = &mut self.writer {
+                let record = cell_record(m as u64, &self.flushed[m]);
+                if let Err(e) = writer.append_record(&record) {
+                    eprintln!(
+                        "warning: streaming run log failed at cell {m} ({e}); \
+                         disabling streaming for the rest of the run"
+                    );
+                    self.writer = None;
+                }
+            }
         }
+    }
+}
+
+/// Create the streaming run log (parent directories included),
+/// atomically replacing whatever was at the path — which may be the
+/// very log being resumed from: its records are already parsed into
+/// memory and re-stream immediately, so no window exists where the old
+/// data is the only copy.
+fn create_stream_log(path: &Path, header: &RunHeader) -> std::io::Result<StreamingRunLog> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    StreamingRunLog::create(path, header)
+}
+
+/// Rebuild a [`CellResult`] from a restored record, or `None` when the
+/// record's status means the cell must be re-simulated
+/// (panicked/failed/timed-out — resume is the second chance).
+fn restore_cell(cell: &Cell, record: &CellRecord) -> Option<CellResult> {
+    let outcome = match record.status.as_str() {
+        telemetry::status::OK => {
+            if let Some(sim) = &record.sim {
+                CellOutcome::Restored(Box::new(sim.clone()))
+            } else if let Some(gbps) = record.gbps {
+                CellOutcome::Gbps(gbps)
+            } else {
+                // An ok record with no result would not validate; run
+                // the cell rather than trust it.
+                return None;
+            }
+        }
+        telemetry::status::DOES_NOT_FIT => CellOutcome::DoesNotFit,
+        _ => return None,
+    };
+    Some(CellResult {
+        cell: cell.clone(),
+        outcome,
+        wall_seconds: record.wall_seconds,
+        attempts: record.attempts.unwrap_or(1),
+        speedup_vs_naive: None,
+        bandwidth_utilization: None,
+    })
+}
+
+/// Check that a partial log describes `matrix` before resuming over it.
+fn check_resume_compat(matrix: &ExperimentMatrix, partial: &PartialRunLog) -> Result<(), RunError> {
+    if partial.header.figure != matrix.figure {
+        return Err(RunError::Incompatible(format!(
+            "log is for figure {:?}, matrix is {:?}",
+            partial.header.figure, matrix.figure
+        )));
+    }
+    if partial.header.cells != matrix.cells.len() as u64 {
+        return Err(RunError::Incompatible(format!(
+            "log plans {} cells, matrix has {}",
+            partial.header.cells,
+            matrix.cells.len()
+        )));
+    }
+    for (index, record) in partial.records.iter().enumerate() {
+        let cell = &matrix.cells[index];
+        let identity = (
+            record.panel.as_str(),
+            record.device.as_str(),
+            record.kernel.as_str(),
+            record.variant.as_str(),
+        );
+        let expected = (
+            cell.panel.as_str(),
+            cell.device.as_str(),
+            cell.kind.kernel(),
+            cell.variant.as_str(),
+        );
+        if identity != expected {
+            return Err(RunError::Incompatible(format!(
+                "cell {index} is {identity:?} in the log but {expected:?} in the matrix"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Flatten one cell result into its telemetry record. This single
+/// constructor serves both the streaming writer (as each cell flushes)
+/// and the terminal [`RunResults::telemetry`] render, so the two logs
+/// are byte-identical line for line (the header timestamp aside).
+fn cell_record(index: u64, r: &CellResult) -> CellRecord {
+    let (status, sim, gbps, error) = match &r.outcome {
+        CellOutcome::Report(report) => (
+            telemetry::status::OK,
+            Some(SimRecord::from_report(report)),
+            None,
+            None,
+        ),
+        CellOutcome::Restored(record) => (
+            telemetry::status::OK,
+            Some(record.as_ref().clone()),
+            None,
+            None,
+        ),
+        CellOutcome::Gbps(g) => (telemetry::status::OK, None, Some(*g), None),
+        CellOutcome::DoesNotFit => (telemetry::status::DOES_NOT_FIT, None, None, None),
+        CellOutcome::Panicked(msg) => (telemetry::status::PANICKED, None, None, Some(msg.clone())),
+        CellOutcome::Failed(msg) => (telemetry::status::FAILED, None, None, Some(msg.clone())),
+        CellOutcome::TimedOut(msg) => (telemetry::status::TIMED_OUT, None, None, Some(msg.clone())),
+    };
+    CellRecord {
+        kind: "cell".into(),
+        index,
+        panel: r.cell.panel.clone(),
+        device: r.cell.device.clone(),
+        kernel: r.cell.kind.kernel().into(),
+        variant: r.cell.variant.clone(),
+        status: status.into(),
+        attempts: Some(r.attempts),
+        wall_seconds: r.wall_seconds,
+        sim,
+        gbps,
+        speedup_vs_naive: r.speedup_vs_naive,
+        bandwidth_utilization: r.bandwidth_utilization,
+        error,
     }
 }
 
@@ -496,20 +943,28 @@ pub struct RunResults {
     pub figure: String,
     /// Worker threads the run used.
     pub jobs: u32,
+    /// Cells restored from a `--resume` log instead of re-simulated.
+    pub restored: u64,
     /// Per-cell results, in declaration order.
     pub cells: Vec<CellResult>,
 }
 
 impl RunResults {
     /// Order-sensitive digest over every report cell's
-    /// [`SimReport::stats_digest`]: two runs of the same matrix must
-    /// produce the same value regardless of their job counts.
+    /// [`SimReport::stats_digest`] (restored cells contribute their
+    /// carried-over digest): two runs of the same matrix must produce
+    /// the same value regardless of their job counts or of which cells
+    /// were resumed.
     #[must_use]
     pub fn combined_digest(&self) -> String {
         let digests: Vec<String> = self
             .cells
             .iter()
-            .filter_map(|r| r.report().map(|rep| format!("{:016x}", rep.stats_digest())))
+            .filter_map(|r| match &r.outcome {
+                CellOutcome::Report(rep) => Some(format!("{:016x}", rep.stats_digest())),
+                CellOutcome::Restored(rec) => Some(rec.stats_digest.clone()),
+                _ => None,
+            })
             .collect();
         telemetry::combine_digests(digests.iter().map(String::as_str))
     }
@@ -522,36 +977,7 @@ impl RunResults {
             .cells
             .iter()
             .enumerate()
-            .map(|(index, r)| {
-                let (status, sim, gbps, error) = match &r.outcome {
-                    CellOutcome::Report(report) => (
-                        telemetry::status::OK,
-                        Some(SimRecord::from_report(report)),
-                        None,
-                        None,
-                    ),
-                    CellOutcome::Gbps(g) => (telemetry::status::OK, None, Some(*g), None),
-                    CellOutcome::DoesNotFit => (telemetry::status::DOES_NOT_FIT, None, None, None),
-                    CellOutcome::Panicked(msg) => {
-                        (telemetry::status::PANICKED, None, None, Some(msg.clone()))
-                    }
-                };
-                CellRecord {
-                    kind: "cell".into(),
-                    index: index as u64,
-                    panel: r.cell.panel.clone(),
-                    device: r.cell.device.clone(),
-                    kernel: r.cell.kind.kernel().into(),
-                    variant: r.cell.variant.clone(),
-                    status: status.into(),
-                    wall_seconds: r.wall_seconds,
-                    sim,
-                    gbps,
-                    speedup_vs_naive: r.speedup_vs_naive,
-                    bandwidth_utilization: r.bandwidth_utilization,
-                    error,
-                }
-            })
+            .map(|(index, r)| cell_record(index as u64, r))
             .collect();
         (header, records)
     }
@@ -564,6 +990,9 @@ impl RunResults {
     }
 
     /// Write the JSONL run log to `path`, creating parent directories.
+    /// The write is atomic (temp file in the same directory + rename),
+    /// so a crash or full disk mid-write can never leave a half-written
+    /// log at the destination.
     ///
     /// # Errors
     ///
@@ -574,7 +1003,7 @@ impl RunResults {
                 std::fs::create_dir_all(dir)?;
             }
         }
-        std::fs::write(path, self.render_run_log())
+        telemetry::write_text_atomic(path, &self.render_run_log())
     }
 }
 

@@ -23,9 +23,18 @@ use serde::{Deserialize, Serialize};
 /// Version of the run-log schema emitted by this crate.
 ///
 /// Bump on any change to the field set or meaning of [`RunHeader`] /
-/// [`CellRecord`]; the validator rejects mismatched logs.
+/// [`CellRecord`]. The validator accepts every version from
+/// [`MIN_SCHEMA_VERSION`] through this one (older logs read with the
+/// migration defaults documented per field below) and rejects *future*
+/// versions rather than guess.
 ///
 /// History:
+/// * 4 — crash-safe runs (DESIGN.md §11): [`CellRecord`] carries
+///   `attempts` (digest-excluded; absent ⇒ 1) and the [`status`] set
+///   gains `"failed"` (panicked on every retry) and `"timed_out"`
+///   (exceeded the per-cell deadline). `host_workers` and
+///   `strided_batches` became optional on read so v1/v2 logs validate
+///   (absent ⇒ `None`); v2+ writers always populate them.
 /// * 3 — [`SimRecord`] carries `strided_batches`, the count of bulk
 ///   strided reference batches ([`membound_trace::TraceSink::access_strided`]
 ///   and friends) the simulated cores executed. Diagnostic only: like
@@ -37,7 +46,15 @@ use serde::{Deserialize, Serialize};
 ///   silently disagreeing with the simulator's text reports), and
 ///   [`SimRecord`] carries `host_workers`.
 /// * 1 — initial schema.
-pub const SCHEMA_VERSION: u32 = 3;
+pub const SCHEMA_VERSION: u32 = 4;
+
+/// Oldest run-log schema version the validator still reads.
+///
+/// Migration defaults applied to older logs: fields introduced after a
+/// log's version deserialize as `None` (`host_workers` and
+/// `strided_batches` before v2/v3, `attempts` before v4) — absent means
+/// "this release did not record it", never a guessed value.
+pub const MIN_SCHEMA_VERSION: u32 = 1;
 
 /// First line of a run log.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -140,13 +157,16 @@ pub struct SimRecord {
     /// Host worker threads that replayed this cell's simulated cores (1
     /// for serial replay). Host-side diagnostic like `wall_seconds`:
     /// varies with the job budget, never with the simulated results.
-    pub host_workers: u32,
+    /// `None` only when read from a schema-v1 log, which predates the
+    /// field (v2+ writers always record it).
+    pub host_workers: Option<u32>,
     /// Bulk strided batches the simulated cores executed
     /// ([`membound_sim::SimReport::strided_batches`]), summed over cores.
     /// Diagnostic: excluded from `stats_digest`, so it records whether a
     /// run took the batched replay path without perturbing the
-    /// digest-equality contract.
-    pub strided_batches: u64,
+    /// digest-equality contract. `None` only when read from a pre-v3
+    /// log, which predates the field.
+    pub strided_batches: Option<u64>,
 }
 
 impl SimRecord {
@@ -168,8 +188,8 @@ impl SimRecord {
             dram_reads: report.dram.reads,
             dram_writes: report.dram.writes,
             stats_digest: format!("{:016x}", report.stats_digest()),
-            host_workers: report.host_workers,
-            strided_batches: report.strided_batches,
+            host_workers: Some(report.host_workers),
+            strided_batches: Some(report.strided_batches),
         }
     }
 }
@@ -182,6 +202,13 @@ pub mod status {
     pub const DOES_NOT_FIT: &str = "does_not_fit";
     /// The cell's closure panicked; `error` carries the message.
     pub const PANICKED: &str = "panicked";
+    /// Every attempt panicked under a retry policy (`--retries` > 0);
+    /// `error` carries the last panic message and `attempts` the count.
+    /// Schema v4+.
+    pub const FAILED: &str = "failed";
+    /// An attempt overran the per-cell wall-clock deadline
+    /// (`--cell-deadline`); its result was discarded. Schema v4+.
+    pub const TIMED_OUT: &str = "timed_out";
 }
 
 /// One experiment cell: a kernel variant on a device at one workload.
@@ -202,6 +229,12 @@ pub struct CellRecord {
     pub variant: String,
     /// One of the [`status`] constants.
     pub status: String,
+    /// Execution attempts this record reflects (1 = first try
+    /// succeeded; >1 = retried after panics). Digest-excluded host-side
+    /// diagnostic like `wall_seconds`. `None` only when read from a
+    /// pre-v4 log, which predates the retry policy; absent ⇒ one
+    /// attempt.
+    pub attempts: Option<u32>,
     /// Host wall-clock seconds this cell's simulation took to *run*
     /// (engine scheduling overhead excluded; nondeterministic).
     pub wall_seconds: f64,
@@ -222,6 +255,9 @@ pub struct CellRecord {
 /// Summary returned by a successful [`validate_run_log`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunLogSummary {
+    /// Schema version the log was written with (within
+    /// [`MIN_SCHEMA_VERSION`]..=[`SCHEMA_VERSION`]).
+    pub schema_version: u32,
     /// Figure named in the header.
     pub figure: String,
     /// Worker threads of the run.
@@ -261,13 +297,16 @@ pub fn render_run_log(header: &RunHeader, cells: &[CellRecord]) -> String {
     out
 }
 
-/// Validate a run log against schema version [`SCHEMA_VERSION`].
+/// Validate a run log written with any supported schema version
+/// ([`MIN_SCHEMA_VERSION`]..=[`SCHEMA_VERSION`]).
 ///
-/// Checks: a parseable header line with `kind == "header"` and the
-/// current schema version; every following line parses as a cell with
-/// `kind == "cell"`, a known status, indices in exact `0..cells` order;
-/// `status == "ok"` cells carry a result (`sim` or `gbps`) and panicked
-/// cells an error message.
+/// Checks: a parseable header line with `kind == "header"` and a
+/// supported schema version (future versions are rejected — this
+/// validator cannot vouch for fields it does not know); every following
+/// line parses as a cell with `kind == "cell"`, a known status, indices
+/// in exact `0..cells` order; `status == "ok"` cells carry a result
+/// (`sim` or `gbps`) and panicked/failed cells an error message. Fields
+/// a log's version predates read as `None` (see [`MIN_SCHEMA_VERSION`]).
 ///
 /// # Errors
 ///
@@ -283,9 +322,9 @@ pub fn validate_run_log(text: &str) -> Result<RunLogSummary, String> {
             header.kind
         ));
     }
-    if header.schema_version != SCHEMA_VERSION {
+    if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&header.schema_version) {
         return Err(format!(
-            "schema version {} unsupported (validator speaks {SCHEMA_VERSION})",
+            "schema version {} unsupported (validator speaks {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION})",
             header.schema_version
         ));
     }
@@ -316,10 +355,13 @@ pub fn validate_run_log(text: &str) -> Result<RunLogSummary, String> {
                 }
                 ok_cells += 1;
             }
-            status::DOES_NOT_FIT => {}
-            status::PANICKED => {
+            status::DOES_NOT_FIT | status::TIMED_OUT => {}
+            status::PANICKED | status::FAILED => {
                 if cell.error.is_none() {
-                    return Err(format!("line {n}: panicked cell has no error message"));
+                    return Err(format!(
+                        "line {n}: {} cell has no error message",
+                        cell.status
+                    ));
                 }
             }
             other => return Err(format!("line {n}: unknown status {other:?}")),
@@ -344,12 +386,182 @@ pub fn validate_run_log(text: &str) -> Result<RunLogSummary, String> {
         ));
     }
     Ok(RunLogSummary {
+        schema_version: header.schema_version,
         figure: header.figure,
         jobs: header.jobs,
         cells: seen,
         ok_cells,
         combined_digest: combine_digests(digests.iter().map(String::as_str)),
     })
+}
+
+/// A partially written run log recovered from disk: the header plus the
+/// strict index-ordered prefix of cell records that made it out before
+/// the run stopped.
+///
+/// This is the input to `--resume`: the engine skips every cell whose
+/// record is present (and resumable) and re-simulates only the rest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialRunLog {
+    /// The run's header line.
+    pub header: RunHeader,
+    /// Cell records in exact `0..records.len()` index order.
+    pub records: Vec<CellRecord>,
+    /// `true` when the last line of the file was unparseable and
+    /// dropped — the signature of a process killed mid-`write`.
+    pub truncated_tail: bool,
+}
+
+/// Parse a possibly truncated run log for resumption.
+///
+/// Tolerates exactly the damage a crash can cause: a log that simply
+/// *ends early* (fewer cell lines than the header promises) and a final
+/// line cut off mid-write (dropped; reported via
+/// [`PartialRunLog::truncated_tail`]). Anything else — an unparseable
+/// header, garbage on an interior line, out-of-order indices, an
+/// unsupported schema version — is corruption, not truncation, and is an
+/// error: resuming over it would silently misattribute results.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violation.
+pub fn parse_partial_run_log(text: &str) -> Result<PartialRunLog, String> {
+    let lines: Vec<&str> = text.lines().collect();
+    let first = *lines.first().ok_or("empty run log")?;
+    let header: RunHeader =
+        serde_json::from_str(first).map_err(|e| format!("line 1: bad header: {e:?}"))?;
+    if header.kind != "header" {
+        return Err(format!(
+            "line 1: kind {:?}, expected \"header\"",
+            header.kind
+        ));
+    }
+    if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&header.schema_version) {
+        return Err(format!(
+            "schema version {} unsupported (this release speaks {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION})",
+            header.schema_version
+        ));
+    }
+
+    let mut records = Vec::new();
+    let mut truncated_tail = false;
+    let last = lines.len() - 1;
+    for (i, line) in lines.iter().enumerate().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let n = i + 1;
+        let cell: CellRecord = match serde_json::from_str(line) {
+            Ok(cell) => cell,
+            // A torn final line is exactly what a crash mid-append
+            // leaves behind; everything before it is still good.
+            Err(_) if i == last => {
+                truncated_tail = true;
+                break;
+            }
+            Err(e) => return Err(format!("line {n}: bad cell: {e:?}")),
+        };
+        if cell.kind != "cell" {
+            return Err(format!("line {n}: kind {:?}, expected \"cell\"", cell.kind));
+        }
+        if cell.index != records.len() as u64 {
+            return Err(format!(
+                "line {n}: index {} out of order (expected {})",
+                cell.index,
+                records.len()
+            ));
+        }
+        records.push(cell);
+    }
+    if records.len() as u64 > header.cells {
+        return Err(format!(
+            "header promises {} cells but the log has {}",
+            header.cells,
+            records.len()
+        ));
+    }
+    Ok(PartialRunLog {
+        header,
+        records,
+        truncated_tail,
+    })
+}
+
+/// Write `text` to `path` atomically: write a temporary file in the
+/// *same directory* (same filesystem, so the rename cannot degrade to a
+/// copy) and rename it over the destination. A crash or full disk
+/// mid-write leaves either the old file or the temporary — never a
+/// half-written destination.
+///
+/// # Errors
+///
+/// Any I/O error from creating, writing, syncing, or renaming the
+/// temporary file. The temporary is removed on a failed write.
+pub fn write_text_atomic(path: &std::path::Path, text: &str) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| std::io::Error::other(format!("{} has no file name", path.display())))?;
+    let mut tmp = path.to_path_buf();
+    tmp.set_file_name(format!(".{}.tmp", file_name.to_string_lossy()));
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(text.as_bytes())?;
+        f.sync_data()?;
+        Ok(())
+    })();
+    if let Err(e) = result {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// An append-mode run-log writer that makes a run crash-safe: the
+/// header is written (and synced) at creation, then each cell line is
+/// appended and synced as it is handed over, so a killed process leaves
+/// a valid truncated log that [`parse_partial_run_log`] can resume from.
+///
+/// The caller is responsible for feeding records in index order (the
+/// engine buffers out-of-order completions and flushes the contiguous
+/// prefix); lines are written exactly as [`render_run_log`] would
+/// render them, so a streamed log and a one-shot log of the same run
+/// are byte-identical apart from the header timestamp.
+#[derive(Debug)]
+pub struct StreamingRunLog {
+    file: std::fs::File,
+}
+
+impl StreamingRunLog {
+    /// Create (truncate) the log at `path` and write the header line.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from creating or writing the file.
+    pub fn create(path: &std::path::Path, header: &RunHeader) -> std::io::Result<Self> {
+        use std::io::Write as _;
+        let mut file = std::fs::File::create(path)?;
+        let mut line = serde_json::to_string(header).expect("header serializes");
+        line.push('\n');
+        file.write_all(line.as_bytes())?;
+        file.sync_data()?;
+        Ok(Self { file })
+    }
+
+    /// Append one cell line and sync it to disk.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from writing or syncing. After an error the log
+    /// may end in a torn line; that is exactly the damage
+    /// [`parse_partial_run_log`] tolerates.
+    pub fn append_record(&mut self, record: &CellRecord) -> std::io::Result<()> {
+        use std::io::Write as _;
+        let mut line = serde_json::to_string(record).expect("cell serializes");
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        self.file.sync_data()
+    }
 }
 
 #[cfg(test)]
@@ -365,6 +577,7 @@ mod tests {
             kernel: "transpose".into(),
             variant: "Naive".into(),
             status: status::OK.into(),
+            attempts: Some(1),
             wall_seconds: 0.25,
             sim: Some(SimRecord {
                 threads: 1,
@@ -377,8 +590,8 @@ mod tests {
                 dram_reads: 10,
                 dram_writes: 5,
                 stats_digest: "00deadbeef001234".into(),
-                host_workers: 1,
-                strided_batches: 4,
+                host_workers: Some(1),
+                strided_batches: Some(4),
             }),
             gbps: None,
             speedup_vs_naive: Some(1.0),
@@ -476,5 +689,150 @@ mod tests {
         let a = combine_digests(["aaaa", "bbbb"].into_iter());
         let b = combine_digests(["bbbb", "aaaa"].into_iter());
         assert_ne!(a, b);
+    }
+
+    /// A hand-written schema-v1 cell line: no `host_workers`, no
+    /// `strided_batches`, no `attempts` — the migration defaults must
+    /// read all three as `None`.
+    fn v1_log() -> String {
+        concat!(
+            r#"{"kind":"header","schema_version":1,"figure":"fig_old","jobs":2,"cells":1,"created_unix_ms":0}"#,
+            "\n",
+            r#"{"kind":"cell","index":0,"panel":"256","device":"Test","kernel":"transpose","variant":"Naive","status":"ok","wall_seconds":0.5,"sim":{"threads":1,"cycles":1000.0,"seconds":1e-6,"cache_levels":[{"hits":90,"misses":10,"hit_rate":0.9}],"dtlb":{"hits":99,"misses":1,"hit_rate":0.99},"dram_bytes_read":640,"dram_bytes_written":320,"dram_reads":10,"dram_writes":5,"stats_digest":"00deadbeef001234"},"gbps":null,"speedup_vs_naive":1.0,"bandwidth_utilization":null,"error":null}"#,
+            "\n",
+        )
+        .to_string()
+    }
+
+    #[test]
+    fn old_schema_versions_validate_with_migration_defaults() {
+        let summary = validate_run_log(&v1_log()).expect("v1 log validates");
+        assert_eq!(summary.schema_version, 1);
+        assert_eq!(summary.ok_cells, 1);
+
+        let partial = parse_partial_run_log(&v1_log()).expect("v1 log parses");
+        let sim = partial.records[0].sim.as_ref().unwrap();
+        assert_eq!(sim.host_workers, None, "v1 predates host_workers");
+        assert_eq!(sim.strided_batches, None, "v1 predates strided_batches");
+        assert_eq!(partial.records[0].attempts, None, "v1 predates attempts");
+
+        for version in MIN_SCHEMA_VERSION..=SCHEMA_VERSION {
+            let text = v1_log().replace(
+                "\"schema_version\":1",
+                &format!("\"schema_version\":{version}"),
+            );
+            validate_run_log(&text).unwrap_or_else(|e| panic!("v{version} rejected: {e}"));
+        }
+    }
+
+    #[test]
+    fn future_schema_version_still_rejected() {
+        let text = v1_log().replace(
+            "\"schema_version\":1",
+            &format!("\"schema_version\":{}", SCHEMA_VERSION + 1),
+        );
+        let err = validate_run_log(&text).unwrap_err();
+        assert!(err.contains("schema version"), "{err}");
+        let err = parse_partial_run_log(&text).unwrap_err();
+        assert!(err.contains("schema version"), "{err}");
+    }
+
+    #[test]
+    fn failed_and_timed_out_statuses_validate() {
+        let header = RunHeader::new("fig_test", 1, 2);
+        let mut failed = sample_cell(0);
+        failed.status = status::FAILED.into();
+        failed.sim = None;
+        failed.attempts = Some(3);
+        failed.error = Some("boom".into());
+        let mut timed_out = sample_cell(1);
+        timed_out.status = status::TIMED_OUT.into();
+        timed_out.sim = None;
+        let text = render_run_log(&header, &[failed.clone(), timed_out]);
+        let summary = validate_run_log(&text).expect("valid log");
+        assert_eq!(summary.ok_cells, 0);
+
+        failed.error = None;
+        let text = render_run_log(&RunHeader::new("fig_test", 1, 1), &[failed]);
+        let err = validate_run_log(&text).unwrap_err();
+        assert!(err.contains("no error message"), "{err}");
+    }
+
+    #[test]
+    fn partial_log_accepts_a_truncated_tail() {
+        let header = RunHeader::new("fig_test", 4, 5);
+        let full = render_run_log(&header, &[sample_cell(0), sample_cell(1), sample_cell(2)]);
+        // Chop the file mid-way through the final line, like a crash
+        // mid-append.
+        let cut = full.len() - 37;
+        let torn = &full[..cut];
+        let partial = parse_partial_run_log(torn).expect("torn log parses");
+        assert_eq!(partial.records.len(), 2);
+        assert!(partial.truncated_tail);
+
+        // An intact early-ended log is not a torn one.
+        let short = render_run_log(&header, &[sample_cell(0)]);
+        let partial = parse_partial_run_log(&short).expect("short log parses");
+        assert_eq!(partial.records.len(), 1);
+        assert!(!partial.truncated_tail);
+    }
+
+    #[test]
+    fn partial_log_rejects_interior_garbage_and_disorder() {
+        let header = RunHeader::new("fig_test", 1, 3);
+        let mut lines: Vec<String> = render_run_log(&header, &[sample_cell(0), sample_cell(1)])
+            .lines()
+            .map(String::from)
+            .collect();
+        lines[1] = "{torn".into();
+        let err = parse_partial_run_log(&lines.join("\n")).unwrap_err();
+        assert!(err.contains("bad cell"), "{err}");
+
+        let text = render_run_log(&header, &[sample_cell(1)]);
+        let err = parse_partial_run_log(&text).unwrap_err();
+        assert!(err.contains("out of order"), "{err}");
+
+        // More cells than the header promises is corruption, not
+        // truncation.
+        let over = render_run_log(
+            &RunHeader::new("fig_test", 1, 1),
+            &[sample_cell(0), sample_cell(1)],
+        );
+        let err = parse_partial_run_log(&over).unwrap_err();
+        assert!(err.contains("promises"), "{err}");
+    }
+
+    #[test]
+    fn streaming_log_matches_one_shot_render() {
+        let dir = std::env::temp_dir().join("membound_stream_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream.jsonl");
+        let header = RunHeader::new("fig_test", 2, 2);
+        let cells = [sample_cell(0), sample_cell(1)];
+        let mut log = StreamingRunLog::create(&path, &header).unwrap();
+        for cell in &cells {
+            log.append_record(cell).unwrap();
+        }
+        drop(log);
+        let streamed = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(streamed, render_run_log(&header, &cells));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_cleans_up() {
+        let dir = std::env::temp_dir().join("membound_atomic_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("log.jsonl");
+        std::fs::write(&path, "old contents").unwrap();
+        write_text_atomic(&path, "new contents\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "new contents\n");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "no temporary left behind");
+        std::fs::remove_file(&path).unwrap();
     }
 }

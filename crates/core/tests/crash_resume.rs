@@ -1,0 +1,387 @@
+//! Crash-safety and resumption guarantees of the experiment engine
+//! (DESIGN.md §11):
+//!
+//! * a run log truncated at any cell boundary — or mid-line — resumes
+//!   to a final log whose digest-bearing fields are byte-identical to
+//!   an uninterrupted run's, at every `--jobs` level;
+//! * injected panics are retried under `--retries` and recorded with
+//!   honest `status`/`attempts` fields when the budget is exhausted;
+//! * the per-cell deadline discards late attempts as `timed_out`;
+//! * every such log still passes `validate_run_log`.
+//!
+//! Fault injection uses in-process `Failpoint`s (panic/delay); the
+//! process-abort path needs a process boundary and is exercised by the
+//! CI `resume-smoke` step instead.
+
+use membound_core::runner::{Cell, CellOutcome, Engine, ExperimentMatrix, RunOptions, RunResults};
+use membound_core::telemetry::{parse_partial_run_log, validate_run_log};
+use membound_core::{TransposeConfig, TransposeVariant};
+use membound_parallel::Failpoint;
+use membound_sim::Device;
+use proptest::prelude::*;
+
+/// A two-panel transpose ladder on the Mango Pi: 10 cells, all fast.
+fn ladder_matrix() -> ExperimentMatrix {
+    let mut matrix = ExperimentMatrix::new("crash_resume_test");
+    let spec = Device::MangoPiMqPro.spec();
+    for n in [96usize, 128] {
+        let cfg = TransposeConfig::with_block(n, 16);
+        for variant in TransposeVariant::all() {
+            matrix.push(Cell::transpose(
+                n.to_string(),
+                Device::MangoPiMqPro.label(),
+                &spec,
+                variant,
+                cfg,
+            ));
+        }
+    }
+    matrix.stream_baseline(Device::MangoPiMqPro.label(), 2.0);
+    matrix
+}
+
+/// Every digest-bearing line fragment of a rendered run log: cell
+/// lines verbatim except the nondeterministic diagnostics
+/// (`wall_seconds`, `host_workers`, `attempts`), plus the combined
+/// digest. Two runs that agree here are byte-identical in every field
+/// the digests vouch for.
+fn digest_fields(results: &RunResults) -> Vec<String> {
+    let (_, records) = results.telemetry();
+    let mut fields: Vec<String> = records
+        .iter()
+        .map(|r| {
+            let mut r = r.clone();
+            r.wall_seconds = 0.0;
+            r.attempts = None;
+            if let Some(sim) = &mut r.sim {
+                sim.host_workers = None;
+            }
+            serde_json::to_string(&r).expect("record serializes")
+        })
+        .collect();
+    fields.push(results.combined_digest());
+    fields
+}
+
+fn tmp_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("membound_crash_resume");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir.join(name)
+}
+
+#[test]
+fn resume_from_any_truncation_point_matches_uninterrupted_digests() {
+    let matrix = ladder_matrix();
+    let uninterrupted = Engine::new(2).run(&matrix);
+    let full_log = uninterrupted.render_run_log();
+    let expected = digest_fields(&uninterrupted);
+    let lines: Vec<&str> = full_log.lines().collect();
+
+    // Truncate after the header, after a mid cell, and one short of
+    // complete — then resume at several jobs levels.
+    for keep_cells in [0usize, 4, 9] {
+        let truncated: String = lines[..=keep_cells]
+            .iter()
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let partial = parse_partial_run_log(&truncated).expect("truncated log parses");
+        assert_eq!(partial.records.len(), keep_cells);
+        for jobs in [1u32, 2, 4] {
+            let options = RunOptions {
+                resume: Some(partial.clone()),
+                ..RunOptions::default()
+            };
+            let resumed = Engine::new(jobs)
+                .run_with(&matrix, &options)
+                .expect("resume runs");
+            assert_eq!(resumed.restored, keep_cells as u64);
+            assert_eq!(
+                digest_fields(&resumed),
+                expected,
+                "resume at cell {keep_cells} with {jobs} jobs"
+            );
+            let summary = validate_run_log(&resumed.render_run_log()).expect("valid log");
+            assert_eq!(summary.combined_digest, uninterrupted.combined_digest());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The serial==parallel digest-identity pattern of
+    /// `crates/sim/tests/parallel_cores.rs`, extended across a crash:
+    /// for any truncation point and any (original, resume) job-count
+    /// pair, resuming reproduces the uninterrupted run's digest fields
+    /// bit for bit.
+    #[test]
+    fn any_cut_and_jobs_pair_resumes_to_identical_digests(
+        keep_cells in 0usize..10,
+        original_jobs in 1u32..5,
+        resume_jobs in 1u32..5,
+    ) {
+        let matrix = ladder_matrix();
+        let original = Engine::new(original_jobs).run(&matrix);
+        let log = original.render_run_log();
+        let lines: Vec<&str> = log.lines().collect();
+        let truncated: String = lines[..=keep_cells]
+            .iter()
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let partial = parse_partial_run_log(&truncated).expect("truncated log parses");
+        let resumed = Engine::new(resume_jobs)
+            .run_with(
+                &matrix,
+                &RunOptions { resume: Some(partial), ..RunOptions::default() },
+            )
+            .expect("resume runs");
+        prop_assert_eq!(resumed.restored, keep_cells as u64);
+        prop_assert_eq!(digest_fields(&resumed), digest_fields(&original));
+    }
+}
+
+#[test]
+fn resume_recovers_from_a_log_torn_mid_line() {
+    let matrix = ladder_matrix();
+    let uninterrupted = Engine::new(2).run(&matrix);
+    let full_log = uninterrupted.render_run_log();
+    let lines: Vec<&str> = full_log.lines().collect();
+    // Keep the header + 3 whole cells, then half of cell 3's line —
+    // the shape a `kill -9` mid-append leaves behind.
+    let mut torn: String = lines[..4].iter().map(|l| format!("{l}\n")).collect();
+    torn.push_str(&lines[4][..lines[4].len() / 2]);
+
+    let partial = parse_partial_run_log(&torn).expect("torn log parses");
+    assert!(partial.truncated_tail, "torn tail detected");
+    assert_eq!(partial.records.len(), 3);
+
+    let options = RunOptions {
+        resume: Some(partial),
+        ..RunOptions::default()
+    };
+    let resumed = Engine::new(2)
+        .run_with(&matrix, &options)
+        .expect("resume runs");
+    assert_eq!(resumed.restored, 3);
+    assert_eq!(digest_fields(&resumed), digest_fields(&uninterrupted));
+}
+
+#[test]
+fn streamed_log_is_byte_identical_to_the_terminal_render() {
+    let matrix = ladder_matrix();
+    let path = tmp_path("streamed.jsonl");
+    let options = RunOptions {
+        stream_log: Some(path.clone()),
+        ..RunOptions::default()
+    };
+    let results = Engine::new(4)
+        .run_with(&matrix, &options)
+        .expect("streaming run");
+    let streamed = std::fs::read_to_string(&path).expect("streamed log exists");
+    let rendered = results.render_run_log();
+    // The header timestamp differs between the two writes; every cell
+    // line must be byte-identical.
+    let streamed_cells: Vec<&str> = streamed.lines().skip(1).collect();
+    let rendered_cells: Vec<&str> = rendered.lines().skip(1).collect();
+    assert_eq!(streamed_cells, rendered_cells);
+    validate_run_log(&streamed).expect("streamed log validates");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn injected_panic_is_retried_to_success() {
+    let matrix = ladder_matrix();
+    let clean = Engine::new(2).run(&matrix);
+    // Cell 4's first attempt panics; the retry must succeed and the
+    // digests must not notice.
+    let options = RunOptions {
+        retries: 2,
+        failpoint: Some(Failpoint::parse("cell:panic@4x1").expect("valid spec")),
+        ..RunOptions::default()
+    };
+    let results = Engine::new(2)
+        .run_with(&matrix, &options)
+        .expect("run with failpoint");
+    assert_eq!(results.cells[4].attempts, 2, "one panic, one success");
+    assert!(results.cells[4].report().is_some());
+    assert_eq!(results.combined_digest(), clean.combined_digest());
+    assert_eq!(digest_fields(&results), digest_fields(&clean));
+}
+
+#[test]
+fn retry_exhaustion_records_a_failed_cell_that_validates() {
+    let matrix = ladder_matrix();
+    let options = RunOptions {
+        retries: 2,
+        failpoint: Some(Failpoint::parse("cell:panic@4").expect("valid spec")),
+        ..RunOptions::default()
+    };
+    let results = Engine::new(2)
+        .run_with(&matrix, &options)
+        .expect("run with failpoint");
+    assert_eq!(results.cells[4].attempts, 3, "1 try + 2 retries");
+    assert!(
+        matches!(&results.cells[4].outcome, CellOutcome::Failed(msg) if msg.contains("failpoint")),
+        "got {:?}",
+        results.cells[4].outcome
+    );
+    let text = results.render_run_log();
+    assert!(text.contains("\"status\":\"failed\""));
+    let summary = validate_run_log(&text).expect("failed cells validate");
+    assert_eq!(summary.ok_cells, 9);
+
+    // Without a retry budget the same panic keeps the legacy status.
+    let options = RunOptions {
+        failpoint: Some(Failpoint::parse("cell:panic@4").expect("valid spec")),
+        ..RunOptions::default()
+    };
+    let results = Engine::new(2)
+        .run_with(&matrix, &options)
+        .expect("run with failpoint");
+    assert_eq!(results.cells[4].attempts, 1);
+    assert!(matches!(
+        &results.cells[4].outcome,
+        CellOutcome::Panicked(_)
+    ));
+}
+
+#[test]
+fn deadline_overrun_records_timed_out() {
+    let matrix = ladder_matrix();
+    // Cell 4 sleeps 50 ms against a 1 ms deadline; the attempt's result
+    // is discarded.
+    let options = RunOptions {
+        cell_deadline: Some(0.001),
+        failpoint: Some(Failpoint::parse("cell:delay=50@4").expect("valid spec")),
+        ..RunOptions::default()
+    };
+    let results = Engine::new(2)
+        .run_with(&matrix, &options)
+        .expect("run with failpoint");
+    assert!(
+        matches!(&results.cells[4].outcome, CellOutcome::TimedOut(_)),
+        "got {:?}",
+        results.cells[4].outcome
+    );
+    let text = results.render_run_log();
+    assert!(text.contains("\"status\":\"timed_out\""));
+    validate_run_log(&text).expect("timed_out cells validate");
+}
+
+#[test]
+fn panicked_and_failed_cells_are_rerun_on_resume() {
+    let matrix = ladder_matrix();
+    let clean = Engine::new(2).run(&matrix);
+    // Produce a log whose cell 4 failed...
+    let options = RunOptions {
+        failpoint: Some(Failpoint::parse("cell:panic@4").expect("valid spec")),
+        ..RunOptions::default()
+    };
+    let broken = Engine::new(2)
+        .run_with(&matrix, &options)
+        .expect("run with failpoint");
+    let partial =
+        parse_partial_run_log(&broken.render_run_log()).expect("complete log parses as partial");
+    assert_eq!(partial.records.len(), 10);
+
+    // ...then resume without the failpoint: only cell 4 re-simulates,
+    // and the result heals to the uninterrupted digests.
+    let options = RunOptions {
+        resume: Some(partial),
+        ..RunOptions::default()
+    };
+    let resumed = Engine::new(2)
+        .run_with(&matrix, &options)
+        .expect("resume runs");
+    assert_eq!(resumed.restored, 9, "everything but the panicked cell");
+    assert!(resumed.cells[4].report().is_some());
+    assert_eq!(digest_fields(&resumed), digest_fields(&clean));
+}
+
+/// Backwards compatibility lock-in: the committed schema-v1 fixture
+/// (written before `host_workers`/`strided_batches`/`attempts`
+/// existed) must keep validating and parsing with the documented
+/// migration defaults. CI validates the same file through
+/// `membound-cli validate-runlog`.
+#[test]
+fn committed_v1_fixture_validates_with_migration_defaults() {
+    let text = include_str!("fixtures/runlog_v1.jsonl");
+    let summary = validate_run_log(text).expect("v1 fixture validates");
+    assert_eq!(summary.schema_version, 1);
+    assert_eq!(summary.figure, "fig2_transpose");
+    assert_eq!(summary.cells, 3);
+    assert_eq!(summary.ok_cells, 2);
+
+    let partial = parse_partial_run_log(text).expect("v1 fixture parses");
+    assert!(!partial.truncated_tail);
+    let sim = partial.records[0].sim.as_ref().expect("ok cell has sim");
+    assert_eq!(sim.host_workers, None, "v1 predates host_workers");
+    assert_eq!(sim.strided_batches, None, "v1 predates strided_batches");
+    assert_eq!(partial.records[0].attempts, None, "v1 predates attempts");
+}
+
+#[test]
+fn incompatible_resume_logs_are_rejected() {
+    let matrix = ladder_matrix();
+    let results = Engine::new(1).run(&matrix);
+    let log = results.render_run_log();
+
+    // Wrong figure name.
+    let mut other = ExperimentMatrix::new("some_other_figure");
+    let spec = Device::MangoPiMqPro.spec();
+    other.push(Cell::transpose(
+        "96",
+        Device::MangoPiMqPro.label(),
+        &spec,
+        TransposeVariant::Naive,
+        TransposeConfig::with_block(96, 16),
+    ));
+    let partial = parse_partial_run_log(&log).expect("log parses");
+    let err = Engine::new(1)
+        .run_with(
+            &other,
+            &RunOptions {
+                resume: Some(partial.clone()),
+                ..RunOptions::default()
+            },
+        )
+        .expect_err("figure mismatch rejected");
+    assert!(err.to_string().contains("figure"), "{err}");
+
+    // Right figure, different cell identity at index 0.
+    let mut swapped = ExperimentMatrix::new("crash_resume_test");
+    for cell in ladder_matrix_cells_reversed() {
+        swapped.push(cell);
+    }
+    let err = Engine::new(1)
+        .run_with(
+            &swapped,
+            &RunOptions {
+                resume: Some(partial),
+                ..RunOptions::default()
+            },
+        )
+        .expect_err("cell identity mismatch rejected");
+    assert!(err.to_string().contains("cell 0"), "{err}");
+}
+
+/// The ladder's cells in reverse order — same figure name and count,
+/// different per-index identity.
+fn ladder_matrix_cells_reversed() -> Vec<Cell> {
+    let spec = Device::MangoPiMqPro.spec();
+    let mut cells = Vec::new();
+    for n in [96usize, 128] {
+        let cfg = TransposeConfig::with_block(n, 16);
+        for variant in TransposeVariant::all() {
+            cells.push(Cell::transpose(
+                n.to_string(),
+                Device::MangoPiMqPro.label(),
+                &spec,
+                variant,
+                cfg,
+            ));
+        }
+    }
+    cells.reverse();
+    cells
+}

@@ -44,6 +44,9 @@ fn simulated_fingerprint(results: &membound_core::runner::RunResults) -> Vec<Str
                 CellOutcome::Gbps(g) => format!("gbps:{}", g.to_bits()),
                 CellOutcome::DoesNotFit => "does_not_fit".into(),
                 CellOutcome::Panicked(msg) => format!("panicked:{msg}"),
+                CellOutcome::Failed(msg) => format!("failed:{msg}"),
+                CellOutcome::TimedOut(msg) => format!("timed_out:{msg}"),
+                CellOutcome::Restored(rec) => format!("restored:{}", rec.stats_digest),
             };
             format!(
                 "{}/{}/{} {} speedup={:?} util={:?}",

@@ -44,13 +44,15 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 mod budget;
+pub mod failpoint;
 mod pool;
 mod schedule;
 mod shared;
 mod tasks;
 
 pub use budget::{JobBudget, Lease};
+pub use failpoint::{FailAction, Failpoint};
 pub use pool::Pool;
 pub use schedule::Schedule;
 pub use shared::SharedSlice;
-pub use tasks::{Task, TaskPanic};
+pub use tasks::{panic_message, Task, TaskPanic};

@@ -33,7 +33,12 @@ impl std::fmt::Display for TaskPanic {
 
 impl std::error::Error for TaskPanic {}
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+/// Render a caught panic payload as a message string, the same way
+/// [`Pool::run_tasks`] does for [`TaskPanic`]. Public so layers that run
+/// their own `catch_unwind` (e.g. the experiment engine's per-attempt
+/// retry loop) report panics identically to the pool.
+#[must_use]
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -57,6 +62,28 @@ impl Pool {
         &self,
         tasks: Vec<Task<'a, T>>,
     ) -> Vec<Result<T, TaskPanic>> {
+        self.run_tasks_with(tasks, |_, _| {})
+    }
+
+    /// [`run_tasks`](Pool::run_tasks) with a completion hook: as each
+    /// task finishes, `on_complete(index, &result)` runs *on the worker
+    /// thread that executed it*, before the next task is claimed.
+    ///
+    /// This is the substrate for streaming telemetry (DESIGN.md §11):
+    /// a run-log writer can observe every outcome the moment it exists
+    /// instead of waiting for the whole task vector. Completion order is
+    /// timing-dependent — the hook sees task indices out of order and
+    /// must do its own reordering if it needs any. A panic inside the
+    /// hook is *not* contained (it would mean the observer, not the
+    /// workload, is broken).
+    pub fn run_tasks_with<'a, T: Send + 'a, F>(
+        &self,
+        tasks: Vec<Task<'a, T>>,
+        on_complete: F,
+    ) -> Vec<Result<T, TaskPanic>>
+    where
+        F: Fn(usize, &Result<T, TaskPanic>) + Sync,
+    {
         let n = tasks.len();
         if n == 0 {
             return Vec::new();
@@ -69,6 +96,7 @@ impl Pool {
         let slots: Vec<Mutex<Option<Result<T, TaskPanic>>>> =
             (0..n).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
+        let on_complete = &on_complete;
 
         self.run(|_tid| loop {
             let k = next.fetch_add(1, Ordering::Relaxed);
@@ -83,6 +111,7 @@ impl Pool {
             let outcome = catch_unwind(AssertUnwindSafe(task)).map_err(|payload| TaskPanic {
                 message: panic_message(payload),
             });
+            on_complete(k, &outcome);
             *slots[k].lock().expect("result slot poisoned") = Some(outcome);
         });
 
@@ -154,6 +183,33 @@ mod tests {
     fn empty_task_list_is_a_no_op() {
         let results: Vec<Result<u8, _>> = Pool::new(2).run_tasks(Vec::new());
         assert!(results.is_empty());
+    }
+
+    #[test]
+    fn completion_hook_sees_every_result_exactly_once() {
+        use std::sync::Mutex;
+        let pool = Pool::new(4);
+        let tasks: Vec<Task<'_, usize>> = (0..32)
+            .map(|i| {
+                let b: Task<'_, usize> = Box::new(move || {
+                    if i == 7 {
+                        panic!("seven");
+                    }
+                    i
+                });
+                b
+            })
+            .collect();
+        let seen = Mutex::new(Vec::new());
+        let results = pool.run_tasks_with(tasks, |k, r| {
+            seen.lock().unwrap().push((k, r.is_ok()));
+        });
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort_unstable();
+        let expected: Vec<(usize, bool)> = (0..32).map(|k| (k, k != 7)).collect();
+        assert_eq!(seen, expected);
+        assert_eq!(results.len(), 32);
+        assert!(results[7].is_err());
     }
 
     #[test]

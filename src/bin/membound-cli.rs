@@ -43,7 +43,7 @@ fn usage() -> ! {
          \x20 native-stream                   STREAM on this host\n\
          \x20 native-transpose                transposition on this host\n\
          \x20 native-blur                     Gaussian blur on this host\n\
-         \x20 validate-runlog <path>          check a JSONL run log against the telemetry schema\n\
+         \x20 validate-runlog <path>          check a JSONL run log (accepts schema v1..=v4)\n\
          \x20 strided-gate                    prove batched strided replay matches per-element\n\
          common options:\n\
          \x20 --device mangopi|starfive|rpi4|xeon|all   (default: all)\n\
@@ -447,7 +447,7 @@ fn cmd_validate_runlog(args: &[String]) -> ExitCode {
                  \x20 jobs:    {}\n\
                  \x20 cells:   {} ({} ok)\n\
                  \x20 digest:  {}",
-                membound::core::telemetry::SCHEMA_VERSION,
+                summary.schema_version,
                 summary.figure,
                 summary.jobs,
                 summary.cells,
