@@ -7,6 +7,7 @@
 //! so the whole survey fans out across `--jobs` workers.
 
 use membound_bench::{scale_banner, Args};
+use membound_core::cache::CachedOutcome;
 use membound_core::report::{to_json, TextTable};
 use membound_core::runner::{Cell, CellOutcome, ExperimentMatrix};
 use membound_core::StreamOp;
@@ -68,8 +69,11 @@ fn main() {
             .any(|c| c.name == first.cell.panel && !c.shared);
         let gbps: Vec<f64> = chunk
             .iter()
-            .map(|r| match r.outcome {
-                CellOutcome::Gbps(g) => g,
+            .map(|r| match &r.outcome {
+                // A bandwidth served from the result cache must render
+                // exactly like a fresh one — a catch-all here would
+                // silently zero every cached STREAM bar.
+                CellOutcome::Gbps(g) | CellOutcome::Cached(CachedOutcome::Gbps(g)) => *g,
                 _ => 0.0,
             })
             .collect();

@@ -8,6 +8,7 @@
 //! written as a JSONL run log next to the JSON rows.
 
 use membound_bench::{scale_banner, Args};
+use membound_core::cache::CachedOutcome;
 use membound_core::report::{fmt_seconds, fmt_speedup, to_json, BarChart, TextTable};
 use membound_core::runner::{Cell, CellOutcome, ExperimentMatrix};
 use membound_core::{TransposeConfig, TransposeVariant};
@@ -102,11 +103,22 @@ fn main() {
                 });
             } else {
                 let note = match &r.outcome {
-                    CellOutcome::DoesNotFit => "does not fit in memory".to_string(),
+                    // Same text fresh or cached: a warm run's table must
+                    // be byte-identical to the cold run that filled the
+                    // cache.
+                    CellOutcome::DoesNotFit | CellOutcome::Cached(CachedOutcome::DoesNotFit) => {
+                        "does not fit in memory".to_string()
+                    }
                     CellOutcome::Panicked(msg) => format!("panicked: {msg}"),
                     CellOutcome::Failed(msg) => format!("failed: {msg}"),
                     CellOutcome::TimedOut(msg) => format!("timed out: {msg}"),
-                    CellOutcome::Report(_) | CellOutcome::Restored(_) | CellOutcome::Gbps(_) => {
+                    CellOutcome::Report(_)
+                    | CellOutcome::Restored(_)
+                    | CellOutcome::Gbps(_)
+                    | CellOutcome::Cached(_) => {
+                        // Report-bearing outcomes took the sim_summary
+                        // branch above; STREAM outcomes cannot occur in
+                        // a transpose matrix.
                         unreachable!()
                     }
                 };

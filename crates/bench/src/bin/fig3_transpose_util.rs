@@ -3,7 +3,9 @@
 //!
 //! STREAM baselines and the transpose matrix both execute through the
 //! parallel experiment engine; the run log carries every cell's
-//! utilization.
+//! utilization. With `--cache-dir` (or `MEMBOUND_CACHE_DIR`) both cell
+//! kinds memoize into the persistent result cache, so a warm re-run
+//! reproduces the figure without simulating.
 
 use membound_bench::{scale_banner, Args};
 use membound_core::report::{to_json, TextTable};

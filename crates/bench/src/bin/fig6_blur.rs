@@ -2,7 +2,9 @@
 //! devices, with the paper's naïve-seconds + speedup bar labels.
 //!
 //! The device × variant matrix executes through the parallel experiment
-//! engine; per-cell telemetry lands in the JSONL run log.
+//! engine; per-cell telemetry lands in the JSONL run log. Pass
+//! `--cache-dir` (or set `MEMBOUND_CACHE_DIR`) to memoize cells in the
+//! persistent result cache and skip simulation on warm re-runs.
 
 use membound_bench::{scale_banner, Args};
 use membound_core::report::{fmt_seconds, fmt_speedup, to_json, BarChart, TextTable};

@@ -5,6 +5,8 @@
 //!
 //! STREAM baselines and the blur cells run through the parallel
 //! experiment engine; utilizations come attached to the engine results.
+//! `--cache-dir` / `MEMBOUND_CACHE_DIR` memoizes both into the
+//! persistent result cache for incremental re-runs.
 
 use membound_bench::{scale_banner, Args};
 use membound_core::report::{to_json, TextTable};

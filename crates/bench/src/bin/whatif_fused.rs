@@ -10,7 +10,8 @@
 //! exactly where the cache hierarchy can hold the window.
 //!
 //! Both variants and the STREAM baselines execute through the parallel
-//! experiment engine.
+//! experiment engine, and memoize into the persistent result cache when
+//! `--cache-dir` (or `MEMBOUND_CACHE_DIR`) is set.
 
 use membound_bench::{scale_banner, Args};
 use membound_core::report::{fmt_seconds, to_json, TextTable};

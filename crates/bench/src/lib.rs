@@ -9,6 +9,7 @@
 
 #![warn(missing_docs)]
 
+use membound_core::cache::ResultCache;
 use membound_core::runner::{resolve_jobs, Engine, ExperimentMatrix, RunOptions, RunResults};
 use membound_core::telemetry::parse_partial_run_log;
 use membound_core::BlurConfig;
@@ -42,6 +43,11 @@ use std::path::PathBuf;
 /// * `--cell-deadline <seconds>` — discard any cell attempt that
 ///   finishes past this wall-clock budget and record the cell as
 ///   `timed_out` (checked at attempt boundaries).
+/// * `--cache-dir <dir>` — persistent content-addressed result cache
+///   (DESIGN.md §12; the `MEMBOUND_CACHE_DIR` environment variable is
+///   the fallback): cells whose configuration was simulated before are
+///   restored instead of re-simulated, byte-identically in every
+///   digest-bearing field; fresh results are inserted for next time.
 #[derive(Debug, Clone)]
 pub struct Args {
     /// Run the paper's full workload sizes.
@@ -60,6 +66,9 @@ pub struct Args {
     pub retries: u32,
     /// Per-cell wall-clock deadline in seconds, if given.
     pub cell_deadline: Option<f64>,
+    /// Result-cache directory, if given (`--cache-dir`, else the
+    /// `MEMBOUND_CACHE_DIR` environment variable).
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl Args {
@@ -74,7 +83,7 @@ impl Args {
         let usage = format!(
             "usage: {name} [--full] [--json <path>] [--jobs <N>] [--device <label>] \
              [--run-log <path>] [--resume <run-log>] [--retries <N>] \
-             [--cell-deadline <seconds>]"
+             [--cell-deadline <seconds>] [--cache-dir <dir>]"
         );
         let mut full = false;
         let mut json_path = PathBuf::from(format!("results/{name}.json"));
@@ -84,6 +93,7 @@ impl Args {
         let mut resume = None;
         let mut retries = 0;
         let mut cell_deadline = None;
+        let mut cache_dir = None;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -128,6 +138,11 @@ impl Args {
                     );
                     cell_deadline = Some(seconds);
                 }
+                "--cache-dir" => {
+                    cache_dir = Some(PathBuf::from(
+                        args.next().expect("--cache-dir requires a directory"),
+                    ));
+                }
                 "--help" | "-h" => {
                     println!("{usage}");
                     std::process::exit(0);
@@ -144,7 +159,29 @@ impl Args {
             resume,
             retries,
             cell_deadline,
+            cache_dir,
         }
+    }
+
+    /// The result cache these options select, opened at `--cache-dir`
+    /// or the `MEMBOUND_CACHE_DIR` environment variable (the flag
+    /// wins); `None` when neither is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the directory cannot be opened as a cache (e.g. its
+    /// index file belongs to something else).
+    #[must_use]
+    pub fn cache(&self) -> Option<ResultCache> {
+        let dir = self.cache_dir.clone().or_else(|| {
+            std::env::var_os("MEMBOUND_CACHE_DIR")
+                .filter(|v| !v.is_empty())
+                .map(PathBuf::from)
+        })?;
+        Some(
+            ResultCache::open(&dir)
+                .unwrap_or_else(|e| panic!("--cache-dir {}: {e}", dir.display())),
+        )
     }
 
     /// The experiment engine these options select: `--jobs`, else
@@ -184,12 +221,14 @@ impl Args {
             );
             partial
         });
+        let cache = self.cache();
         let options = RunOptions {
             resume,
             retries: self.retries,
             cell_deadline: self.cell_deadline,
             stream_log: Some(self.run_log_path.clone()),
             failpoint: Failpoint::from_env(),
+            cache,
         };
         let results = engine
             .run_with(matrix, &options)
@@ -199,6 +238,15 @@ impl Args {
                 "[restored {} cells from the resume log; re-simulated {}]",
                 results.restored,
                 results.cells.len() as u64 - results.restored
+            );
+        }
+        if let Some(cache) = &options.cache {
+            let misses = results.cells.len() as u64 - results.cached - results.restored;
+            println!(
+                "[result cache: hits={} misses={} at {}]",
+                results.cached,
+                misses,
+                cache.dir().display()
             );
         }
         results
@@ -315,6 +363,7 @@ mod tests {
             resume: None,
             retries: 0,
             cell_deadline: None,
+            cache_dir: None,
         }
     }
 

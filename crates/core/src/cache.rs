@@ -1,0 +1,956 @@
+//! Persistent, content-addressed result cache for experiment cells.
+//!
+//! Every cell of the reproduction is a *pure function* of its
+//! configuration: the simulator is deterministic, so (device config,
+//! kernel, variant, workload) fully determines the telemetry record the
+//! cell produces. This module memoizes that function on disk (DESIGN.md
+//! §12): before simulating a cell, [`crate::runner::Engine::run_with`]
+//! looks its [`CacheKey`] up in a [`ResultCache`] and restores a hit as
+//! [`crate::runner::CellOutcome::Cached`] — byte-identical, in every
+//! digest-bearing field, to a fresh simulation — and inserts each miss
+//! once it completes.
+//!
+//! # Key derivation
+//!
+//! A key is a 128-bit FNV-1a digest of a canonical JSON rendering of
+//! everything the simulated result depends on:
+//!
+//! * [`CACHE_FORMAT_VERSION`] and [`crate::telemetry::SCHEMA_VERSION`]
+//!   — an entry written under an older on-disk layout or telemetry
+//!   schema can never satisfy a newer lookup;
+//! * the sim-code fingerprint ([`membound_sim::SIM_FINGERPRINT`] unless
+//!   overridden) — bumped whenever simulator semantics migrate the
+//!   canonical figure digests;
+//! * the kernel family and variant label (the variant encodes the
+//!   schedule: e.g. `Dynamic` vs the static transpose blockings);
+//! * the workload (matrix `n` and block size, blur image geometry and
+//!   σ, fused-blur thread count, STREAM op and cache level);
+//! * the full serialized [`membound_sim::DeviceSpec`].
+//!
+//! The *panel label* is deliberately excluded: it is presentation-only
+//! (two figures rendering the same cell under different panel titles
+//! share one entry). Host-side diagnostics (`wall_seconds`,
+//! `host_workers`, job counts) are neither in the key nor compared —
+//! they never affect simulated results.
+//!
+//! # On-disk layout and crash safety
+//!
+//! ```text
+//! <cache-dir>/
+//!   index.jsonl          append-only journal, one fsynced line per insert
+//!   objects/<key>.json   one entry: payload line + its own digest line
+//! ```
+//!
+//! Writes follow the failure-safe persistent-object discipline of the
+//! run-log layer (detectable recovery, idempotent replay): an object is
+//! written with [`crate::telemetry::write_text_atomic`] (temp file in
+//! the same directory + rename), then one line is appended to the
+//! fsynced index. A crash between the two leaves a valid object that is
+//! merely unindexed — still a hit on lookup (objects are
+//! content-addressed; the index is an advisory journal for `stats`/`gc`,
+//! never a source of truth) and re-indexed by the next [`gc`]. A crash
+//! *during* either write leaves a `.tmp` file or a torn index line,
+//! both of which are detected and discarded, never trusted. Lookups
+//! re-verify every object end to end (self-digest, kind, versions,
+//! fingerprint, key); a corrupt object is deleted and the cell simply
+//! re-simulated.
+
+use crate::runner::{Cell, CellOutcome};
+use crate::telemetry::{self, SimRecord};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Version of the cache's on-disk layout. Part of every [`CacheKey`]
+/// and every entry payload: bump it on any change to the object or
+/// index format, and old entries become unreachable (and reclaimable by
+/// [`gc`]) instead of misread.
+pub const CACHE_FORMAT_VERSION: u32 = 1;
+
+/// The sim-code fingerprint baked into keys when none is supplied:
+/// [`membound_sim::SIM_FINGERPRINT`].
+#[must_use]
+pub fn default_fingerprint() -> &'static str {
+    membound_sim::SIM_FINGERPRINT
+}
+
+const INDEX_FILE: &str = "index.jsonl";
+const OBJECTS_DIR: &str = "objects";
+
+/// Content address of one cell's result: 32 hex digits (a 128-bit
+/// two-pass FNV-1a digest of the canonical key material).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheKey(String);
+
+impl CacheKey {
+    /// The key as lowercase hex; also the object's file stem.
+    #[must_use]
+    pub fn as_hex(&self) -> &str {
+        &self.0
+    }
+
+    /// Derive the key for `cell` under `fingerprint`.
+    #[must_use]
+    pub fn derive(cell: &Cell, fingerprint: &str) -> Self {
+        let material = key_material(cell, fingerprint);
+        let bytes = material.as_bytes();
+        let h1 = fnv1a(FNV_OFFSET, bytes);
+        // Second pass from a decorrelated seed: 64 FNV bits collide too
+        // easily over the lifetime of a long-lived shared cache.
+        let h2 = fnv1a(h1 ^ 0x9e37_79b9_7f4a_7c15, bytes);
+        Self(format!("{h1:016x}{h2:016x}"))
+    }
+}
+
+impl std::fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Canonical JSON the key digests. Field order is fixed by this
+/// function, never by a serializer, so the rendering is stable across
+/// releases by construction.
+fn key_material(cell: &Cell, fingerprint: &str) -> String {
+    let device = serde_json::to_string(&cell.spec).expect("device spec serializes");
+    format!(
+        "{{\"cache_format\":{CACHE_FORMAT_VERSION},\
+         \"schema_version\":{},\
+         \"fingerprint\":{:?},\
+         \"kernel\":{:?},\
+         \"variant\":{:?},\
+         \"workload\":{},\
+         \"device\":{}}}",
+        telemetry::SCHEMA_VERSION,
+        fingerprint,
+        cell.kind.kernel(),
+        cell.variant,
+        workload_json(cell),
+        device,
+    )
+}
+
+fn workload_json(cell: &Cell) -> String {
+    use crate::runner::CellKind;
+    match &cell.kind {
+        CellKind::Transpose { cfg, .. } => {
+            format!("{{\"n\":{},\"block\":{}}}", cfg.n, cfg.block)
+        }
+        CellKind::Blur { cfg, .. } => blur_json(cfg, None),
+        CellKind::FusedBlur { cfg, threads } => blur_json(cfg, Some(*threads)),
+        CellKind::Stream { op, level } => {
+            let level = match level {
+                Some(l) => format!("{l}"),
+                None => "null".into(),
+            };
+            format!("{{\"op\":{:?},\"level\":{level}}}", op.label())
+        }
+    }
+}
+
+fn blur_json(cfg: &crate::blur::BlurConfig, threads: Option<u32>) -> String {
+    let sigma = match cfg.sigma {
+        Some(s) => format!("{s:?}"),
+        None => "null".into(),
+    };
+    let threads = match threads {
+        Some(t) => format!(",\"threads\":{t}"),
+        None => String::new(),
+    };
+    format!(
+        "{{\"height\":{},\"width\":{},\"channels\":{},\"filter_size\":{},\"sigma\":{sigma}{threads}}}",
+        cfg.height, cfg.width, cfg.channels, cfg.filter_size,
+    )
+}
+
+/// A cache hit, ready to become [`CellOutcome::Cached`]. Mirrors the
+/// three outcome shapes worth memoizing — everything else (panics,
+/// timeouts) describes a *run*, not the cell's value, and is never
+/// cached.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CachedOutcome {
+    /// A report-bearing cell's telemetry record (transpose/blur cells).
+    Sim(Box<SimRecord>),
+    /// A STREAM cell's bandwidth in GB/s.
+    Gbps(f64),
+    /// The workload exceeds the device's memory.
+    DoesNotFit,
+}
+
+/// One persisted cell result: the payload line of an object file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheEntry {
+    /// Always `"cache_entry"`.
+    pub kind: String,
+    /// [`CACHE_FORMAT_VERSION`] at write time.
+    pub format_version: u32,
+    /// [`telemetry::SCHEMA_VERSION`] at write time.
+    pub schema_version: u32,
+    /// Sim-code fingerprint the result was simulated under.
+    pub fingerprint: String,
+    /// The entry's own [`CacheKey`] (hex); must match the file stem.
+    pub key: String,
+    /// Kernel family, for `stats`/`verify` reporting.
+    pub kernel: String,
+    /// Variant label, for `stats`/`verify` reporting.
+    pub variant: String,
+    /// Device label, for `stats`/`verify` reporting.
+    pub device: String,
+    /// `"ok"` or `"does_not_fit"` (the only cacheable statuses).
+    pub status: String,
+    /// Telemetry record of a report-bearing cell.
+    pub sim: Option<SimRecord>,
+    /// Bandwidth of a STREAM cell.
+    pub gbps: Option<f64>,
+    /// Host wall seconds of the original simulation (diagnostic; lets a
+    /// warm run report how much simulation time the cache saved).
+    pub wall_seconds: f64,
+    /// Wall-clock insert time, milliseconds since the Unix epoch.
+    pub inserted_unix_ms: u64,
+}
+
+impl CacheEntry {
+    /// Build the entry a cell's outcome should persist, or `None` when
+    /// the outcome is not cacheable (panicked/failed/timed-out — those
+    /// describe the run, not the cell — or already cached).
+    #[must_use]
+    pub fn capture(
+        fingerprint: &str,
+        key: &CacheKey,
+        cell: &Cell,
+        outcome: &CellOutcome,
+        wall_seconds: f64,
+    ) -> Option<Self> {
+        let (status, sim, gbps) = match outcome {
+            CellOutcome::Report(report) => (
+                telemetry::status::OK,
+                Some(SimRecord::from_report(report)),
+                None,
+            ),
+            // A resumed cell's record is as authoritative as a fresh
+            // one: inserting it lets a later run hit the cache.
+            CellOutcome::Restored(rec) => (telemetry::status::OK, Some(rec.as_ref().clone()), None),
+            CellOutcome::Gbps(g) => (telemetry::status::OK, None, Some(*g)),
+            CellOutcome::DoesNotFit => (telemetry::status::DOES_NOT_FIT, None, None),
+            CellOutcome::Cached(_)
+            | CellOutcome::Panicked(_)
+            | CellOutcome::Failed(_)
+            | CellOutcome::TimedOut(_) => return None,
+        };
+        let inserted_unix_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        Some(Self {
+            kind: "cache_entry".into(),
+            format_version: CACHE_FORMAT_VERSION,
+            schema_version: telemetry::SCHEMA_VERSION,
+            fingerprint: fingerprint.into(),
+            key: key.as_hex().into(),
+            kernel: cell.kind.kernel().into(),
+            variant: cell.variant.clone(),
+            device: cell.device.clone(),
+            status: status.into(),
+            sim,
+            gbps,
+            wall_seconds,
+            inserted_unix_ms,
+        })
+    }
+
+    /// The outcome this entry restores, or `None` when the payload is
+    /// internally inconsistent (e.g. `ok` with no result) — treated as
+    /// corruption by the caller.
+    #[must_use]
+    pub fn outcome(&self) -> Option<CachedOutcome> {
+        match self.status.as_str() {
+            telemetry::status::OK => {
+                if let Some(sim) = &self.sim {
+                    Some(CachedOutcome::Sim(Box::new(sim.clone())))
+                } else {
+                    self.gbps.map(CachedOutcome::Gbps)
+                }
+            }
+            telemetry::status::DOES_NOT_FIT => Some(CachedOutcome::DoesNotFit),
+            _ => None,
+        }
+    }
+}
+
+/// Render an entry as its two-line object file: the payload line
+/// followed by the payload's own FNV-1a digest, so torn or bit-rotted
+/// objects are detectable without trusting any other file.
+fn render_object(entry: &CacheEntry) -> String {
+    let payload = serde_json::to_string(entry).expect("cache entry serializes");
+    let digest = format!("{:016x}", fnv1a(FNV_OFFSET, payload.as_bytes()));
+    format!("{payload}\n{digest}\n")
+}
+
+/// Parse and fully verify an object file's text.
+fn parse_object(text: &str) -> Result<CacheEntry, String> {
+    let mut lines = text.lines();
+    let payload = lines.next().ok_or("empty object")?;
+    let digest = lines.next().ok_or("missing digest line (torn write)")?;
+    if lines.next().is_some_and(|l| !l.trim().is_empty()) {
+        return Err("trailing garbage after digest line".into());
+    }
+    let want = format!("{:016x}", fnv1a(FNV_OFFSET, payload.as_bytes()));
+    if digest.trim() != want {
+        return Err(format!("digest mismatch (stored {digest:?})"));
+    }
+    let entry: CacheEntry =
+        serde_json::from_str(payload).map_err(|e| format!("bad payload: {e:?}"))?;
+    if entry.kind != "cache_entry" {
+        return Err(format!("kind {:?}, expected \"cache_entry\"", entry.kind));
+    }
+    Ok(entry)
+}
+
+/// How a surveyed object or index line was classified.
+fn is_stale(entry: &CacheEntry, fingerprint: &str) -> bool {
+    entry.format_version != CACHE_FORMAT_VERSION
+        || entry.schema_version != telemetry::SCHEMA_VERSION
+        || entry.fingerprint != fingerprint
+}
+
+#[derive(Debug)]
+struct Inner {
+    dir: PathBuf,
+    fingerprint: String,
+    index: Mutex<std::fs::File>,
+}
+
+/// Handle to one on-disk result cache; cheap to clone (clones share the
+/// index file handle), safe to use from concurrent engine workers.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    inner: Arc<Inner>,
+}
+
+impl ResultCache {
+    /// Open (creating if necessary) the cache at `dir` with the default
+    /// sim-code fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating the directory layout or the index, and a
+    /// corrupt or future-versioned index *header* (torn tail lines are
+    /// tolerated — see the module docs).
+    pub fn open(dir: &Path) -> std::io::Result<Self> {
+        Self::open_with_fingerprint(dir, default_fingerprint())
+    }
+
+    /// [`ResultCache::open`] with an explicit fingerprint (tests use
+    /// this to exercise stale-entry behaviour).
+    ///
+    /// # Errors
+    ///
+    /// As [`ResultCache::open`].
+    pub fn open_with_fingerprint(dir: &Path, fingerprint: &str) -> std::io::Result<Self> {
+        std::fs::create_dir_all(dir.join(OBJECTS_DIR))?;
+        let index_path = dir.join(INDEX_FILE);
+        let existing = match std::fs::read_to_string(&index_path) {
+            Ok(text) => Some(text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => return Err(e),
+        };
+        let mut index = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&index_path)?;
+        match existing.as_deref() {
+            None | Some("") => {
+                let header = format!(
+                    "{{\"kind\":\"cache_header\",\"format_version\":{CACHE_FORMAT_VERSION}}}\n"
+                );
+                index.write_all(header.as_bytes())?;
+                index.sync_data()?;
+            }
+            Some(text) => {
+                let first = text.lines().next().unwrap_or("");
+                let ok = serde_json::value_from_str(first)
+                    .ok()
+                    .is_some_and(|v| index_header_ok(&v));
+                if !ok {
+                    return Err(std::io::Error::other(format!(
+                        "{}: not a membound result-cache index (bad header line); \
+                         refusing to append — move the directory aside or delete it",
+                        index_path.display()
+                    )));
+                }
+                // Heal a torn tail: without this, the next append would
+                // splice onto the half-written line and corrupt an
+                // otherwise parseable journal.
+                if !text.ends_with('\n') {
+                    index.write_all(b"\n")?;
+                    index.sync_data()?;
+                }
+            }
+        }
+        Ok(Self {
+            inner: Arc::new(Inner {
+                dir: dir.to_path_buf(),
+                fingerprint: fingerprint.into(),
+                index: Mutex::new(index),
+            }),
+        })
+    }
+
+    /// Directory this cache lives in.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.inner.dir
+    }
+
+    /// Fingerprint baked into this handle's keys.
+    #[must_use]
+    pub fn fingerprint(&self) -> &str {
+        &self.inner.fingerprint
+    }
+
+    /// The key `cell` is stored under in this cache.
+    #[must_use]
+    pub fn key_for(&self, cell: &Cell) -> CacheKey {
+        CacheKey::derive(cell, &self.inner.fingerprint)
+    }
+
+    fn object_path(&self, key: &CacheKey) -> PathBuf {
+        self.inner
+            .dir
+            .join(OBJECTS_DIR)
+            .join(format!("{}.json", key.as_hex()))
+    }
+
+    /// Look `key` up, verifying the stored object end to end. A corrupt
+    /// or torn object is *discarded* (deleted, with a stderr warning)
+    /// and reported as a miss — the caller re-simulates; nothing is
+    /// ever trusted past a failed check. A verifiable entry written
+    /// under a different fingerprint or schema is left in place (it is
+    /// unreachable from this handle's keys anyway; [`gc`] reclaims it)
+    /// and reported as a miss.
+    #[must_use]
+    pub fn lookup(&self, key: &CacheKey) -> Option<CacheEntry> {
+        let path = self.object_path(key);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+            Err(e) => {
+                eprintln!(
+                    "warning: result cache: reading {} failed ({e}); treating as a miss",
+                    path.display()
+                );
+                return None;
+            }
+        };
+        let discard = |why: &str| {
+            eprintln!(
+                "warning: result cache: discarding corrupt entry {} ({why}); re-simulating",
+                path.display()
+            );
+            let _ = std::fs::remove_file(&path);
+        };
+        let entry = match parse_object(&text) {
+            Ok(entry) => entry,
+            Err(why) => {
+                discard(&why);
+                return None;
+            }
+        };
+        if entry.key != key.as_hex() {
+            discard("stored under the wrong key");
+            return None;
+        }
+        if is_stale(&entry, &self.inner.fingerprint) {
+            // Only reachable when the object was renamed by hand: the
+            // fingerprint and versions are part of the key derivation.
+            return None;
+        }
+        if entry.outcome().is_none() {
+            discard("inconsistent payload (status carries no result)");
+            return None;
+        }
+        Some(entry)
+    }
+
+    /// Persist `entry` under `key`: write the object atomically, call
+    /// `mid` (the engine threads its `cache` failpoint through here,
+    /// *between* the object rename and the index append — the exact
+    /// window a crash leaves an unindexed object), then append one
+    /// fsynced line to the index.
+    ///
+    /// Inserting a key that already has an object is an idempotent
+    /// overwrite with identical content — concurrent workers and
+    /// resumed runs may race to insert the same result; last rename
+    /// wins and every version is equally correct.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from the object write or the index append. The
+    /// engine treats an insert error as a warning, not a run failure.
+    pub fn insert(
+        &self,
+        key: &CacheKey,
+        entry: &CacheEntry,
+        mid: impl FnOnce(),
+    ) -> std::io::Result<()> {
+        telemetry::write_text_atomic(&self.object_path(key), &render_object(entry))?;
+        mid();
+        let line = format!(
+            "{{\"kind\":\"insert\",\"key\":{:?},\"inserted_unix_ms\":{}}}\n",
+            key.as_hex(),
+            entry.inserted_unix_ms
+        );
+        let mut index = self.inner.index.lock().expect("cache index poisoned");
+        index.write_all(line.as_bytes())?;
+        index.sync_data()
+    }
+}
+
+fn index_header_ok(v: &serde::Value) -> bool {
+    v.get("kind").and_then(serde::Value::as_str) == Some("cache_header")
+        && v.get("format_version").and_then(serde::Value::as_u64)
+            == Some(u64::from(CACHE_FORMAT_VERSION))
+}
+
+/// What a [`survey`] of a cache directory found.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CacheSurvey {
+    /// Verifiable entries under the surveyed fingerprint and current
+    /// versions — the entries lookups can actually hit.
+    pub live: u64,
+    /// Verifiable entries under another fingerprint or older versions:
+    /// unreachable, reclaimable by [`gc`].
+    pub stale: u64,
+    /// Objects that failed verification (torn, bit-rotted, or
+    /// misnamed). Never trusted; [`gc`] deletes them.
+    pub corrupt: u64,
+    /// Leftover `.tmp` files from interrupted atomic writes.
+    pub temps: u64,
+    /// Live objects missing from the index (crash between object
+    /// rename and index append); still hits, re-indexed by [`gc`].
+    pub unindexed: u64,
+    /// Index lines whose object no longer exists.
+    pub dangling: u64,
+    /// Unparseable index lines (torn appends); harmless, cleaned by
+    /// [`gc`].
+    pub index_garbage: u64,
+    /// Total bytes under `objects/`.
+    pub object_bytes: u64,
+    /// Human-readable description of every corrupt object found.
+    pub problems: Vec<String>,
+}
+
+impl CacheSurvey {
+    /// Whether every object verified (stale entries and index damage
+    /// are recoverable bookkeeping, not corruption).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.corrupt == 0
+    }
+}
+
+/// Verdict on one file under `objects/`.
+enum ObjectClass {
+    /// Verifies end to end under the surveyed fingerprint and versions.
+    Live,
+    /// Verifies, but was written under another fingerprint or older
+    /// versions — unreachable from current keys.
+    Stale,
+    /// Fails verification; never trusted.
+    Corrupt(String),
+}
+
+fn classify_object(path: &Path, name: &str, fingerprint: &str) -> ObjectClass {
+    let stem = name.strip_suffix(".json").unwrap_or("");
+    if stem.len() != 32 || !stem.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return ObjectClass::Corrupt("not a cache object name".into());
+    }
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => return ObjectClass::Corrupt(format!("unreadable: {e}")),
+    };
+    let parsed = match parse_object(&text) {
+        Ok(parsed) => parsed,
+        Err(why) => return ObjectClass::Corrupt(why),
+    };
+    if parsed.key != stem {
+        return ObjectClass::Corrupt("stored under the wrong key".into());
+    }
+    if is_stale(&parsed, fingerprint) {
+        return ObjectClass::Stale;
+    }
+    if parsed.outcome().is_none() {
+        return ObjectClass::Corrupt("inconsistent payload (status carries no result)".into());
+    }
+    ObjectClass::Live
+}
+
+fn read_index_keys(dir: &Path) -> (BTreeSet<String>, u64) {
+    let mut keys = BTreeSet::new();
+    let mut garbage = 0u64;
+    let Ok(text) = std::fs::read_to_string(dir.join(INDEX_FILE)) else {
+        return (keys, garbage);
+    };
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::value_from_str(line) {
+            Ok(v) if i == 0 && index_header_ok(&v) => {}
+            Ok(v) if v.get("kind").and_then(serde::Value::as_str) == Some("insert") => {
+                match v.get("key").and_then(serde::Value::as_str) {
+                    Some(k) => {
+                        keys.insert(k.to_string());
+                    }
+                    None => garbage += 1,
+                }
+            }
+            _ => garbage += 1,
+        }
+    }
+    (keys, garbage)
+}
+
+/// Walk the cache at `dir`, verifying every object against
+/// `fingerprint` and cross-checking the index. Read-only: nothing is
+/// modified, so `verify` can run concurrently with live runs.
+///
+/// # Errors
+///
+/// Only filesystem errors walking the directory; a missing `objects/`
+/// dir surveys as empty.
+pub fn survey(dir: &Path, fingerprint: &str) -> std::io::Result<CacheSurvey> {
+    let mut s = CacheSurvey::default();
+    let (indexed, garbage) = read_index_keys(dir);
+    s.index_garbage = garbage;
+    let objects = dir.join(OBJECTS_DIR);
+    let entries = match std::fs::read_dir(&objects) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            s.dangling = indexed.len() as u64;
+            return Ok(s);
+        }
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        s.object_bytes += entry.metadata().map(|m| m.len()).unwrap_or(0);
+        if name.ends_with(".tmp") {
+            s.temps += 1;
+            continue;
+        }
+        match classify_object(&path, &name, fingerprint) {
+            ObjectClass::Live => {
+                s.live += 1;
+                let stem = name.strip_suffix(".json").unwrap_or("");
+                if !indexed.contains(stem) {
+                    s.unindexed += 1;
+                }
+            }
+            ObjectClass::Stale => s.stale += 1,
+            ObjectClass::Corrupt(why) => {
+                s.corrupt += 1;
+                s.problems.push(format!("{}: {why}", path.display()));
+            }
+        }
+    }
+    s.dangling = indexed
+        .iter()
+        .filter(|k| !objects.join(format!("{k}.json")).exists())
+        .count() as u64;
+    Ok(s)
+}
+
+/// What [`gc`] did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GcOutcome {
+    /// Live entries kept (never removed, whatever the index said).
+    pub kept: u64,
+    /// Stale (wrong fingerprint/version) objects deleted.
+    pub removed_stale: u64,
+    /// Corrupt objects deleted.
+    pub removed_corrupt: u64,
+    /// Interrupted `.tmp` files deleted.
+    pub removed_temps: u64,
+}
+
+/// Reclaim the cache at `dir`: delete corrupt objects, `.tmp`
+/// leftovers, and entries stale under `fingerprint`, then atomically
+/// rewrite the index from the surviving live objects (which also
+/// re-indexes objects a crash left unindexed and drops dangling or
+/// garbage index lines). Live entries are never removed — recovery is
+/// idempotent, and a gc run concurrent with an inserting run can at
+/// worst miss the newest insert's index line, which the next gc
+/// restores.
+///
+/// # Errors
+///
+/// Filesystem errors walking `dir` or rewriting the index.
+pub fn gc(dir: &Path, fingerprint: &str) -> std::io::Result<GcOutcome> {
+    let mut out = GcOutcome::default();
+    let objects = dir.join(OBJECTS_DIR);
+    let mut live = BTreeSet::new();
+    let entries = match std::fs::read_dir(&objects) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.ends_with(".tmp") {
+            std::fs::remove_file(&path)?;
+            out.removed_temps += 1;
+            continue;
+        }
+        match classify_object(&path, &name, fingerprint) {
+            ObjectClass::Live => {
+                live.insert(name.strip_suffix(".json").unwrap_or("").to_string());
+                out.kept += 1;
+            }
+            ObjectClass::Stale => {
+                std::fs::remove_file(&path)?;
+                out.removed_stale += 1;
+            }
+            ObjectClass::Corrupt(_) => {
+                std::fs::remove_file(&path)?;
+                out.removed_corrupt += 1;
+            }
+        }
+    }
+    let mut index =
+        format!("{{\"kind\":\"cache_header\",\"format_version\":{CACHE_FORMAT_VERSION}}}\n");
+    for key in &live {
+        index.push_str(&format!(
+            "{{\"kind\":\"insert\",\"key\":{key:?},\"inserted_unix_ms\":0}}\n"
+        ));
+    }
+    telemetry::write_text_atomic(&dir.join(INDEX_FILE), &index)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::CellKind;
+    use crate::transpose::{TransposeConfig, TransposeVariant};
+    use membound_sim::Device;
+
+    fn test_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("membound_cache_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn transpose_cell(n: usize, variant: TransposeVariant) -> Cell {
+        Cell::transpose(
+            format!("{n}"),
+            Device::MangoPiMqPro.label(),
+            &Device::MangoPiMqPro.spec(),
+            variant,
+            TransposeConfig::with_block(n, 16),
+        )
+    }
+
+    fn sample_entry(cache: &ResultCache, cell: &Cell) -> (CacheKey, CacheEntry) {
+        let key = cache.key_for(cell);
+        let outcome = CellOutcome::DoesNotFit;
+        let entry = CacheEntry::capture(cache.fingerprint(), &key, cell, &outcome, 0.5).unwrap();
+        (key, entry)
+    }
+
+    #[test]
+    fn keys_are_sensitive_to_everything_that_matters() {
+        let cell = transpose_cell(128, TransposeVariant::Blocking);
+        let base = CacheKey::derive(&cell, "fp-a");
+
+        // Same material, same key.
+        assert_eq!(base, CacheKey::derive(&cell, "fp-a"));
+
+        // Fingerprint, workload size, variant/schedule, and device all
+        // change the key.
+        assert_ne!(base, CacheKey::derive(&cell, "fp-b"));
+        assert_ne!(
+            base,
+            CacheKey::derive(&transpose_cell(256, TransposeVariant::Blocking), "fp-a")
+        );
+        assert_ne!(
+            base,
+            CacheKey::derive(&transpose_cell(128, TransposeVariant::Dynamic), "fp-a")
+        );
+        let mut other_device = cell.clone();
+        other_device.spec = Device::StarFiveVisionFive.spec();
+        assert_ne!(base, CacheKey::derive(&other_device, "fp-a"));
+
+        // The panel label is presentation-only and excluded.
+        let mut renamed_panel = cell.clone();
+        renamed_panel.panel = "other panel".into();
+        assert_eq!(base, CacheKey::derive(&renamed_panel, "fp-a"));
+
+        // The block size is part of the schedule even when the variant
+        // label matches.
+        let mut cfg_cell = cell;
+        if let CellKind::Transpose { cfg, .. } = &mut cfg_cell.kind {
+            cfg.block = 32;
+        }
+        assert_ne!(base, CacheKey::derive(&cfg_cell, "fp-a"));
+    }
+
+    #[test]
+    fn insert_then_lookup_round_trips() {
+        let dir = test_dir("roundtrip");
+        let cache = ResultCache::open_with_fingerprint(&dir, "fp").unwrap();
+        let cell = transpose_cell(128, TransposeVariant::Naive);
+        let (key, entry) = sample_entry(&cache, &cell);
+        assert!(cache.lookup(&key).is_none(), "cold cache misses");
+        cache.insert(&key, &entry, || {}).unwrap();
+        let hit = cache.lookup(&key).expect("warm cache hits");
+        assert_eq!(hit, entry);
+        assert_eq!(hit.outcome(), Some(CachedOutcome::DoesNotFit));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_objects_are_discarded_not_trusted() {
+        let dir = test_dir("corrupt");
+        let cache = ResultCache::open_with_fingerprint(&dir, "fp").unwrap();
+        let cell = transpose_cell(128, TransposeVariant::Naive);
+        let (key, entry) = sample_entry(&cache, &cell);
+        cache.insert(&key, &entry, || {}).unwrap();
+
+        let path = dir.join(OBJECTS_DIR).join(format!("{}.json", key.as_hex()));
+        for garbage in ["", "{torn", "{}\n0000000000000000\n"] {
+            std::fs::write(&path, garbage).unwrap();
+            assert!(
+                cache.lookup(&key).is_none(),
+                "garbage {garbage:?} must miss"
+            );
+            assert!(!path.exists(), "garbage {garbage:?} must be deleted");
+            cache.insert(&key, &entry, || {}).unwrap();
+        }
+
+        // A truncated (torn) object: payload line only, no digest.
+        let full = render_object(&entry);
+        let payload_only = &full[..full.find('\n').unwrap() + 1];
+        std::fs::write(&path, payload_only).unwrap();
+        assert!(cache.lookup(&key).is_none(), "torn object must miss");
+        assert!(!path.exists(), "torn object must be deleted");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unindexed_objects_still_hit_and_gc_reindexes_them() {
+        let dir = test_dir("unindexed");
+        let cache = ResultCache::open_with_fingerprint(&dir, "fp").unwrap();
+        let cell = transpose_cell(128, TransposeVariant::Naive);
+        let (key, entry) = sample_entry(&cache, &cell);
+        // Simulate a crash between the object rename and the index
+        // append: write the object directly, never touch the index.
+        telemetry::write_text_atomic(
+            &dir.join(OBJECTS_DIR).join(format!("{}.json", key.as_hex())),
+            &render_object(&entry),
+        )
+        .unwrap();
+        assert!(cache.lookup(&key).is_some(), "unindexed object still hits");
+        let s = survey(&dir, "fp").unwrap();
+        assert_eq!((s.live, s.unindexed), (1, 1));
+        let g = gc(&dir, "fp").unwrap();
+        assert_eq!(g.kept, 1);
+        let s = survey(&dir, "fp").unwrap();
+        assert_eq!((s.live, s.unindexed), (1, 0), "gc re-indexed the object");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_index_tail_is_healed_on_reopen() {
+        let dir = test_dir("torn_index");
+        let cache = ResultCache::open_with_fingerprint(&dir, "fp").unwrap();
+        let cell = transpose_cell(128, TransposeVariant::Naive);
+        let (key, entry) = sample_entry(&cache, &cell);
+        cache.insert(&key, &entry, || {}).unwrap();
+        drop(cache);
+        // Tear the index mid-append.
+        let index_path = dir.join(INDEX_FILE);
+        let text = std::fs::read_to_string(&index_path).unwrap();
+        std::fs::write(&index_path, &text[..text.len() - 10]).unwrap();
+
+        let cache = ResultCache::open_with_fingerprint(&dir, "fp").unwrap();
+        assert!(
+            cache.lookup(&key).is_some(),
+            "objects are untouched by index damage"
+        );
+        let cell2 = transpose_cell(256, TransposeVariant::Naive);
+        let (key2, entry2) = sample_entry(&cache, &cell2);
+        cache.insert(&key2, &entry2, || {}).unwrap();
+        let s = survey(&dir, "fp").unwrap();
+        assert_eq!(s.live, 2);
+        assert_eq!(s.index_garbage, 1, "the torn line is isolated, not spliced");
+        assert!(s.is_clean());
+        let _ = gc(&dir, "fp").unwrap();
+        let s = survey(&dir, "fp").unwrap();
+        assert_eq!(s.index_garbage, 0, "gc rewrote the index");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn gc_removes_stale_and_corrupt_but_never_live() {
+        let dir = test_dir("gc");
+        let old = ResultCache::open_with_fingerprint(&dir, "fp-old").unwrap();
+        let new = ResultCache::open_with_fingerprint(&dir, "fp-new").unwrap();
+        let cell = transpose_cell(128, TransposeVariant::Naive);
+        let (old_key, old_entry) = sample_entry(&old, &cell);
+        old.insert(&old_key, &old_entry, || {}).unwrap();
+        let (new_key, new_entry) = sample_entry(&new, &cell);
+        new.insert(&new_key, &new_entry, || {}).unwrap();
+        std::fs::write(dir.join(OBJECTS_DIR).join("nonsense.json"), "{").unwrap();
+        std::fs::write(dir.join(OBJECTS_DIR).join(".x.json.tmp"), "half").unwrap();
+
+        let s = survey(&dir, "fp-new").unwrap();
+        assert_eq!((s.live, s.stale, s.corrupt, s.temps), (1, 1, 1, 1));
+        assert!(!s.is_clean());
+
+        let g = gc(&dir, "fp-new").unwrap();
+        assert_eq!(
+            (g.kept, g.removed_stale, g.removed_corrupt, g.removed_temps),
+            (1, 1, 1, 1)
+        );
+        assert!(new.lookup(&new_key).is_some(), "live entry survived gc");
+        assert!(old.lookup(&old_key).is_none(), "stale entry reclaimed");
+        let s = survey(&dir, "fp-new").unwrap();
+        assert_eq!((s.live, s.stale, s.corrupt, s.temps), (1, 0, 0, 0));
+        assert!(s.is_clean());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn foreign_directories_are_refused() {
+        let dir = test_dir("foreign");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(INDEX_FILE), "this is not a cache index\n").unwrap();
+        let err = ResultCache::open_with_fingerprint(&dir, "fp").unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("not a membound result-cache index"),
+            "{err}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 mod blur;
+pub mod cache;
 pub mod experiment;
 mod matrix;
 pub mod metrics;

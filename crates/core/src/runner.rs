@@ -32,6 +32,7 @@
 //! times and worker counts differ.
 
 use crate::blur::{BlurConfig, BlurVariant};
+use crate::cache::{CacheEntry, CacheKey, CachedOutcome, ResultCache};
 use crate::experiment;
 use crate::metrics::speedup;
 use crate::stream::StreamOp;
@@ -132,7 +133,11 @@ impl CellKind {
         }
     }
 
-    fn kernel(&self) -> &'static str {
+    /// Kernel-family label in the telemetry schema (and the result
+    /// cache's key material): `"transpose"`, `"blur"`, `"fused_blur"`,
+    /// or `"stream"`.
+    #[must_use]
+    pub fn kernel(&self) -> &'static str {
         match self {
             CellKind::Transpose { .. } => "transpose",
             CellKind::Blur { .. } => "blur",
@@ -260,6 +265,12 @@ pub enum CellOutcome {
     /// resumed run's telemetry is byte-identical to an uninterrupted
     /// one in every digest-bearing field.
     Restored(Box<SimRecord>),
+    /// Not re-simulated: restored from the persistent content-addressed
+    /// result cache (`--cache-dir`, DESIGN.md §12). Like
+    /// [`CellOutcome::Restored`], the carried fields are byte-identical
+    /// in every digest-bearing field to what a fresh simulation would
+    /// produce — the cache key covers everything the result depends on.
+    Cached(CachedOutcome),
 }
 
 /// One executed cell, in matrix order.
@@ -271,7 +282,7 @@ pub struct CellResult {
     pub outcome: CellOutcome,
     /// Host wall-clock seconds the simulation took (nondeterministic;
     /// cumulative over retries; carried over from the original run for
-    /// restored cells).
+    /// restored and cached cells).
     pub wall_seconds: f64,
     /// Execution attempts behind this result (1 = first try; >1 =
     /// retried after panics).
@@ -321,11 +332,13 @@ impl CellResult {
                 seconds: r.seconds,
                 dram_bytes_total: r.dram.bytes_total(),
             }),
-            CellOutcome::Restored(rec) => Some(SimSummary {
-                threads: rec.threads,
-                seconds: rec.seconds,
-                dram_bytes_total: rec.dram_bytes_read + rec.dram_bytes_written,
-            }),
+            CellOutcome::Restored(rec) | CellOutcome::Cached(CachedOutcome::Sim(rec)) => {
+                Some(SimSummary {
+                    threads: rec.threads,
+                    seconds: rec.seconds,
+                    dram_bytes_total: rec.dram_bytes_read + rec.dram_bytes_written,
+                })
+            }
             _ => None,
         }
     }
@@ -404,8 +417,15 @@ pub struct RunOptions {
     /// with a warning rather than killing the run.
     pub stream_log: Option<PathBuf>,
     /// Fault injection for crash-safety tests: checked once per cell
-    /// *attempt* at site `"cell"` with the cell's matrix index.
+    /// *attempt* at site `"cell"` with the cell's matrix index, and
+    /// once per cache insert at site `"cache"` (between the object
+    /// rename and the index append — the widest recovery window).
     pub failpoint: Option<Failpoint>,
+    /// Persistent content-addressed result cache (DESIGN.md §12):
+    /// consulted before simulating each cell not already restored by
+    /// `resume` (hits become [`CellOutcome::Cached`]), populated with
+    /// every freshly simulated or resumed `ok`/`does_not_fit` result.
+    pub cache: Option<ResultCache>,
 }
 
 /// Why [`Engine::run_with`] could not run.
@@ -505,16 +525,75 @@ impl Engine {
         options: &RunOptions,
     ) -> Result<RunResults, RunError> {
         let n = matrix.cells.len();
-        let mut restored_results: Vec<(usize, CellResult)> = Vec::new();
+        let failpoint = options.failpoint.as_ref();
+        let cache = options.cache.as_ref();
+        let mut prefilled: Vec<(usize, CellResult)> = Vec::new();
         if let Some(partial) = &options.resume {
             check_resume_compat(matrix, partial)?;
             for (index, record) in partial.records.iter().enumerate() {
                 if let Some(result) = restore_cell(&matrix.cells[index], record) {
-                    restored_results.push((index, result));
+                    prefilled.push((index, result));
                 }
             }
         }
-        let restored = restored_results.len() as u64;
+        let restored = prefilled.len() as u64;
+
+        // One key per cell, derived up front on the main thread (cheap:
+        // a short hash) so workers never race on derivation.
+        let keys: Vec<Option<CacheKey>> = match cache {
+            Some(c) => matrix
+                .cells
+                .iter()
+                .map(|cell| Some(c.key_for(cell)))
+                .collect(),
+            None => (0..n).map(|_| None).collect(),
+        };
+
+        let mut cached = 0u64;
+        if let Some(c) = cache {
+            // Resumed results are as authoritative as fresh ones:
+            // inserting them up front means a cache hit is available
+            // from the very next run, even if this one dies later.
+            for (index, result) in &prefilled {
+                if let Some(key) = &keys[*index] {
+                    try_cache_insert(
+                        c,
+                        key,
+                        &matrix.cells[*index],
+                        *index,
+                        &result.outcome,
+                        result.wall_seconds,
+                        failpoint,
+                    );
+                }
+            }
+            let mut have = vec![false; n];
+            for (index, _) in &prefilled {
+                have[*index] = true;
+            }
+            for index in 0..n {
+                if have[index] {
+                    continue;
+                }
+                let Some(key) = &keys[index] else { continue };
+                let Some(entry) = c.lookup(key) else { continue };
+                let Some(outcome) = entry.outcome() else {
+                    continue;
+                };
+                prefilled.push((
+                    index,
+                    CellResult {
+                        cell: matrix.cells[index].clone(),
+                        outcome: CellOutcome::Cached(outcome),
+                        wall_seconds: entry.wall_seconds,
+                        attempts: 1,
+                        speedup_vs_naive: None,
+                        bandwidth_utilization: None,
+                    },
+                ));
+                cached += 1;
+            }
+        }
 
         let writer = match &options.stream_log {
             Some(path) => Some(create_stream_log(
@@ -533,7 +612,7 @@ impl Engine {
         });
         {
             let mut state = state.lock().expect("stream state poisoned");
-            for (index, result) in restored_results {
+            for (index, result) in prefilled {
                 state.insert(index, result);
             }
         }
@@ -550,7 +629,6 @@ impl Engine {
         let budget_ref = &budget;
         let retries = options.retries;
         let deadline = options.cell_deadline;
-        let failpoint = options.failpoint.as_ref();
         let tasks: Vec<Task<'_, (CellOutcome, f64, u32)>> = missing
             .iter()
             .map(|&index| {
@@ -564,6 +642,7 @@ impl Engine {
 
         let missing_ref = &missing;
         let state_ref = &state;
+        let keys_ref = &keys;
         pool.run_tasks_with(tasks, move |k, result| {
             let index = missing_ref[k];
             let (outcome, wall_seconds, attempts) = match result {
@@ -572,6 +651,22 @@ impl Engine {
                 // fires if the containment itself breaks.
                 Err(panic) => (CellOutcome::Panicked(panic.message.clone()), 0.0, 1),
             };
+            // Persist the fresh result before publishing it. This runs
+            // on the worker thread that simulated the cell (the pool's
+            // completion hook), so inserts overlap with other cells'
+            // simulations; any insert failure (or injected `cache`
+            // failpoint panic) degrades to a warning, never a lost run.
+            if let (Some(c), Some(key)) = (cache, &keys_ref[index]) {
+                try_cache_insert(
+                    c,
+                    key,
+                    &matrix.cells[index],
+                    index,
+                    &outcome,
+                    wall_seconds,
+                    failpoint,
+                );
+            }
             state_ref.lock().expect("stream state poisoned").insert(
                 index,
                 CellResult {
@@ -591,6 +686,7 @@ impl Engine {
             figure: matrix.figure.clone(),
             jobs: self.jobs,
             restored,
+            cached,
             cells: state.flushed,
         })
     }
@@ -717,6 +813,46 @@ fn execute_cell(
     (outcome, wall, max_attempts)
 }
 
+/// Persist one cell's outcome in the result cache, degrading every
+/// failure to a stderr warning: a cache that cannot be written must
+/// never take down a run that already has its result in hand. The
+/// `catch_unwind` matters because this runs inside the pool's
+/// completion hook, where a panic is *not* contained (see
+/// [`membound_parallel::Pool::run_tasks_with`]) — it also turns an
+/// injected `cache:panic@N` failpoint into exactly the recoverable
+/// partial state a real crash would leave.
+fn try_cache_insert(
+    cache: &ResultCache,
+    key: &CacheKey,
+    cell: &Cell,
+    index: usize,
+    outcome: &CellOutcome,
+    wall_seconds: f64,
+    failpoint: Option<&Failpoint>,
+) {
+    let Some(entry) = CacheEntry::capture(cache.fingerprint(), key, cell, outcome, wall_seconds)
+    else {
+        return;
+    };
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        cache.insert(key, &entry, || {
+            if let Some(fp) = failpoint {
+                fp.check("cache", index as u64);
+            }
+        })
+    }));
+    match attempt {
+        Ok(Ok(())) => {}
+        Ok(Err(e)) => eprintln!(
+            "warning: result cache insert for cell {index} failed ({e}); continuing uncached"
+        ),
+        Err(payload) => eprintln!(
+            "warning: result cache insert for cell {index} panicked ({}); continuing uncached",
+            membound_parallel::panic_message(payload)
+        ),
+    }
+}
+
 /// Simulated seconds of a report-bearing cell, fresh or restored — the
 /// quantity the ladder-speedup and utilization metrics are computed
 /// from. Restored seconds are bit-exact copies of the original run's
@@ -752,7 +888,7 @@ fn utilization_for(r: &CellResult, baselines: &[(String, f64)]) -> Option<f64> {
     let &(_, gbps) = baselines.iter().find(|(d, _)| *d == r.cell.device)?;
     match &r.outcome {
         CellOutcome::Report(report) => Some(report.bandwidth_utilization(nominal, gbps)),
-        CellOutcome::Restored(rec) => {
+        CellOutcome::Restored(rec) | CellOutcome::Cached(CachedOutcome::Sim(rec)) => {
             // Mirrors SimReport::{achieved_gbps, bandwidth_utilization}
             // (crates/sim/src/machine.rs) on the restored seconds; a
             // unit test pins the two formulas together.
@@ -858,6 +994,20 @@ fn restore_cell(cell: &Cell, record: &CellRecord) -> Option<CellResult> {
 
 /// Check that a partial log describes `matrix` before resuming over it.
 fn check_resume_compat(matrix: &ExperimentMatrix, partial: &PartialRunLog) -> Result<(), RunError> {
+    // parse_partial_run_log already enforces this range, but a
+    // PartialRunLog can be constructed by hand: the engine must not
+    // depend on how the value got here. Restoring records written under
+    // a future schema would mean trusting fields this release cannot
+    // interpret.
+    let supported = telemetry::MIN_SCHEMA_VERSION..=telemetry::SCHEMA_VERSION;
+    if !supported.contains(&partial.header.schema_version) {
+        return Err(RunError::Incompatible(format!(
+            "log schema version {} unsupported (this engine speaks {}..={})",
+            partial.header.schema_version,
+            telemetry::MIN_SCHEMA_VERSION,
+            telemetry::SCHEMA_VERSION
+        )));
+    }
     if partial.header.figure != matrix.figure {
         return Err(RunError::Incompatible(format!(
             "log is for figure {:?}, matrix is {:?}",
@@ -912,11 +1062,26 @@ fn cell_record(index: u64, r: &CellResult) -> CellRecord {
             None,
             None,
         ),
+        CellOutcome::Cached(cached) => match cached {
+            CachedOutcome::Sim(record) => (
+                telemetry::status::OK,
+                Some(record.as_ref().clone()),
+                None,
+                None,
+            ),
+            CachedOutcome::Gbps(g) => (telemetry::status::OK, None, Some(*g), None),
+            CachedOutcome::DoesNotFit => (telemetry::status::DOES_NOT_FIT, None, None, None),
+        },
         CellOutcome::Gbps(g) => (telemetry::status::OK, None, Some(*g), None),
         CellOutcome::DoesNotFit => (telemetry::status::DOES_NOT_FIT, None, None, None),
         CellOutcome::Panicked(msg) => (telemetry::status::PANICKED, None, None, Some(msg.clone())),
         CellOutcome::Failed(msg) => (telemetry::status::FAILED, None, None, Some(msg.clone())),
         CellOutcome::TimedOut(msg) => (telemetry::status::TIMED_OUT, None, None, Some(msg.clone())),
+    };
+    let provenance = match &r.outcome {
+        CellOutcome::Restored(_) => Some(telemetry::provenance::RESUME.to_string()),
+        CellOutcome::Cached(_) => Some(telemetry::provenance::CACHE.to_string()),
+        _ => None,
     };
     CellRecord {
         kind: "cell".into(),
@@ -933,6 +1098,7 @@ fn cell_record(index: u64, r: &CellResult) -> CellRecord {
         speedup_vs_naive: r.speedup_vs_naive,
         bandwidth_utilization: r.bandwidth_utilization,
         error,
+        provenance,
     }
 }
 
@@ -945,16 +1111,20 @@ pub struct RunResults {
     pub jobs: u32,
     /// Cells restored from a `--resume` log instead of re-simulated.
     pub restored: u64,
+    /// Cells restored from the persistent result cache instead of
+    /// simulated (`--cache-dir`, DESIGN.md §12).
+    pub cached: u64,
     /// Per-cell results, in declaration order.
     pub cells: Vec<CellResult>,
 }
 
 impl RunResults {
     /// Order-sensitive digest over every report cell's
-    /// [`SimReport::stats_digest`] (restored cells contribute their
-    /// carried-over digest): two runs of the same matrix must produce
-    /// the same value regardless of their job counts or of which cells
-    /// were resumed.
+    /// [`SimReport::stats_digest`] (restored and cached cells
+    /// contribute their carried-over digest): two runs of the same
+    /// matrix must produce the same value regardless of their job
+    /// counts or of which cells were resumed or served from the result
+    /// cache.
     #[must_use]
     pub fn combined_digest(&self) -> String {
         let digests: Vec<String> = self
@@ -962,7 +1132,9 @@ impl RunResults {
             .iter()
             .filter_map(|r| match &r.outcome {
                 CellOutcome::Report(rep) => Some(format!("{:016x}", rep.stats_digest())),
-                CellOutcome::Restored(rec) => Some(rec.stats_digest.clone()),
+                CellOutcome::Restored(rec) | CellOutcome::Cached(CachedOutcome::Sim(rec)) => {
+                    Some(rec.stats_digest.clone())
+                }
                 _ => None,
             })
             .collect();

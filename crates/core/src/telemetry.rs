@@ -29,6 +29,11 @@ use serde::{Deserialize, Serialize};
 /// versions rather than guess.
 ///
 /// History:
+/// * 5 — persistent result cache (DESIGN.md §12): [`CellRecord`] carries
+///   `provenance` (digest-excluded; absent ⇒ `None` ⇒ freshly
+///   simulated), recording whether a cell's record was restored from a
+///   `--resume` log (`"resume"`) or the content-addressed result cache
+///   (`"cache"`) instead of simulated in this run.
 /// * 4 — crash-safe runs (DESIGN.md §11): [`CellRecord`] carries
 ///   `attempts` (digest-excluded; absent ⇒ 1) and the [`status`] set
 ///   gains `"failed"` (panicked on every retry) and `"timed_out"`
@@ -46,14 +51,15 @@ use serde::{Deserialize, Serialize};
 ///   silently disagreeing with the simulator's text reports), and
 ///   [`SimRecord`] carries `host_workers`.
 /// * 1 — initial schema.
-pub const SCHEMA_VERSION: u32 = 4;
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// Oldest run-log schema version the validator still reads.
 ///
 /// Migration defaults applied to older logs: fields introduced after a
 /// log's version deserialize as `None` (`host_workers` and
-/// `strided_batches` before v2/v3, `attempts` before v4) — absent means
-/// "this release did not record it", never a guessed value.
+/// `strided_batches` before v2/v3, `attempts` before v4, `provenance`
+/// before v5) — absent means "this release did not record it", never a
+/// guessed value.
 pub const MIN_SCHEMA_VERSION: u32 = 1;
 
 /// First line of a run log.
@@ -250,6 +256,22 @@ pub struct CellRecord {
     pub bandwidth_utilization: Option<f64>,
     /// Panic message for `status == "panicked"`.
     pub error: Option<String>,
+    /// Where the record's result came from when it was *not* simulated
+    /// in this run: [`provenance::RESUME`] (restored from a `--resume`
+    /// log) or [`provenance::CACHE`] (restored from the persistent
+    /// result cache, DESIGN.md §12). Digest-excluded host-side
+    /// diagnostic like `attempts`: a cached run's digest-bearing fields
+    /// stay byte-identical to an uncached run's. `None` ⇒ freshly
+    /// simulated (and on every pre-v5 log, which predates the field).
+    pub provenance: Option<String>,
+}
+
+/// Known [`CellRecord::provenance`] values. Schema v5+.
+pub mod provenance {
+    /// The record was restored from a `--resume` run log.
+    pub const RESUME: &str = "resume";
+    /// The record was restored from the persistent result cache.
+    pub const CACHE: &str = "cache";
 }
 
 /// Summary returned by a successful [`validate_run_log`].
@@ -266,6 +288,12 @@ pub struct RunLogSummary {
     pub cells: u64,
     /// Cells with `status == "ok"`.
     pub ok_cells: u64,
+    /// Cells whose record was restored from the persistent result cache
+    /// (`provenance == "cache"`, schema v5+) rather than simulated.
+    pub cached_cells: u64,
+    /// Cells whose record was restored from a `--resume` log
+    /// (`provenance == "resume"`, schema v5+) rather than simulated.
+    pub resumed_cells: u64,
     /// FNV-1a combination of every cell's `stats_digest`, as 16 hex
     /// digits — compare across runs to prove simulated-stat identity.
     pub combined_digest: String,
@@ -330,6 +358,8 @@ pub fn validate_run_log(text: &str) -> Result<RunLogSummary, String> {
     }
 
     let mut ok_cells = 0u64;
+    let mut cached_cells = 0u64;
+    let mut resumed_cells = 0u64;
     let mut seen = 0u64;
     let mut digests: Vec<String> = Vec::new();
     for (lineno, line) in lines {
@@ -366,6 +396,12 @@ pub fn validate_run_log(text: &str) -> Result<RunLogSummary, String> {
             }
             other => return Err(format!("line {n}: unknown status {other:?}")),
         }
+        match cell.provenance.as_deref() {
+            None => {}
+            Some(provenance::CACHE) => cached_cells += 1,
+            Some(provenance::RESUME) => resumed_cells += 1,
+            Some(other) => return Err(format!("line {n}: unknown provenance {other:?}")),
+        }
         if let Some(sim) = &cell.sim {
             if sim.stats_digest.len() != 16
                 || !sim.stats_digest.bytes().all(|b| b.is_ascii_hexdigit())
@@ -391,6 +427,8 @@ pub fn validate_run_log(text: &str) -> Result<RunLogSummary, String> {
         jobs: header.jobs,
         cells: seen,
         ok_cells,
+        cached_cells,
+        resumed_cells,
         combined_digest: combine_digests(digests.iter().map(String::as_str)),
     })
 }
@@ -597,6 +635,7 @@ mod tests {
             speedup_vs_naive: Some(1.0),
             bandwidth_utilization: None,
             error: None,
+            provenance: None,
         }
     }
 
@@ -715,6 +754,10 @@ mod tests {
         assert_eq!(sim.host_workers, None, "v1 predates host_workers");
         assert_eq!(sim.strided_batches, None, "v1 predates strided_batches");
         assert_eq!(partial.records[0].attempts, None, "v1 predates attempts");
+        assert_eq!(
+            partial.records[0].provenance, None,
+            "v1 predates provenance"
+        );
 
         for version in MIN_SCHEMA_VERSION..=SCHEMA_VERSION {
             let text = v1_log().replace(
@@ -756,6 +799,24 @@ mod tests {
         let text = render_run_log(&RunHeader::new("fig_test", 1, 1), &[failed]);
         let err = validate_run_log(&text).unwrap_err();
         assert!(err.contains("no error message"), "{err}");
+    }
+
+    #[test]
+    fn provenance_values_are_validated() {
+        let header = RunHeader::new("fig_test", 1, 2);
+        let mut cached = sample_cell(0);
+        cached.provenance = Some(provenance::CACHE.into());
+        let mut resumed = sample_cell(1);
+        resumed.provenance = Some(provenance::RESUME.into());
+        let text = render_run_log(&header, &[cached.clone(), resumed]);
+        let summary = validate_run_log(&text).expect("valid log");
+        assert_eq!(summary.cached_cells, 1);
+        assert_eq!(summary.resumed_cells, 1);
+
+        cached.provenance = Some("teleported".into());
+        let text = render_run_log(&RunHeader::new("fig_test", 1, 1), &[cached]);
+        let err = validate_run_log(&text).unwrap_err();
+        assert!(err.contains("unknown provenance"), "{err}");
     }
 
     #[test]

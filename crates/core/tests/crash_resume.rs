@@ -9,10 +9,21 @@
 //! * the per-cell deadline discards late attempts as `timed_out`;
 //! * every such log still passes `validate_run_log`.
 //!
+//! Plus the persistent result cache's crash properties (DESIGN.md §12):
+//!
+//! * a warm run over a populated cache simulates nothing and is
+//!   digest-identical to the cold run, at every `--jobs` level;
+//! * a crash injected mid-insert (failpoint site `cache`) never
+//!   corrupts the store — the re-run reproduces the clean digests;
+//! * corrupted or torn objects are discarded and re-simulated, never
+//!   trusted; stale-fingerprint entries never hit; `gc` never removes
+//!   a live entry.
+//!
 //! Fault injection uses in-process `Failpoint`s (panic/delay); the
 //! process-abort path needs a process boundary and is exercised by the
-//! CI `resume-smoke` step instead.
+//! CI `resume-smoke` and `cache-incremental` steps instead.
 
+use membound_core::cache::{self, ResultCache};
 use membound_core::runner::{Cell, CellOutcome, Engine, ExperimentMatrix, RunOptions, RunResults};
 use membound_core::telemetry::{parse_partial_run_log, validate_run_log};
 use membound_core::{TransposeConfig, TransposeVariant};
@@ -41,10 +52,10 @@ fn ladder_matrix() -> ExperimentMatrix {
 }
 
 /// Every digest-bearing line fragment of a rendered run log: cell
-/// lines verbatim except the nondeterministic diagnostics
-/// (`wall_seconds`, `host_workers`, `attempts`), plus the combined
-/// digest. Two runs that agree here are byte-identical in every field
-/// the digests vouch for.
+/// lines verbatim except the digest-excluded diagnostics
+/// (`wall_seconds`, `host_workers`, `attempts`, `provenance`), plus
+/// the combined digest. Two runs that agree here are byte-identical in
+/// every field the digests vouch for.
 fn digest_fields(results: &RunResults) -> Vec<String> {
     let (_, records) = results.telemetry();
     let mut fields: Vec<String> = records
@@ -53,6 +64,7 @@ fn digest_fields(results: &RunResults) -> Vec<String> {
             let mut r = r.clone();
             r.wall_seconds = 0.0;
             r.attempts = None;
+            r.provenance = None;
             if let Some(sim) = &mut r.sim {
                 sim.host_workers = None;
             }
@@ -363,6 +375,236 @@ fn incompatible_resume_logs_are_rejected() {
         )
         .expect_err("cell identity mismatch rejected");
     assert!(err.to_string().contains("cell 0"), "{err}");
+}
+
+/// A fresh, empty cache directory for one test (removed leftovers from
+/// earlier runs of the same test included).
+fn cache_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "membound_crash_resume_cache_{name}_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn with_cache(cache: ResultCache) -> RunOptions {
+    RunOptions {
+        cache: Some(cache),
+        ..RunOptions::default()
+    }
+}
+
+#[test]
+fn warm_cache_run_simulates_nothing_and_matches_cold_digests() {
+    let matrix = ladder_matrix();
+    let total = matrix.len() as u64;
+    let dir = cache_dir("warm");
+    let cold = Engine::new(2)
+        .run_with(&matrix, &with_cache(ResultCache::open(&dir).expect("open")))
+        .expect("cold run");
+    assert_eq!(cold.cached, 0, "empty cache cannot hit");
+    let expected = digest_fields(&cold);
+    for jobs in [1u32, 2, 4] {
+        let warm = Engine::new(jobs)
+            .run_with(
+                &matrix,
+                &with_cache(ResultCache::open(&dir).expect("reopen")),
+            )
+            .expect("warm run");
+        assert_eq!(warm.cached, total, "warm run must simulate nothing");
+        assert_eq!(digest_fields(&warm), expected, "warm at {jobs} jobs");
+        let summary = validate_run_log(&warm.render_run_log()).expect("cached log validates");
+        assert_eq!(summary.cached_cells, total);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_and_torn_cache_objects_are_resimulated_not_trusted() {
+    let matrix = ladder_matrix();
+    let total = matrix.len() as u64;
+    let dir = cache_dir("corrupt");
+    let cold = Engine::new(2)
+        .run_with(&matrix, &with_cache(ResultCache::open(&dir).expect("open")))
+        .expect("cold run");
+
+    // Tear one object mid-payload and overwrite another with garbage —
+    // the two shapes a crash or bit rot leaves behind.
+    let mut objects: Vec<_> = std::fs::read_dir(dir.join("objects"))
+        .expect("objects dir")
+        .map(|e| e.expect("entry").path())
+        .collect();
+    objects.sort();
+    let torn_text = std::fs::read_to_string(&objects[0]).expect("read object");
+    std::fs::write(&objects[0], &torn_text[..torn_text.len() / 2]).expect("tear object");
+    std::fs::write(&objects[1], "garbage\n").expect("corrupt object");
+    let damaged = cache::survey(&dir, cache::default_fingerprint()).expect("survey");
+    assert_eq!(damaged.corrupt, 2);
+    assert!(!damaged.is_clean());
+
+    // The warm run discards both, re-simulates exactly those two cells,
+    // and heals the store; the digests never notice.
+    let healed = Engine::new(2)
+        .run_with(
+            &matrix,
+            &with_cache(ResultCache::open(&dir).expect("reopen")),
+        )
+        .expect("healing run");
+    assert_eq!(healed.cached, total - 2, "two corrupt entries must miss");
+    assert_eq!(digest_fields(&healed), digest_fields(&cold));
+    let after = cache::survey(&dir, cache::default_fingerprint()).expect("survey");
+    assert!(after.is_clean(), "re-insert healed the store: {after:?}");
+    assert_eq!(after.live, total);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resumed_cells_enter_the_cache_and_hit_later() {
+    let matrix = ladder_matrix();
+    let total = matrix.len() as u64;
+    // Crash an uncached run, then resume it *with* a fresh cache: the
+    // restored cells must be inserted up front, so a later warm run
+    // hits every cell — including the ones this process never
+    // simulated.
+    let uncached = Engine::new(2).run(&matrix);
+    let log = uncached.render_run_log();
+    let lines: Vec<&str> = log.lines().collect();
+    let truncated: String = lines[..=4].iter().map(|l| format!("{l}\n")).collect();
+    let partial = parse_partial_run_log(&truncated).expect("truncated log parses");
+
+    let dir = cache_dir("resume");
+    let options = RunOptions {
+        resume: Some(partial),
+        cache: Some(ResultCache::open(&dir).expect("open")),
+        ..RunOptions::default()
+    };
+    let resumed = Engine::new(2).run_with(&matrix, &options).expect("resume");
+    assert_eq!(resumed.restored, 4);
+    assert_eq!(resumed.cached, 0, "fresh cache cannot hit");
+    assert_eq!(digest_fields(&resumed), digest_fields(&uncached));
+
+    let warm = Engine::new(2)
+        .run_with(
+            &matrix,
+            &with_cache(ResultCache::open(&dir).expect("reopen")),
+        )
+        .expect("warm run");
+    assert_eq!(warm.cached, total, "restored cells must have been cached");
+    assert_eq!(digest_fields(&warm), digest_fields(&uncached));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stale_fingerprint_entries_never_hit_and_gc_never_removes_live() {
+    let matrix = ladder_matrix();
+    let total = matrix.len() as u64;
+    let dir = cache_dir("stale");
+    let old = ResultCache::open_with_fingerprint(&dir, "sim-v0+obsolete").expect("open old");
+    Engine::new(2)
+        .run_with(&matrix, &with_cache(old))
+        .expect("run under old fingerprint");
+
+    // Under the current fingerprint every old entry is unreachable: the
+    // run misses everything and re-populates alongside them.
+    let rerun = Engine::new(2)
+        .run_with(&matrix, &with_cache(ResultCache::open(&dir).expect("open")))
+        .expect("rerun");
+    assert_eq!(rerun.cached, 0, "stale-fingerprint entries must not hit");
+    let s = cache::survey(&dir, cache::default_fingerprint()).expect("survey");
+    assert_eq!((s.live, s.stale, s.corrupt), (total, total, 0));
+
+    // gc reclaims exactly the stale half and keeps every live entry —
+    // proven by the follow-up warm run hitting all of them.
+    let out = cache::gc(&dir, cache::default_fingerprint()).expect("gc");
+    assert_eq!(out.kept, total);
+    assert_eq!(out.removed_stale, total);
+    let warm = Engine::new(2)
+        .run_with(
+            &matrix,
+            &with_cache(ResultCache::open(&dir).expect("reopen")),
+        )
+        .expect("warm run");
+    assert_eq!(warm.cached, total, "gc must never remove a live entry");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// A crash injected between an object write and its index append
+    /// (failpoint site `cache`) at any cell and any jobs level leaves
+    /// the store recoverable: the interrupted run's digests already
+    /// match the clean run's, the warm re-run reproduces them again,
+    /// and the store surveys clean afterwards.
+    #[test]
+    fn crash_during_cache_insert_is_recoverable_at_any_cell(
+        crash_index in 0u64..10,
+        jobs in 1u32..5,
+    ) {
+        let matrix = ladder_matrix();
+        let clean = Engine::new(2).run(&matrix);
+        let dir = cache_dir(&format!("insert_fp_{crash_index}_{jobs}"));
+        let options = RunOptions {
+            cache: Some(ResultCache::open(&dir).expect("open")),
+            failpoint: Some(
+                Failpoint::parse(&format!("cache:panic@{crash_index}")).expect("valid spec"),
+            ),
+            ..RunOptions::default()
+        };
+        let crashed = Engine::new(jobs)
+            .run_with(&matrix, &options)
+            .expect("insert failure degrades to a warning");
+        prop_assert_eq!(digest_fields(&crashed), digest_fields(&clean));
+
+        let warm = Engine::new(jobs)
+            .run_with(&matrix, &with_cache(ResultCache::open(&dir).expect("reopen")))
+            .expect("warm run");
+        prop_assert_eq!(digest_fields(&warm), digest_fields(&clean));
+        let s = cache::survey(&dir, cache::default_fingerprint()).expect("survey");
+        prop_assert!(s.is_clean(), "store must survey clean: {:?}", s);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Forward compatibility lock-in for the cache era: the committed
+/// schema-v5 fixture — written by a real `fig2_transpose --resume`
+/// run over a partially damaged cache, so it mixes `resume`, `cache`
+/// and fresh (absent-provenance) cells — must keep validating, and its
+/// digest must stay the canonical fig2/mango baseline. CI validates
+/// the same file through `membound-cli validate-runlog`.
+#[test]
+fn committed_v5_fixture_validates_with_provenance() {
+    let text = include_str!("fixtures/runlog_v5.jsonl");
+    let summary = validate_run_log(text).expect("v5 fixture validates");
+    assert_eq!(summary.schema_version, 5);
+    assert_eq!(summary.figure, "fig2_transpose");
+    assert_eq!(summary.cells, 10);
+    assert_eq!(summary.ok_cells, 10);
+    assert_eq!(summary.cached_cells, 6);
+    assert_eq!(summary.resumed_cells, 3);
+    assert_eq!(summary.combined_digest, "2d01870fd0d44a44");
+
+    let partial = parse_partial_run_log(text).expect("v5 fixture parses");
+    assert!(!partial.truncated_tail);
+    let provenance: Vec<Option<&str>> = partial
+        .records
+        .iter()
+        .map(|r| r.provenance.as_deref())
+        .collect();
+    assert_eq!(
+        provenance.iter().filter(|p| **p == Some("resume")).count(),
+        3
+    );
+    assert_eq!(
+        provenance.iter().filter(|p| **p == Some("cache")).count(),
+        6
+    );
+    assert_eq!(
+        provenance.iter().filter(|p| p.is_none()).count(),
+        1,
+        "one cell was re-simulated fresh after its object was deleted"
+    );
 }
 
 /// The ladder's cells in reverse order — same figure name and count,

@@ -47,6 +47,9 @@ fn simulated_fingerprint(results: &membound_core::runner::RunResults) -> Vec<Str
                 CellOutcome::Failed(msg) => format!("failed:{msg}"),
                 CellOutcome::TimedOut(msg) => format!("timed_out:{msg}"),
                 CellOutcome::Restored(rec) => format!("restored:{}", rec.stats_digest),
+                // These runs never pass a cache, so a cached outcome
+                // would itself be a determinism bug worth failing on.
+                CellOutcome::Cached(c) => unreachable!("uncached run produced {c:?}"),
             };
             format!(
                 "{}/{}/{} {} speedup={:?} util={:?}",

@@ -3,8 +3,10 @@
 //! Long experiment runs must survive crashes (see DESIGN.md §11), and
 //! "survive" is only testable if a crash can be *produced* on demand at
 //! an exact, repeatable point. A [`Failpoint`] names one injection site
-//! (`"cell"` is the experiment engine's per-attempt site), one index at
-//! that site, and one [`FailAction`] to perform when the site is hit:
+//! (`"cell"` is the experiment engine's per-attempt site; `"cache"`
+//! fires between a result-cache object write and its index append, see
+//! DESIGN.md §12), one index at that site, and one [`FailAction`] to
+//! perform when the site is hit:
 //!
 //! * `panic` — unwind, exactly like a simulation bug; exercises panic
 //!   containment, the retry policy, and `status: "failed"` records;

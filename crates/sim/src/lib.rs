@@ -46,6 +46,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Fingerprint of the simulator's *semantics*: part of every persistent
+/// result-cache key (`membound-core::cache`), so entries simulated by an
+/// older model can never satisfy a lookup from a newer one.
+///
+/// The workspace version is frozen at 0.1.0, so this is maintained by
+/// hand: **bump it whenever a change to `membound-sim`, `membound-trace`
+/// or the kernel trace generators migrates the canonical figure digests**
+/// (the `combined_digest` baselines recorded in `BENCH_sim.json`, which
+/// the value names as a cross-check). Purely diagnostic fields
+/// (`host_workers`, wall times) do not require a bump — they are excluded
+/// from `stats_digest` and therefore from cached payload equality.
+pub const SIM_FINGERPRINT: &str = "sim-v1+f2:2d01870fd0d44a44+f6:b9662a232e85033e";
+
 mod assoc;
 mod cache;
 mod core;

@@ -9,6 +9,7 @@
 //! membound-cli native-stream    [--elements 4194304] [--threads 0]
 //! membound-cli native-transpose [-n 1024] [--variant all] [--threads 0]
 //! membound-cli native-blur      [--height 317 --width 397] [--variant all]
+//! membound-cli cache stats|gc|verify [--cache-dir <dir>]
 //! ```
 //!
 //! `--device all` (the default) sweeps the paper's four devices;
@@ -16,6 +17,7 @@
 //! "all host cores". Add `--json` to print machine-readable rows instead
 //! of a table.
 
+use membound::core::cache;
 use membound::core::experiment::{
     simulate_blur, simulate_stream, simulate_stream_survey, simulate_transpose,
     simulate_transpose_reference, stream_dram_gbps,
@@ -30,6 +32,7 @@ use membound::image::generate;
 use membound::parallel::Pool;
 use membound::sim::Device;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ! {
@@ -43,8 +46,10 @@ fn usage() -> ! {
          \x20 native-stream                   STREAM on this host\n\
          \x20 native-transpose                transposition on this host\n\
          \x20 native-blur                     Gaussian blur on this host\n\
-         \x20 validate-runlog <path>          check a JSONL run log (accepts schema v1..=v4)\n\
+         \x20 validate-runlog <path>          check a JSONL run log (accepts schema v1..=v5)\n\
          \x20 strided-gate                    prove batched strided replay matches per-element\n\
+         \x20 cache stats|gc|verify           inspect or reclaim a persistent result cache\n\
+         \x20                                 (--cache-dir <dir>, or MEMBOUND_CACHE_DIR)\n\
          common options:\n\
          \x20 --device mangopi|starfive|rpi4|xeon|all   (default: all)\n\
          \x20 --variant <ladder variant>|all            (default: all)\n\
@@ -445,13 +450,15 @@ fn cmd_validate_runlog(args: &[String]) -> ExitCode {
                 "{path}: valid run log (schema v{})\n\
                  \x20 figure:  {}\n\
                  \x20 jobs:    {}\n\
-                 \x20 cells:   {} ({} ok)\n\
+                 \x20 cells:   {} ({} ok, {} cached, {} resumed)\n\
                  \x20 digest:  {}",
                 summary.schema_version,
                 summary.figure,
                 summary.jobs,
                 summary.cells,
                 summary.ok_cells,
+                summary.cached_cells,
+                summary.resumed_cells,
                 summary.combined_digest,
             );
             ExitCode::SUCCESS
@@ -533,11 +540,101 @@ fn cmd_strided_gate(opts: &Opts) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `cache stats|gc|verify`: inspect, reclaim, or integrity-check the
+/// persistent result cache (DESIGN.md §12). The directory comes from
+/// `--cache-dir`, falling back to `MEMBOUND_CACHE_DIR`. `verify` is
+/// read-only and exits nonzero iff any object fails verification —
+/// that is what the CI cache-incremental job keys on; stale entries
+/// and index damage are recoverable bookkeeping, reported but clean.
+fn cmd_cache(args: &[String]) -> ExitCode {
+    let Some(action) = args.first().map(String::as_str) else {
+        eprintln!("cache requires an action: stats, gc, or verify");
+        return ExitCode::from(2);
+    };
+    let opts = Opts::parse(&args[1..]);
+    let dir = opts.get("cache-dir").map(PathBuf::from).or_else(|| {
+        std::env::var_os("MEMBOUND_CACHE_DIR")
+            .filter(|v| !v.is_empty())
+            .map(PathBuf::from)
+    });
+    let Some(dir) = dir else {
+        eprintln!("cache {action}: pass --cache-dir <dir> or set MEMBOUND_CACHE_DIR");
+        return ExitCode::from(2);
+    };
+    let fingerprint = cache::default_fingerprint();
+    match action {
+        "stats" | "verify" => {
+            let s = match cache::survey(&dir, fingerprint) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cache {action} at {}: {e}", dir.display());
+                    return ExitCode::from(2);
+                }
+            };
+            println!(
+                "result cache at {} (fingerprint {fingerprint})\n\
+                 \x20 live:          {}\n\
+                 \x20 stale:         {}\n\
+                 \x20 corrupt:       {}\n\
+                 \x20 temp files:    {}\n\
+                 \x20 unindexed:     {}\n\
+                 \x20 dangling:      {}\n\
+                 \x20 index garbage: {}\n\
+                 \x20 object bytes:  {}",
+                dir.display(),
+                s.live,
+                s.stale,
+                s.corrupt,
+                s.temps,
+                s.unindexed,
+                s.dangling,
+                s.index_garbage,
+                s.object_bytes,
+            );
+            for problem in &s.problems {
+                eprintln!("corrupt: {problem}");
+            }
+            if action == "verify" && !s.is_clean() {
+                eprintln!("cache verify FAILED: {} corrupt object(s)", s.corrupt);
+                return ExitCode::FAILURE;
+            }
+            if action == "verify" {
+                println!("cache verify passed: every object verified");
+            }
+            ExitCode::SUCCESS
+        }
+        "gc" => match cache::gc(&dir, fingerprint) {
+            Ok(out) => {
+                println!(
+                    "cache gc at {}: kept {} live, removed {} stale + {} corrupt + {} temp",
+                    dir.display(),
+                    out.kept,
+                    out.removed_stale,
+                    out.removed_corrupt,
+                    out.removed_temps,
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("cache gc at {}: {e}", dir.display());
+                ExitCode::from(2)
+            }
+        },
+        other => {
+            eprintln!("unknown cache action: {other} (expected stats, gc, or verify)");
+            ExitCode::from(2)
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
     if cmd == "validate-runlog" {
         return cmd_validate_runlog(&args[1..]);
+    }
+    if cmd == "cache" {
+        return cmd_cache(&args[1..]);
     }
     let opts = Opts::parse(&args[1..]);
     if cmd == "strided-gate" {
