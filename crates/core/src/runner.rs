@@ -37,7 +37,7 @@ use crate::experiment;
 use crate::metrics::speedup;
 use crate::stream::StreamOp;
 use crate::telemetry::{self, CellRecord, PartialRunLog, RunHeader, SimRecord, StreamingRunLog};
-use crate::transpose::{TransposeConfig, TransposeVariant};
+use crate::transpose::{traced::TransposeTrace, TransposeConfig, TransposeVariant};
 use membound_parallel::{Failpoint, JobBudget, Pool, Task};
 use membound_sim::{DeviceSpec, SimReport};
 use std::collections::BTreeMap;
@@ -238,6 +238,73 @@ impl Cell {
     /// Key of the speedup ladder this cell belongs to.
     fn ladder_key(&self) -> (String, String, &'static str) {
         (self.panel.clone(), self.device.clone(), self.kind.kernel())
+    }
+
+    /// Canonical description of the exact trace-replay this cell
+    /// performs: two cells with equal identities simulate the same
+    /// reference stream on the same device model and therefore produce
+    /// byte-identical reports, so the engine runs one and reuses the
+    /// result for the other (in-run dedupe).
+    ///
+    /// For transpose cells the identity is *weaker than the variant
+    /// label*: it is the generator arm `trace_outer` dispatches to plus
+    /// the planned per-thread iteration ranges (adjacent ranges merged —
+    /// the generator is invoked per range back to back, so only the
+    /// concatenation reaches the sink). On a single-core device this
+    /// collapses `Parallel` onto `Naive` and `Dynamic` onto
+    /// `Manual_blocking`, which the figure tables show as genuinely
+    /// identical rows. Every other kind keeps its full
+    /// (kernel, variant, workload) identity, so only literal duplicates
+    /// dedupe.
+    fn trace_identity(&self) -> String {
+        let device = serde_json::to_string(&self.spec).expect("device spec serializes");
+        match &self.kind {
+            CellKind::Transpose { variant, cfg } => {
+                let threads = if variant.is_parallel() {
+                    self.spec.cores
+                } else {
+                    1
+                };
+                let trace = TransposeTrace::new(*cfg);
+                let total = trace.outer_iterations(*variant);
+                let plan = variant
+                    .schedule()
+                    .plan(total, threads, |i| trace.weight(*variant, i));
+                // The arm of `TransposeTrace::trace_outer` the variant
+                // selects; variants sharing an arm differ only in their
+                // schedule, which the plan below captures.
+                let arm = match variant {
+                    TransposeVariant::Naive | TransposeVariant::Parallel => "rowwise",
+                    TransposeVariant::Blocking => "blocked",
+                    TransposeVariant::ManualBlocking | TransposeVariant::Dynamic => "manual",
+                };
+                let mut ranges = String::new();
+                for (tid, thread_plan) in plan.iter().enumerate() {
+                    use std::fmt::Write;
+                    let _ = write!(ranges, "t{tid}:");
+                    let mut merged: Option<std::ops::Range<u64>> = None;
+                    for r in thread_plan {
+                        match &mut merged {
+                            Some(m) if m.end == r.start => m.end = r.end,
+                            Some(m) => {
+                                let _ = write!(ranges, "{}-{},", m.start, m.end);
+                                merged = Some(r.clone());
+                            }
+                            None => merged = Some(r.clone()),
+                        }
+                    }
+                    if let Some(m) = merged {
+                        let _ = write!(ranges, "{}-{},", m.start, m.end);
+                    }
+                    ranges.push(';');
+                }
+                format!(
+                    "transpose:{arm}:n={},block={},threads={threads},plan={ranges}|{device}",
+                    cfg.n, cfg.block
+                )
+            }
+            kind => format!("{}:{}:{kind:?}|{device}", kind.kernel(), self.variant),
+        }
     }
 }
 
@@ -623,13 +690,49 @@ impl Engine {
             (0..n).filter(|i| !state.contains(*i)).collect()
         };
 
+        // In-run dedupe: among the cells still to simulate, those whose
+        // [`Cell::trace_identity`] matches an earlier cell's replay the
+        // byte-identical trace on the identical device model, so only the
+        // first of each group (its *representative*) is dispatched to the
+        // pool; the rest reuse its outcome afterwards. Grouping follows
+        // matrix order, so the choice — and hence every digest-bearing
+        // field — is independent of the job count.
+        let mut rep_of: Vec<Option<usize>> = vec![None; n];
+        {
+            let mut seen: std::collections::HashMap<String, usize> =
+                std::collections::HashMap::new();
+            for &index in &missing {
+                // A malformed cell (e.g. a hand-built zero block size)
+                // can panic while planning its trace; contain it here so
+                // it reaches the pool's per-attempt guard and is recorded
+                // as a panicked cell, exactly as without dedupe. It is
+                // simply never grouped.
+                let identity =
+                    catch_unwind(AssertUnwindSafe(|| matrix.cells[index].trace_identity()));
+                let Ok(identity) = identity else { continue };
+                match seen.entry(identity) {
+                    std::collections::hash_map::Entry::Occupied(rep) => {
+                        rep_of[index] = Some(*rep.get());
+                    }
+                    std::collections::hash_map::Entry::Vacant(slot) => {
+                        slot.insert(index);
+                    }
+                }
+            }
+        }
+        let unique: Vec<usize> = missing
+            .iter()
+            .copied()
+            .filter(|&i| rep_of[i].is_none())
+            .collect();
+
         let budget = JobBudget::new(self.jobs);
-        let outer = budget.lease((missing.len() as u32).min(self.jobs).max(1));
+        let outer = budget.lease((unique.len() as u32).min(self.jobs).max(1));
         let pool = Pool::new(outer.granted().max(1));
         let budget_ref = &budget;
         let retries = options.retries;
         let deadline = options.cell_deadline;
-        let tasks: Vec<Task<'_, (CellOutcome, f64, u32)>> = missing
+        let tasks: Vec<Task<'_, (CellOutcome, f64, u32)>> = unique
             .iter()
             .map(|&index| {
                 let cell = &matrix.cells[index];
@@ -640,7 +743,7 @@ impl Engine {
             })
             .collect();
 
-        let missing_ref = &missing;
+        let missing_ref = &unique;
         let state_ref = &state;
         let keys_ref = &keys;
         pool.run_tasks_with(tasks, move |k, result| {
@@ -680,6 +783,83 @@ impl Engine {
             );
         });
 
+        // Publish the deduped cells, in matrix order, now that every
+        // representative has a result. Each dupe keeps its own per-cell
+        // failpoint site with full retry/deadline semantics (so
+        // crash-injection gates can still target it — see
+        // `run_attempts`), its own cache key (so warm-cache runs hit it
+        // directly), and its own run-log record — built from its own
+        // identity fields plus the representative's outcome, which is
+        // byte-identical to what simulating it would have produced. A
+        // representative that panicked / failed / timed out describes
+        // its *run*, not the cell's value, so its dupes simulate for
+        // real instead.
+        let mut deduped = 0u64;
+        for &index in &missing {
+            let Some(rep) = rep_of[index] else { continue };
+            let reusable = {
+                let state = state.lock().expect("stream state poisoned");
+                let rep_result = state
+                    .get(rep)
+                    .expect("representatives complete before their dupes");
+                match &rep_result.outcome {
+                    CellOutcome::Report(_)
+                    | CellOutcome::Gbps(_)
+                    | CellOutcome::DoesNotFit
+                    | CellOutcome::Restored(_)
+                    | CellOutcome::Cached(_) => Some(rep_result.outcome.clone()),
+                    CellOutcome::Panicked(_)
+                    | CellOutcome::Failed(_)
+                    | CellOutcome::TimedOut(_) => None,
+                }
+            };
+            let (outcome, wall_seconds, attempts) = match reusable {
+                Some(reuse) => {
+                    let result =
+                        run_attempts(index, retries, deadline, failpoint, || reuse.clone());
+                    if !matches!(
+                        result.0,
+                        CellOutcome::Panicked(_)
+                            | CellOutcome::Failed(_)
+                            | CellOutcome::TimedOut(_)
+                    ) {
+                        deduped += 1;
+                    }
+                    result
+                }
+                None => execute_cell(
+                    &matrix.cells[index],
+                    index,
+                    &budget,
+                    retries,
+                    deadline,
+                    failpoint,
+                ),
+            };
+            if let (Some(c), Some(key)) = (cache, &keys[index]) {
+                try_cache_insert(
+                    c,
+                    key,
+                    &matrix.cells[index],
+                    index,
+                    &outcome,
+                    wall_seconds,
+                    failpoint,
+                );
+            }
+            state.lock().expect("stream state poisoned").insert(
+                index,
+                CellResult {
+                    cell: matrix.cells[index].clone(),
+                    outcome,
+                    wall_seconds,
+                    attempts,
+                    speedup_vs_naive: None,
+                    bandwidth_utilization: None,
+                },
+            );
+        }
+
         let state = state.into_inner().expect("stream state poisoned");
         debug_assert_eq!(state.flushed.len(), n, "every cell flushed");
         Ok(RunResults {
@@ -687,6 +867,7 @@ impl Engine {
             jobs: self.jobs,
             restored,
             cached,
+            deduped,
             cells: state.flushed,
         })
     }
@@ -767,6 +948,25 @@ fn execute_cell(
     deadline: Option<f64>,
     failpoint: Option<&Failpoint>,
 ) -> (CellOutcome, f64, u32) {
+    run_attempts(index, retries, deadline, failpoint, || {
+        execute(cell, budget)
+    })
+}
+
+/// The retry/deadline/failpoint loop of [`execute_cell`], generic over
+/// how the outcome is produced. Deduped cells reuse their
+/// representative's outcome as the `work` closure, so an injected
+/// `cell:*@N` failpoint aimed at a duplicate cell sees exactly the
+/// attempt semantics a simulated cell would: the failpoint fires inside
+/// the per-attempt panic guard, panics consume retries, and a delay
+/// counts against the cell deadline.
+fn run_attempts<F: FnMut() -> CellOutcome>(
+    index: usize,
+    retries: u32,
+    deadline: Option<f64>,
+    failpoint: Option<&Failpoint>,
+    mut work: F,
+) -> (CellOutcome, f64, u32) {
     let start = Instant::now();
     let max_attempts = retries.saturating_add(1);
     let mut last_panic = String::new();
@@ -775,7 +975,7 @@ fn execute_cell(
             if let Some(fp) = failpoint {
                 fp.check("cell", index as u64);
             }
-            execute(cell, budget)
+            work()
         }));
         let elapsed = start.elapsed().as_secs_f64();
         let overran = deadline.is_some_and(|limit| elapsed > limit);
@@ -924,6 +1124,15 @@ struct StreamState<'m> {
 impl StreamState<'_> {
     fn contains(&self, index: usize) -> bool {
         index < self.flushed.len() || self.pending.contains_key(&index)
+    }
+
+    /// The result published for `index`, flushed or still pending.
+    fn get(&self, index: usize) -> Option<&CellResult> {
+        if index < self.flushed.len() {
+            Some(&self.flushed[index])
+        } else {
+            self.pending.get(&index)
+        }
     }
 
     fn insert(&mut self, index: usize, result: CellResult) {
@@ -1114,6 +1323,9 @@ pub struct RunResults {
     /// Cells restored from the persistent result cache instead of
     /// simulated (`--cache-dir`, DESIGN.md §12).
     pub cached: u64,
+    /// Cells that reused an identical cell's fresh result instead of
+    /// re-simulating it (in-run dedupe, [`Cell::trace_identity`]).
+    pub deduped: u64,
     /// Per-cell results, in declaration order.
     pub cells: Vec<CellResult>,
 }

@@ -29,6 +29,14 @@ use serde::{Deserialize, Serialize};
 /// versions rather than guess.
 ///
 /// History:
+/// * 6 — fixed-point cycle accounting (DESIGN.md §13): the simulator's
+///   per-core cycle counters migrated from f64 to exact u64 subcycle
+///   integers, which changes `stats_digest` (and thus every canonical
+///   `combined_digest`) once — the one-time controlled migration
+///   recorded in `BENCH_sim.json` v4. No record field changed: `cycles`
+///   and `seconds` were always derived f64 outputs. The bump marks
+///   which model produced a log, so digest mismatches against old logs
+///   are attributable to the migration rather than to nondeterminism.
 /// * 5 — persistent result cache (DESIGN.md §12): [`CellRecord`] carries
 ///   `provenance` (digest-excluded; absent ⇒ `None` ⇒ freshly
 ///   simulated), recording whether a cell's record was restored from a
@@ -51,7 +59,7 @@ use serde::{Deserialize, Serialize};
 ///   silently disagreeing with the simulator's text reports), and
 ///   [`SimRecord`] carries `host_workers`.
 /// * 1 — initial schema.
-pub const SCHEMA_VERSION: u32 = 5;
+pub const SCHEMA_VERSION: u32 = 6;
 
 /// Oldest run-log schema version the validator still reads.
 ///

@@ -571,8 +571,10 @@ proptest! {
 /// schema-v5 fixture — written by a real `fig2_transpose --resume`
 /// run over a partially damaged cache, so it mixes `resume`, `cache`
 /// and fresh (absent-provenance) cells — must keep validating, and its
-/// digest must stay the canonical fig2/mango baseline. CI validates
-/// the same file through `membound-cli validate-runlog`.
+/// digest must stay the fig2/mango baseline *of the f64 era that wrote
+/// it* (the fixed-point migration changed the canonical digest once —
+/// see the v6 fixture below — but never rewrites history). CI
+/// validates the same file through `membound-cli validate-runlog`.
 #[test]
 fn committed_v5_fixture_validates_with_provenance() {
     let text = include_str!("fixtures/runlog_v5.jsonl");
@@ -604,6 +606,30 @@ fn committed_v5_fixture_validates_with_provenance() {
         provenance.iter().filter(|p| p.is_none()).count(),
         1,
         "one cell was re-simulated fresh after its object was deleted"
+    );
+}
+
+/// Lock-in for the fixed-point era: the committed schema-v6 fixture —
+/// a real `fig2_transpose` run with the u64 subcycle counters — must
+/// keep validating, and its digest must stay the post-migration
+/// canonical fig2/mango baseline recorded in BENCH_sim.json v4 (the
+/// v5 fixture above pins the digest the f64 model produced).
+/// CI validates the same file through `membound-cli validate-runlog`.
+#[test]
+fn committed_v6_fixture_validates_at_the_migrated_digest() {
+    let text = include_str!("fixtures/runlog_v6.jsonl");
+    let summary = validate_run_log(text).expect("v6 fixture validates");
+    assert_eq!(summary.schema_version, 6);
+    assert_eq!(summary.figure, "fig2_transpose");
+    assert_eq!(summary.cells, 10);
+    assert_eq!(summary.ok_cells, 10);
+    assert_eq!(summary.combined_digest, "7bceab43d67f5ae3");
+
+    let partial = parse_partial_run_log(text).expect("v6 fixture parses");
+    assert!(!partial.truncated_tail);
+    assert!(
+        partial.records.iter().all(|r| r.attempts == Some(1)),
+        "a clean run records one attempt per cell"
     );
 }
 

@@ -61,6 +61,105 @@ pub(crate) struct AssocArray {
     rng: u64,
     /// Last-hit way per set (fast path for repeated keys).
     hint: Vec<u32>,
+    /// `sets - 1` when the set count is a power of two (every shipped
+    /// config), else `u64::MAX` as a "use modulo" sentinel — precomputed
+    /// so the per-access set index is a single mask.
+    set_mask: u64,
+}
+
+/// Select-based scan of one set's tags: `(match_way, first_invalid_way)`,
+/// each `u32::MAX` when absent. No data-dependent branches — the loop
+/// body folds with conditional moves, so the compiler unrolls (and
+/// auto-vectorizes) it and a thrashing set costs no branch mispredicts.
+/// Keys are unique within a set, so last-write-wins on `found` is exact;
+/// `min` keeps first-invalid semantics.
+#[inline(always)]
+fn scan_tags_fixed<const W: usize>(tags: &[u64], key: u64) -> (u32, u32) {
+    let tags: &[u64; W] = tags.try_into().expect("way count");
+    let mut found = u32::MAX;
+    let mut first_invalid = u32::MAX;
+    for (w, &t) in tags.iter().enumerate() {
+        if t == key {
+            found = w as u32;
+        }
+        if t == TAG_INVALID {
+            first_invalid = first_invalid.min(w as u32);
+        }
+    }
+    (found, first_invalid)
+}
+
+fn scan_tags_dyn(tags: &[u64], key: u64) -> (u32, u32) {
+    let mut found = u32::MAX;
+    let mut first_invalid = u32::MAX;
+    for (w, &t) in tags.iter().enumerate() {
+        if t == key {
+            found = w as u32;
+        }
+        if t == TAG_INVALID {
+            first_invalid = first_invalid.min(w as u32);
+        }
+    }
+    (found, first_invalid)
+}
+
+/// Dispatch to a fully unrolled scan for the way counts the shipped
+/// device models use (2/4/8-way caches and TLBs, the C906's 10-entry and
+/// larger fully associative uTLBs).
+#[inline(always)]
+fn scan_tags(tags: &[u64], key: u64) -> (u32, u32) {
+    match tags.len() {
+        2 => scan_tags_fixed::<2>(tags, key),
+        4 => scan_tags_fixed::<4>(tags, key),
+        8 => scan_tags_fixed::<8>(tags, key),
+        10 => scan_tags_fixed::<10>(tags, key),
+        16 => scan_tags_fixed::<16>(tags, key),
+        32 => scan_tags_fixed::<32>(tags, key),
+        _ => scan_tags_dyn(tags, key),
+    }
+}
+
+/// First way holding the minimum stamp, via a branch-free fold over
+/// `(stamp, way)` keys (the way bits break ties toward the first
+/// minimum, matching the original first-strict-minimum scan). Only
+/// meaningful when the whole set is valid — exactly the case the victim
+/// scan is consulted in.
+///
+/// The fixed-width variants pack the key into one `u64` — `stamp << 6 |
+/// way` — which is exact because `W <= 32` fits in 6 bits and stamps are
+/// access-clock values far below `2^58` (the clock advances once per
+/// touched reference; a simulation long enough to overflow would run for
+/// years). `debug_assert`s on the clock in `touch`/`stamp_fill` pin the
+/// bound.
+#[inline(always)]
+fn scan_oldest_fixed<const W: usize>(stamps: &[u64]) -> u32 {
+    let stamps: &[u64; W] = stamps.try_into().expect("way count");
+    let mut best = u64::MAX;
+    for (w, &s) in stamps.iter().enumerate() {
+        best = best.min((s << 6) | w as u64);
+    }
+    (best & 63) as u32
+}
+
+fn scan_oldest_dyn(stamps: &[u64]) -> u32 {
+    let mut best = u128::MAX;
+    for (w, &s) in stamps.iter().enumerate() {
+        best = best.min((u128::from(s) << 32) | w as u128);
+    }
+    (best & u128::from(u32::MAX)) as u32
+}
+
+#[inline(always)]
+fn scan_oldest(stamps: &[u64]) -> u32 {
+    match stamps.len() {
+        2 => scan_oldest_fixed::<2>(stamps),
+        4 => scan_oldest_fixed::<4>(stamps),
+        8 => scan_oldest_fixed::<8>(stamps),
+        10 => scan_oldest_fixed::<10>(stamps),
+        16 => scan_oldest_fixed::<16>(stamps),
+        32 => scan_oldest_fixed::<32>(stamps),
+        _ => scan_oldest_dyn(stamps),
+    }
 }
 
 /// A fill slot remembered from a miss scan: where a subsequent
@@ -101,6 +200,11 @@ impl AssocArray {
             clock: 0,
             rng: rng_seed,
             hint: vec![0; sets],
+            set_mask: if sets.is_power_of_two() {
+                sets as u64 - 1
+            } else {
+                u64::MAX
+            },
         }
     }
 
@@ -108,8 +212,8 @@ impl AssocArray {
     pub(crate) fn set_of(&self, key: u64) -> usize {
         // Power-of-two set counts (every shipped config) index with a
         // mask; the modulo fallback keeps arbitrary geometries working.
-        if self.sets.is_power_of_two() {
-            (key & (self.sets as u64 - 1)) as usize
+        if self.set_mask != u64::MAX {
+            (key & self.set_mask) as usize
         } else {
             (key % self.sets as u64) as usize
         }
@@ -132,16 +236,13 @@ impl AssocArray {
             self.touch(set, h);
             return Some(h);
         }
-        for w in 0..self.ways {
-            let i = base + w;
-            if self.tags[i] == key {
-                let w = w as u32;
-                self.hint[set] = w;
-                self.touch(set, w);
-                return Some(w);
-            }
+        let (found, _) = scan_tags(&self.tags[base..base + self.ways], key);
+        if found == u32::MAX {
+            return None;
         }
-        None
+        self.hint[set] = found;
+        self.touch(set, found);
+        Some(found)
     }
 
     /// One-pass demand access: locate `key` (hint first), touch recency,
@@ -158,19 +259,25 @@ impl AssocArray {
         let way = if (h as usize) < self.ways && self.tags[hi] == key {
             h
         } else {
-            let mut found = None;
-            for w in 0..self.ways {
-                let i = base + w;
-                if self.tags[i] == key {
-                    found = Some(w as u32);
-                    break;
-                }
+            let (found, _) = scan_tags(&self.tags[base..base + self.ways], key);
+            if found == u32::MAX {
+                return None;
             }
-            let w = found?;
-            self.hint[set] = w;
-            w
+            self.hint[set] = found;
+            found
         };
-        let i = base + way as usize;
+        let (was_prefetched, _) = self.demand_touch(set, way, set_dirty);
+        Some((way, was_prefetched))
+    }
+
+    /// The state updates of a demand hit at `(set, way)`: consume the
+    /// prefetched flag, optionally mark dirty, touch recency. Returns
+    /// whether the line was a fresh prefetch fill, and whether it is
+    /// dirty *after* this touch (so callers can arm repeat fast paths
+    /// without re-reading the flags).
+    #[inline]
+    fn demand_touch(&mut self, set: usize, way: u32, set_dirty: bool) -> (bool, bool) {
+        let i = set * self.ways + way as usize;
         let was_prefetched = self.flags[i] & FLAG_PREFETCHED != 0;
         let mut f = self.flags[i] & !FLAG_PREFETCHED;
         if set_dirty {
@@ -178,7 +285,7 @@ impl AssocArray {
         }
         self.flags[i] = f;
         self.touch(set, way);
-        Some((way, was_prefetched))
+        (was_prefetched, f & FLAG_DIRTY != 0)
     }
 
     /// [`AssocArray::access_demand`] fused with victim preselection: on a
@@ -193,70 +300,44 @@ impl AssocArray {
         &mut self,
         key: u64,
         set_dirty: bool,
-    ) -> (Option<(u32, bool)>, Option<Reserved>) {
+    ) -> (Option<(u32, bool, bool)>, Option<Reserved>) {
         let set = self.set_of(key);
         let base = set * self.ways;
         let h = self.hint[set];
         let hi = base + h as usize;
-        let mut way = None;
         if (h as usize) < self.ways && self.tags[hi] == key {
-            way = Some(h);
+            let (was_prefetched, dirty) = self.demand_touch(set, h, set_dirty);
+            return (Some((h, was_prefetched, dirty)), None);
         }
-        let mut first_invalid = None;
-        let mut oldest = 0u32;
-        let mut oldest_stamp = u64::MAX;
-        if way.is_none() {
-            let stamped = matches!(
-                self.policy,
-                ReplacementPolicy::Lru | ReplacementPolicy::Fifo
-            );
-            for w in 0..self.ways {
-                let i = base + w;
-                if self.tags[i] == TAG_INVALID {
-                    if first_invalid.is_none() {
-                        first_invalid = Some(w as u32);
-                    }
-                } else if self.tags[i] == key {
-                    let w = w as u32;
-                    self.hint[set] = w;
-                    way = Some(w);
-                    break;
-                } else if stamped && self.stamps[i] < oldest_stamp {
-                    oldest_stamp = self.stamps[i];
-                    oldest = w as u32;
+        let (found, first_invalid) = scan_tags(&self.tags[base..base + self.ways], key);
+        if found != u32::MAX {
+            self.hint[set] = found;
+            let (was_prefetched, dirty) = self.demand_touch(set, found, set_dirty);
+            return (Some((found, was_prefetched, dirty)), None);
+        }
+        // Miss. Preselect the fill slot for the stamped policies: the
+        // first invalid way, else the oldest stamp (the victim scan only
+        // runs on a full set, where every stamp participates — identical
+        // to the fused first-strict-minimum tracking it replaces).
+        let reserved = if matches!(
+            self.policy,
+            ReplacementPolicy::Lru | ReplacementPolicy::Fifo
+        ) {
+            Some(if first_invalid != u32::MAX {
+                Reserved {
+                    way: first_invalid,
+                    evict: false,
                 }
-            }
-            if way.is_none() {
-                let reserved = if matches!(
-                    self.policy,
-                    ReplacementPolicy::Lru | ReplacementPolicy::Fifo
-                ) {
-                    Some(match first_invalid {
-                        Some(w) => Reserved {
-                            way: w,
-                            evict: false,
-                        },
-                        None => Reserved {
-                            way: oldest,
-                            evict: true,
-                        },
-                    })
-                } else {
-                    None
-                };
-                return (None, reserved);
-            }
-        }
-        let way = way.unwrap();
-        let i = base + way as usize;
-        let was_prefetched = self.flags[i] & FLAG_PREFETCHED != 0;
-        let mut f = self.flags[i] & !FLAG_PREFETCHED;
-        if set_dirty {
-            f |= FLAG_DIRTY;
-        }
-        self.flags[i] = f;
-        self.touch(set, way);
-        (Some((way, was_prefetched)), None)
+            } else {
+                Reserved {
+                    way: scan_oldest(&self.stamps[base..base + self.ways]),
+                    evict: true,
+                }
+            })
+        } else {
+            None
+        };
+        (None, reserved)
     }
 
     /// Install `key` at a slot remembered by
@@ -308,9 +389,8 @@ impl AssocArray {
     pub(crate) fn peek(&self, key: u64) -> Option<u32> {
         let set = self.set_of(key);
         let base = set * self.ways;
-        (0..self.ways)
-            .find(|&w| self.tags[base + w] == key)
-            .map(|w| w as u32)
+        let (found, _) = scan_tags(&self.tags[base..base + self.ways], key);
+        (found != u32::MAX).then_some(found)
     }
 
     /// Update recency state for a touch (hit) of `way`.
@@ -319,6 +399,10 @@ impl AssocArray {
         match self.policy {
             ReplacementPolicy::Lru => {
                 self.clock += 1;
+                debug_assert!(
+                    self.clock < 1 << 58,
+                    "stamp would overflow the u64 scan key"
+                );
                 let i = self.idx(set, way);
                 self.stamps[i] = self.clock;
             }
@@ -333,6 +417,10 @@ impl AssocArray {
         match self.policy {
             ReplacementPolicy::Lru | ReplacementPolicy::Fifo => {
                 self.clock += 1;
+                debug_assert!(
+                    self.clock < 1 << 58,
+                    "stamp would overflow the u64 scan key"
+                );
                 let i = self.idx(set, way);
                 self.stamps[i] = self.clock;
             }
@@ -394,34 +482,15 @@ impl AssocArray {
         debug_assert_ne!(key, TAG_INVALID, "key collides with the empty-way sentinel");
         let set = self.set_of(key);
         let base = set * self.ways;
-        // One pass: find the key if present, else the lowest invalid way
-        // (matching the reference model's fill order). For the stamped
-        // policies the same pass tracks the oldest-stamp way, so a full
-        // set needs no second victim scan; first-minimum tie-breaking
-        // matches `victim` exactly.
-        let stamped = matches!(
-            self.policy,
-            ReplacementPolicy::Lru | ReplacementPolicy::Fifo
-        );
-        let mut first_invalid = None;
-        let mut oldest = 0u32;
-        let mut oldest_stamp = u64::MAX;
-        for w in 0..self.ways {
-            let i = base + w;
-            if self.tags[i] == TAG_INVALID {
-                if first_invalid.is_none() {
-                    first_invalid = Some(w);
-                }
-            } else if self.tags[i] == key {
-                self.flags[i] |= new_flags;
-                self.stamp_fill(set, w as u32);
-                return InsertOutcome::AlreadyPresent(w as u32);
-            } else if stamped && self.stamps[i] < oldest_stamp {
-                oldest_stamp = self.stamps[i];
-                oldest = w as u32;
-            }
+        let (found, first_invalid) = scan_tags(&self.tags[base..base + self.ways], key);
+        if found != u32::MAX {
+            let i = base + found as usize;
+            self.flags[i] |= new_flags;
+            self.stamp_fill(set, found);
+            return InsertOutcome::AlreadyPresent(found);
         }
-        if let Some(w) = first_invalid {
+        if first_invalid != u32::MAX {
+            let w = first_invalid as usize;
             let i = base + w;
             self.tags[i] = key;
             self.flags[i] = FLAG_VALID | new_flags;
@@ -429,8 +498,18 @@ impl AssocArray {
             self.hint[set] = w as u32;
             return InsertOutcome::Installed(w as u32);
         }
-        // Evict.
-        let w = if stamped { oldest } else { self.victim(set) };
+        // Evict. Stamped policies take the oldest-stamp way (the set is
+        // full, so every stamp participates — same first-minimum choice
+        // `victim` makes); the others defer to their policy state/RNG.
+        let stamped = matches!(
+            self.policy,
+            ReplacementPolicy::Lru | ReplacementPolicy::Fifo
+        );
+        let w = if stamped {
+            scan_oldest(&self.stamps[base..base + self.ways])
+        } else {
+            self.victim(set)
+        };
         let i = base + w as usize;
         let old_tag = self.tags[i];
         let old_flags = self.flags[i];

@@ -280,32 +280,49 @@ impl Cache {
     /// will use, so the miss scan is not repeated. The slot is only valid
     /// while nothing else touches *this* cache level (other levels and
     /// DRAM accounting are fine).
+    ///
+    /// On a hit the third value reports where the line sits and whether
+    /// it is dirty after this access — exactly what a follow-up
+    /// [`Cache::probe_for_repeat`] of the line would return (the demand
+    /// touch consumed any prefetched flag), so repeat fast paths can arm
+    /// without rescanning.
     #[inline]
     pub(crate) fn access_reserving(
         &mut self,
         line_addr: u64,
         is_write: bool,
-    ) -> (CacheAccessResult, Option<Reserved>) {
+    ) -> (
+        CacheAccessResult,
+        Option<Reserved>,
+        Option<(usize, u32, bool)>,
+    ) {
         let (hit, reserved) = self.array.access_demand_reserving(line_addr, is_write);
-        let res = if let Some((_, prefetch_hit)) = hit {
+        if let Some((way, prefetch_hit, dirty)) = hit {
             if prefetch_hit {
                 self.stats.prefetch_hits += 1;
             }
             self.stats.hits += 1;
-            CacheAccessResult {
-                hit: true,
-                prefetch_hit,
-                writeback: None,
-            }
-        } else {
-            self.stats.misses += 1;
+            let set = self.array.set_of(line_addr);
+            return (
+                CacheAccessResult {
+                    hit: true,
+                    prefetch_hit,
+                    writeback: None,
+                },
+                None,
+                Some((set, way, dirty)),
+            );
+        }
+        self.stats.misses += 1;
+        (
             CacheAccessResult {
                 hit: false,
                 prefetch_hit: false,
                 writeback: None,
-            }
-        };
-        (res, reserved)
+            },
+            reserved,
+            None,
+        )
     }
 
     /// Install `line_addr` (after fetching it from the level below),
@@ -326,19 +343,36 @@ impl Cache {
     /// [`Cache::access_reserving`] (same line, nothing touched this level
     /// in between), skipping the redundant placement scan. Falls back to a
     /// plain fill when the miss could not reserve a slot.
+    ///
+    /// Returns the dirty victim (if any) and the way the line was
+    /// installed at — `(set_of_line(..), way)` is the slot a follow-up
+    /// [`Cache::probe_for_repeat`] would locate, letting callers arm
+    /// repeat fast paths without rescanning.
     #[inline]
     pub(crate) fn fill_reserved(
         &mut self,
         line_addr: u64,
         is_write: bool,
         reserved: Option<Reserved>,
-    ) -> Option<u64> {
+    ) -> (Option<u64>, u32) {
         let flags = Self::fill_flags(is_write, false);
         let outcome = match reserved {
             Some(r) => self.array.install_reserved(line_addr, flags, r),
             None => self.array.insert(line_addr, flags),
         };
-        self.account_fill(outcome, false)
+        let way = match outcome {
+            InsertOutcome::AlreadyPresent(w)
+            | InsertOutcome::Installed(w)
+            | InsertOutcome::Evicted { way: w, .. } => w,
+        };
+        (self.account_fill(outcome, false), way)
+    }
+
+    /// Set index of a line address (for pairing with the way returned by
+    /// [`Cache::fill_reserved`]).
+    #[inline]
+    pub(crate) fn set_of_line(&self, line_addr: u64) -> usize {
+        self.array.set_of(line_addr)
     }
 
     #[inline]

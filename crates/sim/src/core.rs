@@ -8,8 +8,20 @@
 //! out-of-order core, and the Ice Lake server core a wide out-of-order
 //! design with effective auto-vectorization.
 
+use crate::stats::{SUBCYCLE_ONE, SUBCYCLE_SHIFT};
 use membound_trace::IterCost;
 use serde::{Deserialize, Serialize};
+
+/// Largest MLP divisor the fixed-point cycle unit can represent without
+/// quantizing a 1-cycle latency to zero subcycles (`latency * 2^16 / mlp`
+/// rounds to 0 once `mlp` exceeds `2 * 2^16 * latency`); configs beyond
+/// it are clamped at load time with a one-time warning.
+pub const MAX_MLP: f64 = SUBCYCLE_ONE as f64;
+
+/// Largest issue width the fixed-point unit can charge a single slot
+/// against (`2^16 / width` truncates to 0 past it); clamped like
+/// [`MAX_MLP`].
+pub const MAX_ISSUE_WIDTH: u32 = SUBCYCLE_ONE as u32;
 
 /// Static description of one core's execution resources.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -32,6 +44,12 @@ pub struct CoreConfig {
 impl CoreConfig {
     /// Create a core model.
     ///
+    /// Values of `mlp` above [`MAX_MLP`] or `issue_width` above
+    /// [`MAX_ISSUE_WIDTH`] would quantize per-access cycle charges to
+    /// zero in the fixed-point unit; they are clamped to the maximum with
+    /// a one-time stderr warning (the presets sit orders of magnitude
+    /// below the bounds).
+    ///
     /// # Panics
     ///
     /// Panics if frequency or MLP is not positive/finite, or issue width
@@ -44,6 +62,7 @@ impl CoreConfig {
         );
         assert!(issue_width > 0, "issue width must be nonzero");
         assert!(mlp.is_finite() && mlp >= 1.0, "MLP must be at least 1");
+        let (issue_width, mlp) = Self::clamp_for_subcycles(name, issue_width, mlp);
         Self {
             name: name.to_owned(),
             freq_ghz,
@@ -51,6 +70,23 @@ impl CoreConfig {
             vector_bytes,
             mlp,
         }
+    }
+
+    /// Clamp `issue_width`/`mlp` into the range the 1/2^16-cycle unit
+    /// resolves, warning once per process when a config is out of range.
+    fn clamp_for_subcycles(name: &str, issue_width: u32, mlp: f64) -> (u32, f64) {
+        if u64::from(issue_width) <= SUBCYCLE_ONE && mlp <= MAX_MLP {
+            return (issue_width, mlp);
+        }
+        static CLAMPED: std::sync::Once = std::sync::Once::new();
+        CLAMPED.call_once(|| {
+            eprintln!(
+                "warning: core {name:?} has issue_width {issue_width} / mlp {mlp} beyond \
+                 what the 1/2^16-cycle fixed-point unit resolves; clamping to \
+                 issue_width <= {MAX_ISSUE_WIDTH}, mlp <= {MAX_MLP}"
+            );
+        });
+        (issue_width.min(MAX_ISSUE_WIDTH), mlp.min(MAX_MLP))
     }
 
     /// How many loop iterations one vector operation covers for the given
@@ -65,24 +101,41 @@ impl CoreConfig {
         }
     }
 
-    /// Front-end cycles needed to issue `iters` iterations of a loop with
-    /// per-iteration cost `cost`.
+    /// Front-end time needed to issue `iters` iterations of a loop with
+    /// per-iteration cost `cost`, in exact 1/2^16-cycle subcycle units
+    /// (`slots * 2^16 / issue_width`, truncating — the only quantization
+    /// point; accumulating the returned values is exact integer math).
     ///
     /// Vectorizable loops retire `vector_factor` iterations per pass over
     /// the loop body; the body's op count is charged once per pass.
     #[must_use]
-    pub fn issue_cycles(&self, cost: &IterCost, iters: u64) -> f64 {
+    pub fn issue_subcycles(&self, cost: &IterCost, iters: u64) -> u64 {
         let vf = u64::from(self.vector_factor(cost));
-        let passes = iters.div_ceil(vf);
-        let slots = passes as f64 * f64::from(cost.total_ops());
-        slots / f64::from(self.issue_width)
+        let slots = u128::from(iters.div_ceil(vf)) * u128::from(cost.total_ops());
+        ((slots << SUBCYCLE_SHIFT) / u128::from(self.issue_width)) as u64
     }
 
-    /// The portion of a `latency`-cycle miss the core stalls for, after
-    /// memory-level parallelism overlaps the rest.
+    /// [`CoreConfig::issue_subcycles`] converted to cycles — a derived
+    /// f64 view of the fixed-point charge, never accumulated.
+    #[must_use]
+    pub fn issue_cycles(&self, cost: &IterCost, iters: u64) -> f64 {
+        self.issue_subcycles(cost, iters) as f64 / SUBCYCLE_ONE as f64
+    }
+
+    /// The portion of a `latency`-cycle miss the core stalls for after
+    /// memory-level parallelism overlaps the rest, in subcycle units
+    /// (`round(latency * 2^16 / mlp)` — quantized once here, at
+    /// configuration time, so per-miss accumulation stays exact).
+    #[must_use]
+    pub fn exposed_subcycles(&self, latency: u32) -> u64 {
+        ((f64::from(latency) * SUBCYCLE_ONE as f64) / self.mlp).round() as u64
+    }
+
+    /// [`CoreConfig::exposed_subcycles`] converted to cycles — a derived
+    /// f64 view, never accumulated.
     #[must_use]
     pub fn exposed_latency(&self, latency: u32) -> f64 {
-        f64::from(latency) / self.mlp
+        self.exposed_subcycles(latency) as f64 / SUBCYCLE_ONE as f64
     }
 
     /// Convert core cycles to seconds.
@@ -108,14 +161,15 @@ mod tests {
     fn scalar_issue_is_ops_over_width() {
         let cost = IterCost::new(2, 1).mem(1, 1); // 5 slots/iter
         let c = scalar_core();
-        assert!((c.issue_cycles(&cost, 100) - 500.0).abs() < 1e-9);
+        assert_eq!(c.issue_subcycles(&cost, 100), 500 * SUBCYCLE_ONE);
+        assert_eq!(c.issue_cycles(&cost, 100), 500.0);
     }
 
     #[test]
     fn wider_issue_divides() {
         let cost = IterCost::new(2, 1).mem(1, 1);
         let c = CoreConfig::new("w2", 1.0, 2, 0, 1.0);
-        assert!((c.issue_cycles(&cost, 100) - 250.0).abs() < 1e-9);
+        assert_eq!(c.issue_subcycles(&cost, 100), 250 * SUBCYCLE_ONE);
     }
 
     #[test]
@@ -127,8 +181,26 @@ mod tests {
             .vectorizable(true);
         let c = vector_core();
         assert_eq!(c.vector_factor(&cost), 4);
-        // 100 iters -> 25 passes x 7 slots / 4-wide = 43.75 cycles.
-        assert!((c.issue_cycles(&cost, 100) - 43.75).abs() < 1e-9);
+        // 100 iters -> 25 passes x 7 slots / 4-wide = 43.75 cycles,
+        // representable exactly in quarter-cycles (and so in subcycles).
+        assert_eq!(c.issue_subcycles(&cost, 100), 175 * SUBCYCLE_ONE / 4);
+        assert_eq!(c.issue_cycles(&cost, 100), 43.75);
+    }
+
+    /// An issue width that does not divide 2^16 (the Cortex-A72's 3)
+    /// truncates at the documented quantization point and nowhere else:
+    /// the charge for `k` calls equals `k` times the per-call constant.
+    #[test]
+    fn non_power_of_two_issue_width_truncates_once_per_call() {
+        let cost = IterCost::new(0, 1); // 1 slot/iter
+        let c = CoreConfig::new("w3", 1.0, 3, 0, 1.0);
+        let one = c.issue_subcycles(&cost, 1);
+        assert_eq!(one, SUBCYCLE_ONE / 3); // 21845, truncated
+        let mut acc = 0u64;
+        for _ in 0..300 {
+            acc += c.issue_subcycles(&cost, 1);
+        }
+        assert_eq!(acc, 300 * one, "accumulation is exact integer math");
     }
 
     #[test]
@@ -151,8 +223,30 @@ mod tests {
 
     #[test]
     fn exposed_latency_divided_by_mlp() {
-        assert!((scalar_core().exposed_latency(100) - 100.0).abs() < 1e-9);
-        assert!((vector_core().exposed_latency(100) - 12.5).abs() < 1e-9);
+        assert_eq!(scalar_core().exposed_subcycles(100), 100 * SUBCYCLE_ONE);
+        assert_eq!(vector_core().exposed_subcycles(100), 25 * SUBCYCLE_ONE / 2);
+        assert_eq!(scalar_core().exposed_latency(100), 100.0);
+        assert_eq!(vector_core().exposed_latency(100), 12.5);
+    }
+
+    /// A fractional MLP (the C906's 1.3) rounds the per-miss constant
+    /// once; the constant is then reused verbatim for every miss.
+    #[test]
+    fn fractional_mlp_quantizes_once_at_config_time() {
+        let c = CoreConfig::new("c906-like", 1.0, 1, 0, 1.3);
+        let want = (150.0 * SUBCYCLE_ONE as f64 / 1.3).round() as u64;
+        assert_eq!(c.exposed_subcycles(150), want);
+        assert_eq!(c.exposed_subcycles(150), c.exposed_subcycles(150));
+    }
+
+    #[test]
+    fn out_of_range_mlp_and_issue_width_clamp_with_warning() {
+        let c = CoreConfig::new("absurd", 1.0, u32::MAX, 0, 1e12);
+        assert_eq!(c.issue_width, MAX_ISSUE_WIDTH);
+        assert_eq!(c.mlp, MAX_MLP);
+        // The clamped extremes still resolve to nonzero charges.
+        assert_eq!(c.exposed_subcycles(1), 1);
+        assert_eq!(c.issue_subcycles(&IterCost::new(0, 1), 1), 1);
     }
 
     #[test]
@@ -165,8 +259,8 @@ mod tests {
     fn partial_final_vector_pass_rounds_up() {
         let cost = IterCost::new(0, 1).elem_bytes(8).vectorizable(true);
         let c = vector_core(); // vf = 4
-                               // 10 iters -> 3 passes.
-        assert!((c.issue_cycles(&cost, 10) - 3.0 / 4.0).abs() < 1e-9);
+                               // 10 iters -> 3 passes / 4-wide = 0.75 cycles.
+        assert_eq!(c.issue_subcycles(&cost, 10), 3 * SUBCYCLE_ONE / 4);
     }
 
     #[test]

@@ -10,7 +10,7 @@ use crate::cache::{Cache, CacheConfig};
 use crate::core::CoreConfig;
 use crate::dram::DramConfig;
 use crate::prefetch::{Prefetcher, PrefetcherConfig};
-use crate::stats::{CycleBreakdown, DramStats, LevelStats};
+use crate::stats::{CycleBreakdown, DramStats, LevelStats, SUBCYCLE_SHIFT};
 use crate::tlb::{PageWalk, Tlb, TlbConfig};
 use membound_trace::{strided_addr, IterCost, MemAccess, TraceSink};
 use serde::{Deserialize, Serialize};
@@ -49,7 +49,7 @@ impl PhaseAccum {
     /// Whether nothing was recorded in this phase.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.cycles.total() == 0.0 && self.supply_bytes.iter().all(|&b| b == 0)
+        self.cycles.total_subcycles() == 0 && self.supply_bytes.iter().all(|&b| b == 0)
     }
 }
 
@@ -81,12 +81,18 @@ pub struct CorePipeline {
     walk: PageWalk,
     levels: Vec<Cache>,
     prefetchers: Vec<Option<Prefetcher>>,
-    dram: DramConfig,
     line_bytes: u32,
-    /// `exposed_latency` of each cache level (then DRAM as the last
-    /// entry), precomputed once — the same division `demand_line` would
-    /// otherwise repeat per miss, so results are bit-identical.
-    exposed: Vec<f64>,
+    /// `exposed_subcycles` of each cache level (then DRAM at index
+    /// `levels.len()`), precomputed once: the MLP division is quantized
+    /// to an integer subcycle constant here and nowhere else, so the
+    /// per-miss stall adds in `demand_line` are exact integer
+    /// accumulation. A stack array (not a `Vec`) so the per-miss lookup
+    /// is a direct indexed load.
+    exposed: [u64; MAX_LEVELS + 1],
+    /// Full (serialized) latency of each cache level then DRAM, in
+    /// subcycles — charged when a miss depends on a just-finished page
+    /// walk and MLP cannot overlap it.
+    full_latency: [u64; MAX_LEVELS + 1],
     cur: PhaseAccum,
     done: Vec<PhaseAccum>,
     pred_buf: Vec<u64>,
@@ -161,14 +167,14 @@ impl CorePipeline {
             "all levels must share one line size in this model"
         );
         let n = cfg.caches.len();
-        let exposed = cfg
-            .caches
-            .iter()
-            .map(|c| cfg.core.exposed_latency(c.latency_cycles))
-            .chain(std::iter::once(
-                cfg.core.exposed_latency(cfg.dram.latency_cycles),
-            ))
-            .collect();
+        let mut exposed = [0u64; MAX_LEVELS + 1];
+        let mut full_latency = [0u64; MAX_LEVELS + 1];
+        for (k, c) in cfg.caches.iter().enumerate() {
+            exposed[k] = cfg.core.exposed_subcycles(c.latency_cycles);
+            full_latency[k] = u64::from(c.latency_cycles) << SUBCYCLE_SHIFT;
+        }
+        exposed[n] = cfg.core.exposed_subcycles(cfg.dram.latency_cycles);
+        full_latency[n] = u64::from(cfg.dram.latency_cycles) << SUBCYCLE_SHIFT;
         Self {
             core: cfg.core,
             dtlb: Tlb::new(cfg.dtlb),
@@ -183,9 +189,9 @@ impl CorePipeline {
                     other => Some(Prefetcher::new(other)),
                 })
                 .collect(),
-            dram: cfg.dram,
             line_bytes,
             exposed,
+            full_latency,
             cur: PhaseAccum::new(n),
             done: Vec::new(),
             pred_buf: Vec::new(),
@@ -262,7 +268,7 @@ impl CorePipeline {
             let latency = l2.config().latency_cycles;
             let (l2_hit, slot) = l2.lookup_reserving(vpn);
             if l2_hit {
-                self.cur.cycles.stall_cycles += f64::from(latency);
+                self.cur.cycles.stall_subcycles += u64::from(latency) << SUBCYCLE_SHIFT;
                 self.dtlb.fill_reserved(vpn, dtlb_slot);
                 return false;
             }
@@ -270,7 +276,7 @@ impl CorePipeline {
         }
         // Full walk: fixed overhead plus PTE loads replayed through the
         // data caches (no prefetcher training on page-table addresses).
-        self.cur.cycles.stall_cycles += f64::from(self.walk.overhead_cycles);
+        self.cur.cycles.stall_subcycles += u64::from(self.walk.overhead_cycles) << SUBCYCLE_SHIFT;
         let line_shift = self.line_bytes.trailing_zeros();
         let node = vpn >> 9;
         // Non-leaf levels (`i < upper`) read none of the VPN's low 9
@@ -298,12 +304,13 @@ impl CorePipeline {
                             self.levels[0].repeat_hit(set, way);
                         } else {
                             // Stale slot, but the line itself is still
-                            // the memoized one: demand it and re-probe.
-                            self.demand_line(mline, false, false, false);
+                            // the memoized one: demand it and re-memoize
+                            // from the slot the demand reports (walk
+                            // traffic trains no prefetcher, so it is
+                            // always known).
+                            let s = self.demand_line(mline, false, false, false);
                             if let Some(slot) = self.walk_memo.get_mut(i as usize) {
-                                *slot = self.levels[0]
-                                    .probe_for_repeat(mline)
-                                    .map(|(set, way, _)| (mline, set, way));
+                                *slot = s.map(|(set, way, _)| (mline, set, way));
                             }
                         }
                         continue;
@@ -313,20 +320,16 @@ impl CorePipeline {
                         self.levels[0].repeat_hit(set, way);
                         continue;
                     }
-                    self.demand_line(line, false, false, false);
+                    let s = self.demand_line(line, false, false, false);
                     if let Some(slot) = self.walk_memo.get_mut(i as usize) {
-                        *slot = self.levels[0]
-                            .probe_for_repeat(line)
-                            .map(|(set, way, _)| (line, set, way));
+                        *slot = s.map(|(set, way, _)| (line, set, way));
                     }
                     continue;
                 }
                 let line = self.walk.pte_address(vpn, i) >> line_shift;
-                self.demand_line(line, false, false, false);
+                let s = self.demand_line(line, false, false, false);
                 if let Some(slot) = self.walk_memo.get_mut(i as usize) {
-                    *slot = self.levels[0]
-                        .probe_for_repeat(line)
-                        .map(|(set, way, _)| (line, set, way));
+                    *slot = s.map(|(set, way, _)| (line, set, way));
                 }
             } else {
                 let line = self.walk.pte_address(vpn, i) >> line_shift;
@@ -348,22 +351,35 @@ impl CorePipeline {
     /// `train_prefetch` is false for page-walk side traffic. `serialize`
     /// charges the full miss latency instead of the MLP-overlapped share
     /// (set after a page walk, which the data access depends on).
-    fn demand_line(&mut self, line: u64, is_write: bool, train_prefetch: bool, serialize: bool) {
+    ///
+    /// Returns the line's L1 slot `(set, way, dirty)` when it is known to
+    /// end the access plainly resident there — exactly what a follow-up
+    /// [`Cache::probe_for_repeat`] of the line would report — so callers
+    /// can arm the repeat fast path without rescanning. `None` means
+    /// "unknown" (an L1 prefetch fill ran after the slot was determined
+    /// and may have displaced the line): callers fall back to the probe.
+    fn demand_line(
+        &mut self,
+        line: u64,
+        is_write: bool,
+        train_prefetch: bool,
+        serialize: bool,
+    ) -> Option<(usize, u32, bool)> {
         let n = self.levels.len();
         // L1 first, with an early out on a hit: no stall, no fills — only
         // the L1 prefetcher (which sees every reference) may need to run.
-        let (res0, slot0) = self.levels[0].access_reserving(line, is_write);
+        let (res0, slot0, hit_slot) = self.levels[0].access_reserving(line, is_write);
         if res0.hit {
-            if train_prefetch && self.prefetchers[0].is_some() {
-                self.run_prefetcher(0, line);
+            if train_prefetch && self.prefetchers[0].is_some() && self.run_prefetcher(0, line) {
+                return None;
             }
-            return;
+            return hit_slot;
         }
         // Single-level hierarchies (the MangoPi model) go straight to
         // DRAM on an L1 miss; skip the generic multi-level scaffolding.
         if n == 1 {
-            self.cur.cycles.stall_cycles += if serialize {
-                f64::from(self.dram.latency_cycles)
+            self.cur.cycles.stall_subcycles += if serialize {
+                self.full_latency[1]
             } else {
                 self.exposed[1]
             };
@@ -371,13 +387,14 @@ impl CorePipeline {
             self.cur.supply_bytes[1] += lb;
             self.cur.dram.bytes_read += lb;
             self.cur.dram.reads += 1;
-            if let Some(victim) = self.levels[0].fill_reserved(line, is_write, slot0) {
+            let (victim, way) = self.levels[0].fill_reserved(line, is_write, slot0);
+            if let Some(victim) = victim {
                 self.writeback(victim, 0);
             }
-            if train_prefetch && self.prefetchers[0].is_some() {
-                self.run_prefetcher(0, line);
+            if train_prefetch && self.prefetchers[0].is_some() && self.run_prefetcher(0, line) {
+                return None;
             }
-            return;
+            return Some((self.levels[0].set_of_line(line), way, is_write));
         }
         // Probe the remaining levels outward until a hit; each missed
         // level remembers its fill slot so `fill_levels` needs no second
@@ -388,7 +405,7 @@ impl CorePipeline {
         slots[0] = slot0;
         #[allow(clippy::needless_range_loop)] // indexes both `levels` and `slots`
         for k in 1..n {
-            let (res, slot) = self.levels[k].access_reserving(line, false);
+            let (res, slot, _) = self.levels[k].access_reserving(line, false);
             if res.hit {
                 found = Some(k);
                 break;
@@ -396,11 +413,11 @@ impl CorePipeline {
             slots[k] = slot;
         }
 
-        match found {
-            Some(0) => {} // L1 hit: pipelined, no extra stall.
+        let l1_way = match found {
+            Some(0) => None, // L1 hit: handled by the early out above.
             Some(k) => {
-                self.cur.cycles.stall_cycles += if serialize {
-                    f64::from(self.levels[k].config().latency_cycles)
+                self.cur.cycles.stall_subcycles += if serialize {
+                    self.full_latency[k]
                 } else {
                     self.exposed[k]
                 };
@@ -408,11 +425,11 @@ impl CorePipeline {
                 for j in 1..=k {
                     self.cur.supply_bytes[j] += u64::from(self.line_bytes);
                 }
-                self.fill_levels(line, k, is_write, &slots);
+                Some(self.fill_levels(line, k, is_write, &slots))
             }
             None => {
-                self.cur.cycles.stall_cycles += if serialize {
-                    f64::from(self.dram.latency_cycles)
+                self.cur.cycles.stall_subcycles += if serialize {
+                    self.full_latency[n]
                 } else {
                     self.exposed[n]
                 };
@@ -421,38 +438,51 @@ impl CorePipeline {
                 }
                 self.cur.dram.bytes_read += u64::from(self.line_bytes);
                 self.cur.dram.reads += 1;
-                self.fill_levels(line, n, is_write, &slots);
+                Some(self.fill_levels(line, n, is_write, &slots))
             }
-        }
+        };
 
         // Train prefetchers: level k's prefetcher sees the references that
         // reach level k (i.e. misses of every level above it).
+        let mut l1_disturbed = false;
         if train_prefetch {
             let deepest = found.unwrap_or(n);
             for k in 0..n.min(deepest + 1) {
-                if self.prefetchers[k].is_some() {
-                    self.run_prefetcher(k, line);
+                if self.prefetchers[k].is_some() && self.run_prefetcher(k, line) && k == 0 {
+                    l1_disturbed = true;
                 }
             }
+        }
+        if l1_disturbed {
+            None
+        } else {
+            l1_way.map(|w| (self.levels[0].set_of_line(line), w, is_write))
         }
     }
 
     /// Fill `line` into levels `0..upto` (it was found at `upto`, or DRAM
     /// when `upto == levels.len()`), handling dirty-victim writebacks.
+    /// Returns the L1 way the line was installed at.
     fn fill_levels(
         &mut self,
         line: u64,
         upto: usize,
         is_write: bool,
         slots: &[Option<Reserved>; MAX_LEVELS],
-    ) {
+    ) -> u32 {
+        let mut l1_way = 0;
         for j in (0..upto).rev() {
             // Only the L1 copy is dirtied by a store; lower copies stay clean.
             let dirty = is_write && j == 0;
-            if let Some(victim) = self.levels[j].fill_reserved(line, dirty, slots[j]) {
+            let (victim, way) = self.levels[j].fill_reserved(line, dirty, slots[j]);
+            if j == 0 {
+                l1_way = way;
+            }
+            if let Some(victim) = victim {
                 self.writeback(victim, j);
             }
         }
+        l1_way
     }
 
     /// Write a dirty victim evicted from level `j` into level `j + 1`
@@ -478,20 +508,24 @@ impl CorePipeline {
     }
 
     /// Let level `k`'s prefetcher observe `line` and perform its fills.
-    fn run_prefetcher(&mut self, k: usize, line: u64) {
+    /// Returns `true` when at least one prefetch line was filled into
+    /// level `k` (so any slot remembered for that level may be stale).
+    fn run_prefetcher(&mut self, k: usize, line: u64) -> bool {
         self.pred_buf.clear();
         if let Some(pf) = self.prefetchers[k].as_mut() {
             pf.observe(line, &mut self.pred_buf);
         }
         if self.pred_buf.is_empty() {
-            return;
+            return false;
         }
+        let mut filled = false;
         let preds = std::mem::take(&mut self.pred_buf);
         let n = self.levels.len();
         for &p in &preds {
             if self.levels[k].contains(p) {
                 continue;
             }
+            filled = true;
             // Find the closest level below k that already holds the line.
             let mut source = n; // DRAM by default
             for j in (k + 1)..n {
@@ -513,10 +547,12 @@ impl CorePipeline {
             }
         }
         self.pred_buf = preds;
+        filled
     }
 
     /// Arm the repeat-line fast path on `line`, the data line whose
-    /// translate + demand flow just completed.
+    /// translate + demand flow just completed; `slot` is the L1 slot
+    /// `demand_line` reported for it (`None` = unknown, probe instead).
     ///
     /// Arming succeeds whenever the line ended the access resident in L1
     /// with its prefetched flag consumed — hit or miss, with or without
@@ -526,15 +562,15 @@ impl CorePipeline {
     /// preconditions hold by construction: the line's page was the last
     /// DTLB translation, and the L1 prefetcher's last observation was
     /// this line (page-walk traffic trains no prefetcher).
-    fn arm(&mut self, line: u64) {
-        self.armed = self.levels[0]
-            .probe_for_repeat(line)
-            .map(|(set, way, dirty)| ArmedLine {
-                line,
-                set,
-                way,
-                dirty,
-            });
+    fn arm(&mut self, line: u64, slot: Option<(usize, u32, bool)>) {
+        self.armed =
+            slot.or_else(|| self.levels[0].probe_for_repeat(line))
+                .map(|(set, way, dirty)| ArmedLine {
+                    line,
+                    set,
+                    way,
+                    dirty,
+                });
     }
 
     /// Replay a touch of the armed line with direct state updates.
@@ -593,26 +629,27 @@ impl TraceSink for CorePipeline {
         };
         if first == last {
             let walked = self.translate(access.addr);
-            self.demand_line(first, is_write, true, walked);
+            let slot = self.demand_line(first, is_write, true, walked);
             if self.fastpath {
-                self.arm(first);
+                self.arm(first, slot);
             }
             return;
         }
         let line_size = u64::from(self.line_bytes);
         let mut last_line = 0;
+        let mut last_slot = None;
         for line in access.lines(line_size) {
             let walked = self.translate(line << shift);
-            self.demand_line(line, is_write, true, walked);
+            last_slot = self.demand_line(line, is_write, true, walked);
             last_line = line;
         }
         if self.fastpath {
-            self.arm(last_line);
+            self.arm(last_line, last_slot);
         }
     }
 
     fn compute(&mut self, cost: IterCost, iters: u64) {
-        self.cur.cycles.issue_cycles += self.core.issue_cycles(&cost, iters);
+        self.cur.cycles.issue_subcycles += self.core.issue_subcycles(&cost, iters);
     }
 
     fn barrier(&mut self) {
@@ -660,11 +697,11 @@ impl TraceSink for CorePipeline {
                     walked
                 }
             };
-            self.demand_line(line, write, true, walked);
+            let slot = self.demand_line(line, write, true, walked);
             // Arming matters only for the state carried *out* of the run:
             // within it, consecutive lines never repeat.
             if self.fastpath && line == last {
-                self.arm(line);
+                self.arm(line, slot);
             }
         }
     }
@@ -729,12 +766,13 @@ impl TraceSink for CorePipeline {
             if first != last {
                 // Straddling element: the scalar multi-line flow.
                 let mut last_line = 0;
+                let mut last_slot = None;
                 for line in first..=last {
                     let walked = self.translate(line << shift);
-                    self.demand_line(line, write, true, walked);
+                    last_slot = self.demand_line(line, write, true, walked);
                     last_line = line;
                 }
-                self.arm(last_line);
+                self.arm(last_line, last_slot);
                 cur_vpn = None;
                 continue;
             }
@@ -753,9 +791,9 @@ impl TraceSink for CorePipeline {
             } else {
                 self.translate(addr)
             };
-            self.demand_line(first, write, true, walked);
+            let slot = self.demand_line(first, write, true, walked);
             if may_repeat || i + 1 == count {
-                self.arm(first);
+                self.arm(first, slot);
             }
         }
     }
@@ -765,12 +803,12 @@ impl TraceSink for CorePipeline {
     /// Per element, the load takes the same flow as
     /// [`CorePipeline::access_strided`]; the store then replays against
     /// the line the load left in L1 — the very updates the scalar store
-    /// would make through the armed path, with the arm's
-    /// `probe_for_repeat` inlined (the probe is read-only, so performing
-    /// it before the store instead of as `arm` is unobservable). When the
-    /// probe fails (a same-set prefetch fill displaced the line between
-    /// the load's fill and now), the store takes the full scalar path,
-    /// exactly as the per-element default would after a failed arm.
+    /// would make through the armed path, using the L1 slot the load's
+    /// `demand_line` reports (identical to the arm's `probe_for_repeat`,
+    /// which only runs as a fallback when a same-set prefetch fill made
+    /// the slot stale). When neither resolves the line (it was displaced
+    /// between the load's fill and now), the store takes the full scalar
+    /// path, exactly as the per-element default would after a failed arm.
     fn access_strided_rmw(&mut self, base: u64, stride_bytes: i64, count: u64, size: u32) {
         if count == 0 {
             return;
@@ -831,8 +869,8 @@ impl TraceSink for CorePipeline {
             } else {
                 self.translate(addr)
             };
-            self.demand_line(first, false, true, walked);
-            match self.levels[0].probe_for_repeat(first) {
+            let slot = self.demand_line(first, false, true, walked);
+            match slot.or_else(|| self.levels[0].probe_for_repeat(first)) {
                 Some((set, way, dirty)) => {
                     if self.tlb_enabled {
                         self.dtlb.note_repeat_hit();
@@ -853,8 +891,8 @@ impl TraceSink for CorePipeline {
                 }
                 None => {
                     let walked = self.translate(addr);
-                    self.demand_line(first, true, true, walked);
-                    self.arm(first);
+                    let slot = self.demand_line(first, true, true, walked);
+                    self.arm(first, slot);
                     if self.tlb_enabled {
                         cur_vpn = Some(self.dtlb.vpn_of(addr));
                     }
@@ -906,10 +944,10 @@ mod tests {
         let mut p = test_pipeline(PrefetcherConfig::None);
         p.load(0, 8);
         assert_eq!(p.cur.dram.bytes_read, 64);
-        let stall_after_miss = p.cur.cycles.stall_cycles;
-        assert!((stall_after_miss - 100.0).abs() < 1e-9);
+        let stall_after_miss = p.cur.cycles.stall_subcycles;
+        assert_eq!(stall_after_miss, 100 << SUBCYCLE_SHIFT);
         p.load(8, 8); // same line: L1 hit
-        assert!((p.cur.cycles.stall_cycles - stall_after_miss).abs() < 1e-9);
+        assert_eq!(p.cur.cycles.stall_subcycles, stall_after_miss);
         assert_eq!(p.cache_stats()[0].hits, 1);
     }
 
@@ -922,14 +960,14 @@ mod tests {
             p.load(l * 64, 8);
         }
         // Line 0 evicted from L1 (LRU) but still in L2.
-        let before = p.cur.cycles.stall_cycles;
+        let before = p.cur.cycles.stall_subcycles;
         let dram_before = p.cur.dram.bytes_read;
         p.load(0, 8);
         assert_eq!(
             p.cur.dram.bytes_read, dram_before,
             "L2 hit: no DRAM traffic"
         );
-        assert!((p.cur.cycles.stall_cycles - before - 12.0).abs() < 1e-9);
+        assert_eq!(p.cur.cycles.stall_subcycles - before, 12 << SUBCYCLE_SHIFT);
     }
 
     #[test]
@@ -989,10 +1027,10 @@ mod tests {
             without.load(i * 64, 8);
         }
         assert!(
-            with.cur.cycles.stall_cycles < without.cur.cycles.stall_cycles * 0.5,
+            with.cur.cycles.stall_subcycles < without.cur.cycles.stall_subcycles / 2,
             "prefetch should hide most DRAM latency: {} vs {}",
-            with.cur.cycles.stall_cycles,
-            without.cur.cycles.stall_cycles
+            with.cur.cycles.stall_subcycles,
+            without.cur.cycles.stall_subcycles
         );
     }
 
@@ -1011,7 +1049,7 @@ mod tests {
     fn compute_charges_issue_cycles() {
         let mut p = test_pipeline(PrefetcherConfig::None);
         p.compute(IterCost::new(2, 1).mem(1, 0), 100);
-        assert!((p.cur.cycles.issue_cycles - 400.0).abs() < 1e-9);
+        assert_eq!(p.cur.cycles.issue_subcycles, 400 << SUBCYCLE_SHIFT);
     }
 
     #[test]
@@ -1047,10 +1085,10 @@ mod tests {
         // The test core has mlp 1.0, so serialization alone changes
         // nothing — but walk overhead and PTE loads must show up.
         assert!(
-            with_tlb.cur.cycles.stall_cycles > without_tlb.cur.cycles.stall_cycles,
+            with_tlb.cur.cycles.stall_subcycles > without_tlb.cur.cycles.stall_subcycles,
             "walks must cost cycles: {} vs {}",
-            with_tlb.cur.cycles.stall_cycles,
-            without_tlb.cur.cycles.stall_cycles
+            with_tlb.cur.cycles.stall_subcycles,
+            without_tlb.cur.cycles.stall_subcycles
         );
         // And with an overlapping core, the serialized path still pays
         // full latency per walked miss.
@@ -1059,9 +1097,9 @@ mod tests {
         mlp_core.tlb_enabled = true;
         mlp_core.load(1 << 30, 8); // fresh page: walk + serialized miss
         assert!(
-            mlp_core.cur.cycles.stall_cycles >= 100.0,
+            mlp_core.cur.cycles.stall_subcycles >= 100 << SUBCYCLE_SHIFT,
             "serialized DRAM miss must not be divided by MLP: {}",
-            mlp_core.cur.cycles.stall_cycles
+            mlp_core.cur.cycles.stall_subcycles
         );
     }
 

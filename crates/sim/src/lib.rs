@@ -50,14 +50,20 @@
 /// result-cache key (`membound-core::cache`), so entries simulated by an
 /// older model can never satisfy a lookup from a newer one.
 ///
-/// The workspace version is frozen at 0.1.0, so this is maintained by
-/// hand: **bump it whenever a change to `membound-sim`, `membound-trace`
-/// or the kernel trace generators migrates the canonical figure digests**
-/// (the `combined_digest` baselines recorded in `BENCH_sim.json`, which
-/// the value names as a cross-check). Purely diagnostic fields
-/// (`host_workers`, wall times) do not require a bump — they are excluded
-/// from `stats_digest` and therefore from cached payload equality.
-pub const SIM_FINGERPRINT: &str = "sim-v1+f2:2d01870fd0d44a44+f6:b9662a232e85033e";
+/// The workspace version (synced to CHANGELOG.md releases since 0.5.0)
+/// tracks API surface, not simulation semantics, so this is maintained
+/// by hand: **bump it whenever a change to `membound-sim`,
+/// `membound-trace` or the kernel trace generators migrates the
+/// canonical figure digests** (the `combined_digest` baselines recorded
+/// in `BENCH_sim.json`, which the value names as a cross-check). Purely
+/// diagnostic fields (`host_workers`, wall times) do not require a bump
+/// — they are excluded from `stats_digest` and therefore from cached
+/// payload equality.
+///
+/// `sim-v2` is the fixed-point cycle migration (DESIGN.md §13): cycle
+/// accounting moved from f64 accumulators to exact u64 subcycle
+/// integers, changing every digest once.
+pub const SIM_FINGERPRINT: &str = "sim-v2+f2:7bceab43d67f5ae3+f6:a232853937fe2c5d";
 
 mod assoc;
 mod cache;
@@ -73,7 +79,7 @@ mod stats;
 mod tlb;
 
 pub use cache::{Cache, CacheAccessResult, CacheConfig};
-pub use core::CoreConfig;
+pub use core::{CoreConfig, MAX_ISSUE_WIDTH, MAX_MLP};
 pub use devices::Device;
 pub use dram::DramConfig;
 pub use hierarchy::{CorePipeline, PhaseAccum};
@@ -83,5 +89,5 @@ pub use machine::{Bottleneck, DeviceSpec, Machine, PhaseReport, SimReport};
 pub use membound_parallel::JobBudget;
 pub use prefetch::{Prefetcher, PrefetcherConfig};
 pub use replacement::ReplacementPolicy;
-pub use stats::{CycleBreakdown, DramStats, LevelStats};
+pub use stats::{CycleBreakdown, DramStats, LevelStats, SUBCYCLE_ONE, SUBCYCLE_SHIFT};
 pub use tlb::{PageWalk, Tlb, TlbConfig};

@@ -193,9 +193,12 @@ impl SimReport {
     /// differently). The simulator is deterministic, so two runs of the
     /// same cell must produce the same digest no matter how the
     /// experiment engine scheduled them; the engine's serial-vs-parallel
-    /// equivalence checks compare exactly this value. Floats are hashed
-    /// by bit pattern (`f64::to_bits`), so even ULP-level divergence is
-    /// caught.
+    /// equivalence checks compare exactly this value. The core cycle
+    /// totals are hashed as their exact u64 subcycle counters (DESIGN.md
+    /// §13), so the digest pins a physical quantity rather than a
+    /// summation order; the remaining floats (phase timings derived from
+    /// those integers) are hashed by bit pattern (`f64::to_bits`), so
+    /// even ULP-level divergence is caught.
     #[must_use]
     pub fn stats_digest(&self) -> u64 {
         let mut h = Fnv::new();
@@ -233,8 +236,8 @@ impl SimReport {
         h.u64(self.dram.bytes_written);
         h.u64(self.dram.reads);
         h.u64(self.dram.writes);
-        h.f64(self.core_cycles_total.issue_cycles);
-        h.f64(self.core_cycles_total.stall_cycles);
+        h.u64(self.core_cycles_total.issue_subcycles);
+        h.u64(self.core_cycles_total.stall_subcycles);
         h.finish()
     }
 }
@@ -491,12 +494,15 @@ impl Machine {
             for o in &outcomes {
                 let acc = o.phases.get(p).unwrap_or(&empty);
                 // A core's own serial time: issue + stall, but no less than
-                // the occupancy of its *private* buses.
+                // the occupancy of its *private* buses. The f64 math here
+                // is derived from the per-phase integer totals (exact for
+                // sums below 2^53 subcycles), so it is independent of how
+                // the phase's contributions were batched or reordered.
                 let mut core_time = acc.cycles.total();
                 for (j, &bytes) in acc.supply_bytes.iter().enumerate().skip(1) {
                     if j < n_levels && !self.spec.caches[j].shared {
                         let occ = bytes as f64 / self.spec.caches[j].bytes_per_cycle;
-                        core_time = core_time.max(acc.cycles.issue_cycles + occ);
+                        core_time = core_time.max(acc.cycles.issue_cycles() + occ);
                     } else if j < n_levels {
                         shared_bytes[j] += bytes;
                     }

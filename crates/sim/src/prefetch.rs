@@ -204,13 +204,14 @@ impl Prefetcher {
                     && (line as i64).wrapping_sub(self.streak_line as i64) == self.streak_delta
                 {
                     let victim = self.alloc_ring[self.ring_head];
-                    self.table[victim] = StreamEntry {
-                        last_line: line,
-                        stride: 0,
-                        confidence: 0,
-                        last_used: self.clock,
-                        valid: true,
-                    };
+                    // Every run-owned slot was itself written by a run
+                    // allocation, so `stride == 0`, `confidence == 0` and
+                    // `valid` already hold — only the line and recency
+                    // actually change.
+                    let e = &mut self.table[victim];
+                    debug_assert!(e.valid && e.stride == 0 && e.confidence == 0);
+                    e.last_line = line;
+                    e.last_used = self.clock;
                     self.last_match = Some(victim);
                     self.last_alloc_slot = Some(victim);
                     self.ring_head += 1;

@@ -93,27 +93,64 @@ impl DramStats {
     }
 }
 
+/// Fractional bits of the fixed-point cycle unit: cycle accounting is
+/// carried in *subcycles* of 1/2^16 cycle each.
+pub const SUBCYCLE_SHIFT: u32 = 16;
+
+/// One full cycle in subcycle units (`1 << SUBCYCLE_SHIFT`).
+pub const SUBCYCLE_ONE: u64 = 1 << SUBCYCLE_SHIFT;
+
 /// Cycle accounting for one simulated core over one phase (between
 /// barriers).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+///
+/// Counters are exact fixed-point integers in [`SUBCYCLE_ONE`] units, so
+/// accumulation is associative: partial sums can be reordered, batched or
+/// vectorized without changing the totals (u64 addition is exact), unlike
+/// the f64 accumulators this struct used before, which silently lost
+/// precision past 2^53 subcycles and pinned an arbitrary summation order
+/// into the digest. Every contribution is quantized *once*, at
+/// configuration time (`latency / mlp`, `slots / issue_width` — see
+/// DESIGN.md §13 for the exactness argument); f64 cycle values are
+/// derived outputs, never accumulated.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CycleBreakdown {
-    /// Cycles spent issuing instructions (compute + memory ops).
-    pub issue_cycles: f64,
-    /// Cycles stalled waiting on cache/TLB/DRAM latency (after MLP overlap).
-    pub stall_cycles: f64,
+    /// Subcycles spent issuing instructions (compute + memory ops).
+    pub issue_subcycles: u64,
+    /// Subcycles stalled waiting on cache/TLB/DRAM latency (after MLP
+    /// overlap).
+    pub stall_subcycles: u64,
 }
 
 impl CycleBreakdown {
-    /// Total cycles of this breakdown.
+    /// Issue time in cycles (derived; exact for totals below 2^53
+    /// subcycles).
     #[must_use]
-    pub fn total(&self) -> f64 {
-        self.issue_cycles + self.stall_cycles
+    pub fn issue_cycles(&self) -> f64 {
+        self.issue_subcycles as f64 / SUBCYCLE_ONE as f64
     }
 
-    /// Accumulate another breakdown.
+    /// Stall time in cycles (derived).
+    #[must_use]
+    pub fn stall_cycles(&self) -> f64 {
+        self.stall_subcycles as f64 / SUBCYCLE_ONE as f64
+    }
+
+    /// Total time of this breakdown in subcycle units.
+    #[must_use]
+    pub fn total_subcycles(&self) -> u64 {
+        self.issue_subcycles + self.stall_subcycles
+    }
+
+    /// Total time of this breakdown in cycles (derived).
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.total_subcycles() as f64 / SUBCYCLE_ONE as f64
+    }
+
+    /// Accumulate another breakdown (exact integer addition).
     pub fn merge(&mut self, other: &CycleBreakdown) {
-        self.issue_cycles += other.issue_cycles;
-        self.stall_cycles += other.stall_cycles;
+        self.issue_subcycles += other.issue_subcycles;
+        self.stall_subcycles += other.stall_subcycles;
     }
 }
 
@@ -187,14 +224,63 @@ mod tests {
     #[test]
     fn cycle_breakdown_totals() {
         let mut c = CycleBreakdown {
-            issue_cycles: 10.0,
-            stall_cycles: 5.0,
+            issue_subcycles: 10 * SUBCYCLE_ONE,
+            stall_subcycles: 5 * SUBCYCLE_ONE,
         };
+        assert_eq!(c.total_subcycles(), 15 * SUBCYCLE_ONE);
         assert_eq!(c.total(), 15.0);
         c.merge(&CycleBreakdown {
-            issue_cycles: 1.0,
-            stall_cycles: 2.0,
+            issue_subcycles: SUBCYCLE_ONE,
+            stall_subcycles: 2 * SUBCYCLE_ONE,
         });
-        assert_eq!(c.total(), 18.0);
+        assert_eq!(c.total_subcycles(), 18 * SUBCYCLE_ONE);
+        assert_eq!(c.issue_cycles(), 11.0);
+        assert_eq!(c.stall_cycles(), 7.0);
+    }
+
+    /// The regression the fixed-point representation exists to fix: an
+    /// f64 accumulator absorbs (loses) single-subcycle contributions once
+    /// the running sum passes 2^53, and its partial sums are
+    /// order-sensitive; the u64 counters stay exact and
+    /// permutation-invariant.
+    #[test]
+    fn fixed_point_counters_are_exact_and_permutation_invariant_where_f64_drifts() {
+        // f64 drift: past 2^53 the next +1.0 is rounded away entirely.
+        let big = (1u64 << 53) as f64;
+        assert_eq!(big + 1.0, big, "f64 silently drops the contribution");
+        let mut exact = CycleBreakdown {
+            issue_subcycles: 0,
+            stall_subcycles: 1 << 53,
+        };
+        exact.merge(&CycleBreakdown {
+            issue_subcycles: 0,
+            stall_subcycles: 1,
+        });
+        assert_eq!(exact.stall_subcycles, (1 << 53) + 1, "u64 keeps it");
+
+        // f64 order sensitivity: the same three contributions summed in a
+        // different order give a different bit pattern.
+        let contributions = [big, 1.0, -1.0];
+        let forward: f64 = contributions.iter().sum();
+        let reverse: f64 = contributions.iter().rev().sum();
+        assert_ne!(forward.to_bits(), reverse.to_bits());
+
+        // The integer counters are permutation-invariant by construction.
+        let parts = [7u64, 1 << 40, 3, (1 << 52) + 1, 65_535];
+        let mut fwd = CycleBreakdown::default();
+        for &p in &parts {
+            fwd.merge(&CycleBreakdown {
+                issue_subcycles: p,
+                stall_subcycles: p / 2,
+            });
+        }
+        let mut rev = CycleBreakdown::default();
+        for &p in parts.iter().rev() {
+            rev.merge(&CycleBreakdown {
+                issue_subcycles: p,
+                stall_subcycles: p / 2,
+            });
+        }
+        assert_eq!(fwd, rev);
     }
 }

@@ -65,6 +65,33 @@ fn replay_batched<S: TraceSink + ?Sized>(ops: &[Op], sink: &mut S) {
     }
 }
 
+/// Replay the same program with every batch split in two at an
+/// arbitrary element boundary (`cuts` selects where, cycling if the
+/// program is longer). Nothing is reordered; only the executor's
+/// batch-edge behavior — partial accounting sums, arming, same-page
+/// VPN tracking — re-groups at the cut.
+fn replay_split<S: TraceSink + ?Sized>(ops: &[Op], cuts: &[u64], sink: &mut S) {
+    for (op, cut) in ops.iter().zip(cuts.iter().cycle()) {
+        let (kind, base, stride, count, size) = decode(op);
+        let k = if count == 0 { 0 } else { cut % (count + 1) };
+        let rest = strided_addr(base, stride, k);
+        match kind {
+            0 | 1 => {
+                sink.access_strided(base, stride, k, size, kind == 1);
+                sink.access_strided(rest, stride, count - k, size, kind == 1);
+            }
+            2 => {
+                sink.access_strided_rmw(base, stride, k, size);
+                sink.access_strided_rmw(rest, stride, count - k, size);
+            }
+            3 => sink.load(base, size),
+            4 => sink.store(base, size),
+            5 => sink.load_range(base, u64::from(size) * 11),
+            _ => sink.barrier(),
+        }
+    }
+}
+
 /// Replay the same program with every batch expanded element by
 /// element — the emission `access_strided` replaces.
 fn replay_scalar<S: TraceSink + ?Sized>(ops: &[Op], sink: &mut S) {
@@ -128,6 +155,31 @@ proptest! {
                 batched.stats_digest(),
                 reference.stats_digest(),
                 "batched fast path diverged from reference machine on {}",
+                device
+            );
+        }
+    }
+
+    /// Fixed-point reassociation lock-in (DESIGN.md §13): splitting any
+    /// batch at an arbitrary element boundary — which reorders no
+    /// reference but re-groups the executor's partial accounting sums
+    /// and resets its batch-edge short-circuits (arming, same-page VPN
+    /// tracking) at the cut — must leave the digest untouched. The u64
+    /// subcycle counters make the accounting sums associative outright;
+    /// with the old f64 accumulators the equality depended on every
+    /// grouping preserving one canonical summation order.
+    #[test]
+    fn strided_digest_invariant_under_batch_boundary_reassociation(
+        ops in proptest::collection::vec((0u8..7, 0u64..1 << 16, 0u64..1 << 24), 1..40),
+        cuts in proptest::collection::vec(0u64..64, 8..9),
+    ) {
+        for device in Device::all() {
+            let whole = simulate(device, true, |s| replay_batched(&ops, s));
+            let split = simulate(device, true, |s| replay_split(&ops, &cuts, s));
+            prop_assert_eq!(
+                whole.stats_digest(),
+                split.stats_digest(),
+                "batch-boundary reassociation changed the digest on {}",
                 device
             );
         }
