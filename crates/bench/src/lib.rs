@@ -266,16 +266,7 @@ impl Args {
         let Some(filter) = &self.device_filter else {
             return all.to_vec();
         };
-        let normalize = |s: &str| s.to_lowercase().replace([' ', '-', '_', '(', ')'], "");
-        let needle = normalize(filter);
-        let picked: Vec<Device> = all
-            .iter()
-            .copied()
-            .filter(|d| {
-                normalize(d.label()).contains(&needle)
-                    || normalize(&format!("{d:?}")).contains(&needle)
-            })
-            .collect();
+        let picked = Device::matching(filter);
         assert!(
             !picked.is_empty(),
             "--device {filter:?} matches none of: {}",

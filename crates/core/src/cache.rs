@@ -54,14 +54,40 @@
 //! re-verify every object end to end (self-digest, kind, versions,
 //! fingerprint, key); a corrupt object is deleted and the cell simply
 //! re-simulated.
+//!
+//! # Multi-process coordination
+//!
+//! One cache directory is shared by *processes*, not just threads: a
+//! `membound-serve` daemon inserts while `membound-cli cache gc`
+//! rebuilds, and several one-shot runs may share a warm store. Every
+//! *mutating* path — [`ResultCache::insert`]'s object-write + index
+//! append, [`gc`]'s walk + rebuild, and the open-time header check —
+//! holds an advisory [`membound_parallel::FsLock`] on `<dir>/.lock`
+//! (`flock(2)`: released by the kernel on crash, so a dead process can
+//! never wedge the store). Two single-process assumptions died with
+//! the daemon:
+//!
+//! * an insert's index line could land *between* `gc`'s object walk
+//!   and its index rewrite and be silently dropped — the object
+//!   survived but its journal line vanished;
+//! * a long-lived append descriptor kept writing to the *orphaned*
+//!   inode after `gc` renamed a fresh index into place, so every
+//!   subsequent insert's line went to a file nothing would ever read.
+//!
+//! Both are fixed the same way: each index append opens the index
+//! fresh *under the lock* (observing any rebuild that won the race)
+//! and `gc` holds the lock across walk + rewrite. Read-only paths
+//! ([`ResultCache::lookup`], [`survey`]) stay lock-free by design —
+//! they already tolerate concurrent mutation.
 
 use crate::runner::{Cell, CellOutcome};
 use crate::telemetry::{self, SimRecord};
+use membound_parallel::FsLock;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
-use std::io::Write as _;
+use std::io::{Read as _, Seek as _, Write as _};
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Version of the cache's on-disk layout. Part of every [`CacheKey`]
 /// and every entry payload: bump it on any change to the object or
@@ -78,6 +104,16 @@ pub fn default_fingerprint() -> &'static str {
 
 const INDEX_FILE: &str = "index.jsonl";
 const OBJECTS_DIR: &str = "objects";
+const LOCK_FILE: &str = ".lock";
+
+/// Take the cache directory's cross-process mutation lock (blocking).
+fn lock_cache_dir(dir: &Path) -> std::io::Result<FsLock> {
+    FsLock::acquire(&dir.join(LOCK_FILE))
+}
+
+fn index_header_line() -> String {
+    format!("{{\"kind\":\"cache_header\",\"format_version\":{CACHE_FORMAT_VERSION}}}\n")
+}
 
 /// Content address of one cell's result: 32 hex digits (a 128-bit
 /// two-pass FNV-1a digest of the canonical key material).
@@ -331,11 +367,14 @@ fn is_stale(entry: &CacheEntry, fingerprint: &str) -> bool {
 struct Inner {
     dir: PathBuf,
     fingerprint: String,
-    index: Mutex<std::fs::File>,
 }
 
-/// Handle to one on-disk result cache; cheap to clone (clones share the
-/// index file handle), safe to use from concurrent engine workers.
+/// Handle to one on-disk result cache; cheap to clone, safe to use from
+/// concurrent engine workers *and* concurrent processes (see the module
+/// docs). Deliberately holds no open index descriptor: each append
+/// reopens the index under the directory lock, so a handle that
+/// outlives a concurrent [`gc`] rebuild keeps appending to the *new*
+/// index instead of a renamed-away orphan inode.
 #[derive(Debug, Clone)]
 pub struct ResultCache {
     inner: Arc<Inner>,
@@ -362,6 +401,7 @@ impl ResultCache {
     /// As [`ResultCache::open`].
     pub fn open_with_fingerprint(dir: &Path, fingerprint: &str) -> std::io::Result<Self> {
         std::fs::create_dir_all(dir.join(OBJECTS_DIR))?;
+        let _lock = lock_cache_dir(dir)?;
         let index_path = dir.join(INDEX_FILE);
         let existing = match std::fs::read_to_string(&index_path) {
             Ok(text) => Some(text),
@@ -374,10 +414,7 @@ impl ResultCache {
             .open(&index_path)?;
         match existing.as_deref() {
             None | Some("") => {
-                let header = format!(
-                    "{{\"kind\":\"cache_header\",\"format_version\":{CACHE_FORMAT_VERSION}}}\n"
-                );
-                index.write_all(header.as_bytes())?;
+                index.write_all(index_header_line().as_bytes())?;
                 index.sync_data()?;
             }
             Some(text) => {
@@ -405,7 +442,6 @@ impl ResultCache {
             inner: Arc::new(Inner {
                 dir: dir.to_path_buf(),
                 fingerprint: fingerprint.into(),
-                index: Mutex::new(index),
             }),
         })
     }
@@ -486,11 +522,21 @@ impl ResultCache {
         Some(entry)
     }
 
-    /// Persist `entry` under `key`: write the object atomically, call
-    /// `mid` (the engine threads its `cache` failpoint through here,
-    /// *between* the object rename and the index append — the exact
-    /// window a crash leaves an unindexed object), then append one
-    /// fsynced line to the index.
+    /// Persist `entry` under `key`: take the directory's cross-process
+    /// lock, write the object atomically, call `mid` (the engine
+    /// threads its `cache` failpoint through here, *between* the
+    /// object rename and the index append — the exact window a crash
+    /// leaves an unindexed object), then append one fsynced line to a
+    /// freshly opened index.
+    ///
+    /// The whole rename + append sequence holds the lock, so a
+    /// concurrent [`gc`] rebuild either runs entirely before this
+    /// insert (and the fresh append lands in the rebuilt index) or
+    /// entirely after (and the walk sees the new object) — it can no
+    /// longer interleave and drop this entry's index line. A crash
+    /// *inside* the window still leaves only an unindexed object
+    /// (`flock` dies with the process), which is the already-recoverable
+    /// state.
     ///
     /// Inserting a key that already has an object is an idempotent
     /// overwrite with identical content — concurrent workers and
@@ -499,14 +545,16 @@ impl ResultCache {
     ///
     /// # Errors
     ///
-    /// Any I/O error from the object write or the index append. The
-    /// engine treats an insert error as a warning, not a run failure.
+    /// Any I/O error from the lock, the object write, or the index
+    /// append. The engine treats an insert error as a warning, not a
+    /// run failure.
     pub fn insert(
         &self,
         key: &CacheKey,
         entry: &CacheEntry,
         mid: impl FnOnce(),
     ) -> std::io::Result<()> {
+        let _lock = lock_cache_dir(&self.inner.dir)?;
         telemetry::write_text_atomic(&self.object_path(key), &render_object(entry))?;
         mid();
         let line = format!(
@@ -514,10 +562,42 @@ impl ResultCache {
             key.as_hex(),
             entry.inserted_unix_ms
         );
-        let mut index = self.inner.index.lock().expect("cache index poisoned");
+        self.append_index_line(&line)
+    }
+
+    /// Append one line to the index, reopening it under the (already
+    /// held) directory lock. Reopening is the stale-descriptor fix: a
+    /// `gc` that rebuilt the index renamed a new file into place, and
+    /// only a fresh open observes it. A missing or empty index (first
+    /// insert, or a rebuild interrupted before its rename) gets its
+    /// header written first; a torn tail is healed exactly as at open.
+    fn append_index_line(&self, line: &str) -> std::io::Result<()> {
+        let index_path = self.inner.dir.join(INDEX_FILE);
+        let mut index = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&index_path)?;
+        let len = index.metadata()?.len();
+        if len == 0 {
+            index.write_all(index_header_line().as_bytes())?;
+        } else if last_byte(&index_path)? != Some(b'\n') {
+            index.write_all(b"\n")?;
+        }
         index.write_all(line.as_bytes())?;
         index.sync_data()
     }
+}
+
+/// The final byte of the file at `path`, or `None` when it is empty.
+fn last_byte(path: &Path) -> std::io::Result<Option<u8>> {
+    let mut f = std::fs::File::open(path)?;
+    if f.metadata()?.len() == 0 {
+        return Ok(None);
+    }
+    f.seek(std::io::SeekFrom::End(-1))?;
+    let mut buf = [0u8; 1];
+    f.read_exact(&mut buf)?;
+    Ok(Some(buf[0]))
 }
 
 fn index_header_ok(v: &serde::Value) -> bool {
@@ -695,16 +775,26 @@ pub struct GcOutcome {
 /// rewrite the index from the surviving live objects (which also
 /// re-indexes objects a crash left unindexed and drops dangling or
 /// garbage index lines). Live entries are never removed — recovery is
-/// idempotent, and a gc run concurrent with an inserting run can at
-/// worst miss the newest insert's index line, which the next gc
-/// restores.
+/// idempotent.
+///
+/// The walk *and* the rewrite run under the directory's cross-process
+/// lock, so gc serializes against every concurrent [`ResultCache::insert`]
+/// (from this process or any other): an insert completes either before
+/// the walk (its object is kept and re-indexed) or after the rewrite
+/// (its fresh append lands in the rebuilt index) — never in between,
+/// where its index line used to be silently dropped.
 ///
 /// # Errors
 ///
-/// Filesystem errors walking `dir` or rewriting the index.
+/// Filesystem errors taking the lock, walking `dir`, or rewriting the
+/// index.
 pub fn gc(dir: &Path, fingerprint: &str) -> std::io::Result<GcOutcome> {
     let mut out = GcOutcome::default();
     let objects = dir.join(OBJECTS_DIR);
+    if !objects.exists() {
+        return Ok(out);
+    }
+    let _lock = lock_cache_dir(dir)?;
     let mut live = BTreeSet::new();
     let entries = match std::fs::read_dir(&objects) {
         Ok(entries) => entries,
@@ -735,8 +825,7 @@ pub fn gc(dir: &Path, fingerprint: &str) -> std::io::Result<GcOutcome> {
             }
         }
     }
-    let mut index =
-        format!("{{\"kind\":\"cache_header\",\"format_version\":{CACHE_FORMAT_VERSION}}}\n");
+    let mut index = index_header_line();
     for key in &live {
         index.push_str(&format!(
             "{{\"kind\":\"insert\",\"key\":{key:?},\"inserted_unix_ms\":0}}\n"
@@ -937,6 +1026,93 @@ mod tests {
         let s = survey(&dir, "fp-new").unwrap();
         assert_eq!((s.live, s.stale, s.corrupt, s.temps), (1, 0, 0, 0));
         assert!(s.is_clean());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Regression: a handle that outlives a `gc` rebuild used to keep
+    /// an append descriptor pointing at the *renamed-away* index inode,
+    /// so every later insert's journal line was written into the void.
+    /// With per-append reopens, an insert after gc must land in the
+    /// rebuilt index.
+    #[test]
+    fn inserts_after_gc_land_in_the_rebuilt_index() {
+        let dir = test_dir("stale_fd");
+        let cache = ResultCache::open_with_fingerprint(&dir, "fp").unwrap();
+        let (key_a, entry_a) = sample_entry(&cache, &transpose_cell(128, TransposeVariant::Naive));
+        cache.insert(&key_a, &entry_a, || {}).unwrap();
+
+        // Rebuild the index while the handle stays open.
+        let g = gc(&dir, "fp").unwrap();
+        assert_eq!(g.kept, 1);
+
+        let (key_b, entry_b) =
+            sample_entry(&cache, &transpose_cell(256, TransposeVariant::Blocking));
+        cache.insert(&key_b, &entry_b, || {}).unwrap();
+
+        let index = std::fs::read_to_string(dir.join(INDEX_FILE)).unwrap();
+        assert!(
+            index.contains(key_b.as_hex()),
+            "post-gc insert must append to the rebuilt index, not an orphan inode"
+        );
+        let s = survey(&dir, "fp").unwrap();
+        assert_eq!(
+            (s.live, s.unindexed, s.dangling, s.index_garbage),
+            (2, 0, 0, 0),
+            "{s:?}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Regression: a `gc` rebuild racing an insert could walk `objects/`
+    /// before the insert's rename and rewrite the index after its
+    /// append, dropping the live entry's index line. The directory lock
+    /// makes the two atomic with respect to each other: whatever the
+    /// timing, the store must end with every live object indexed. The
+    /// insert is parked mid-window (between rename and append — the
+    /// same hole the engine's `cache` failpoint site exposes) while gc
+    /// is invited to interleave.
+    #[test]
+    fn gc_racing_an_insert_never_drops_an_index_line() {
+        let dir = test_dir("interleave");
+        let cache = ResultCache::open_with_fingerprint(&dir, "fp").unwrap();
+        let (key_a, entry_a) = sample_entry(&cache, &transpose_cell(128, TransposeVariant::Naive));
+        cache.insert(&key_a, &entry_a, || {}).unwrap();
+
+        let (key_b, entry_b) =
+            sample_entry(&cache, &transpose_cell(256, TransposeVariant::Blocking));
+        let in_window = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let gc_thread = scope.spawn(|| {
+                // Let the insert reach the rename→append window first so
+                // gc genuinely contends with a mid-flight insert.
+                while !in_window.load(std::sync::atomic::Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+                gc(&dir, "fp").expect("gc under contention")
+            });
+            cache
+                .insert(&key_b, &entry_b, || {
+                    in_window.store(true, std::sync::atomic::Ordering::Release);
+                    // Hold the window open long enough for gc to be
+                    // blocked on the lock rather than not yet started.
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                })
+                .expect("insert under contention");
+            gc_thread.join().expect("gc thread");
+        });
+
+        let index = std::fs::read_to_string(dir.join(INDEX_FILE)).unwrap();
+        assert!(index.contains(key_a.as_hex()), "pre-existing entry indexed");
+        assert!(
+            index.contains(key_b.as_hex()),
+            "racing insert's index line must survive the gc rebuild"
+        );
+        let s = survey(&dir, "fp").unwrap();
+        assert_eq!(
+            (s.live, s.unindexed, s.dangling, s.index_garbage),
+            (2, 0, 0, 0),
+            "{s:?}"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -443,6 +443,24 @@ impl ExperimentMatrix {
         self
     }
 
+    /// Figure name the run log will carry.
+    #[must_use]
+    pub fn figure(&self) -> &str {
+        &self.figure
+    }
+
+    /// The declared cells, in execution/report order.
+    #[must_use]
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// The declared STREAM baselines, as (device label, GB/s) pairs.
+    #[must_use]
+    pub fn baselines(&self) -> &[(String, f64)] {
+        &self.stream_baselines
+    }
+
     /// Number of cells declared so far.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -523,6 +541,11 @@ impl From<std::io::Error> for RunError {
     }
 }
 
+/// Per-cell record consumer for [`Engine::run_streamed`]: called with
+/// `(index, record)` in strict index order as each cell's final record
+/// flushes. Must be `Sync` — it is invoked from worker threads.
+pub type RecordSink<'a> = dyn Fn(u64, &CellRecord) + Sync + 'a;
+
 /// Executes experiment matrices on a pool of worker threads.
 #[derive(Debug, Clone)]
 pub struct Engine {
@@ -590,6 +613,56 @@ impl Engine {
         &self,
         matrix: &ExperimentMatrix,
         options: &RunOptions,
+    ) -> Result<RunResults, RunError> {
+        // A one-shot run owns its whole budget. The caller's thread is
+        // the first accounted worker (the seat), exactly as a daemon
+        // scheduler would seat a job — so the one-shot and served paths
+        // run the arithmetic-identical thread count.
+        let budget = JobBudget::new(self.jobs);
+        let _seat = budget.lease(1);
+        self.run_streamed(matrix, options, &budget, None)
+    }
+
+    /// [`Engine::run_with`] against an *externally owned* [`JobBudget`]
+    /// and an optional per-cell record sink — the entry point a job
+    /// scheduler (`membound-serve`) uses to run one job's cell set
+    /// while N other jobs share the same budget.
+    ///
+    /// # Seat convention
+    ///
+    /// The calling thread must already be accounted for in `budget` —
+    /// the caller holds one leased slot (its *seat*) for the duration
+    /// of this call. The engine then leases only the *extra* workers it
+    /// spawns beyond the calling thread: with a dry budget the run
+    /// degrades to fully serial on the caller's thread instead of
+    /// failing, and the sum of concurrently running worker threads
+    /// across every job sharing the budget never exceeds the budget's
+    /// total. Inside each cell, the simulator's per-core fan-out leases
+    /// spare slots from the same budget, exactly as in a one-shot run.
+    ///
+    /// Which job wins a race for spare slots changes wall time only:
+    /// cell outcomes are deterministic and slotted by index, so every
+    /// digest-bearing field is independent of budget contention (the
+    /// serial==parallel property, DESIGN.md §9 — this is why served
+    /// runs reproduce the canonical digests byte for byte).
+    ///
+    /// `sink` is called under the stream lock with each cell's final
+    /// record, in strict index order, at the moment the contiguous
+    /// prefix reaches it — the same records (and the same single
+    /// constructor) the streaming run log writes, so a sink-fed
+    /// client sees byte-identical lines. Keep the sink cheap and
+    /// non-blocking (hand the record to a channel); it runs on worker
+    /// threads mid-run.
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::run_with`].
+    pub fn run_streamed(
+        &self,
+        matrix: &ExperimentMatrix,
+        options: &RunOptions,
+        budget: &JobBudget,
+        sink: Option<&RecordSink<'_>>,
     ) -> Result<RunResults, RunError> {
         let n = matrix.cells.len();
         let failpoint = options.failpoint.as_ref();
@@ -675,6 +748,7 @@ impl Engine {
             pending: BTreeMap::new(),
             baselines: &matrix.stream_baselines,
             writer,
+            sink,
             total: n,
         });
         {
@@ -726,10 +800,15 @@ impl Engine {
             .filter(|&i| rep_of[i].is_none())
             .collect();
 
-        let budget = JobBudget::new(self.jobs);
-        let outer = budget.lease((unique.len() as u32).min(self.jobs).max(1));
-        let pool = Pool::new(outer.granted().max(1));
-        let budget_ref = &budget;
+        // Seat convention: the calling thread is one already-leased
+        // worker, so lease only the extras beyond it. On a contended
+        // (or dry) shared budget `extra` may be partial or zero — the
+        // pool shrinks down to the caller's thread alone, it never
+        // oversubscribes.
+        let want_extra = (unique.len() as u32).min(self.jobs).max(1) - 1;
+        let extra = budget.lease(want_extra);
+        let pool = Pool::new(extra.granted() + 1);
+        let budget_ref = budget;
         let retries = options.retries;
         let deadline = options.cell_deadline;
         let tasks: Vec<Task<'_, (CellOutcome, f64, u32)>> = unique
@@ -830,7 +909,7 @@ impl Engine {
                 None => execute_cell(
                     &matrix.cells[index],
                     index,
-                    &budget,
+                    budget,
                     retries,
                     deadline,
                     failpoint,
@@ -1118,6 +1197,10 @@ struct StreamState<'m> {
     pending: BTreeMap<usize, CellResult>,
     baselines: &'m [(String, f64)],
     writer: Option<StreamingRunLog>,
+    /// In-process record consumer ([`Engine::run_streamed`]): called in
+    /// index order at flush time, fed the same records the writer
+    /// appends.
+    sink: Option<&'m RecordSink<'m>>,
     total: usize,
 }
 
@@ -1144,14 +1227,19 @@ impl StreamState<'_> {
             self.flushed[m].speedup_vs_naive = speedup_for(&self.flushed, m);
             self.flushed[m].bandwidth_utilization =
                 utilization_for(&self.flushed[m], self.baselines);
-            if let Some(writer) = &mut self.writer {
+            if self.writer.is_some() || self.sink.is_some() {
                 let record = cell_record(m as u64, &self.flushed[m]);
-                if let Err(e) = writer.append_record(&record) {
-                    eprintln!(
-                        "warning: streaming run log failed at cell {m} ({e}); \
-                         disabling streaming for the rest of the run"
-                    );
-                    self.writer = None;
+                if let Some(writer) = &mut self.writer {
+                    if let Err(e) = writer.append_record(&record) {
+                        eprintln!(
+                            "warning: streaming run log failed at cell {m} ({e}); \
+                             disabling streaming for the rest of the run"
+                        );
+                        self.writer = None;
+                    }
+                }
+                if let Some(sink) = self.sink {
+                    sink(m as u64, &record);
                 }
             }
         }

@@ -535,9 +535,18 @@ pub fn parse_partial_run_log(text: &str) -> Result<PartialRunLog, String> {
 
 /// Write `text` to `path` atomically: write a temporary file in the
 /// *same directory* (same filesystem, so the rename cannot degrade to a
-/// copy) and rename it over the destination. A crash or full disk
-/// mid-write leaves either the old file or the temporary — never a
-/// half-written destination.
+/// copy), rename it over the destination, and fsync the parent
+/// directory. A crash or full disk mid-write leaves either the old
+/// file or the temporary — never a half-written destination.
+///
+/// The directory fsync is what makes the *rename itself* durable: data
+/// sync on the temporary only persists the file's bytes, while the
+/// directory entry created by the rename lives in the directory's own
+/// metadata. Without syncing that, a power cut right after the rename
+/// can roll the directory back and lose the file entirely — weaker
+/// than the crash-safety contract of DESIGN.md §11–§12. Filesystems
+/// where a directory cannot be opened or synced (the error is ignored)
+/// keep the old, rename-only behaviour.
 ///
 /// # Errors
 ///
@@ -560,7 +569,27 @@ pub fn write_text_atomic(path: &std::path::Path, text: &str) -> std::io::Result<
         let _ = std::fs::remove_file(&tmp);
         return Err(e);
     }
-    std::fs::rename(&tmp, path)
+    std::fs::rename(&tmp, path)?;
+    sync_parent_dir(path);
+    Ok(())
+}
+
+/// Best-effort fsync of `path`'s parent directory, making a just-
+/// completed rename durable across power failure. Errors are ignored:
+/// some filesystems refuse to open or sync directories, and on those
+/// the caller keeps rename-only atomicity (the pre-fix behaviour)
+/// rather than failing a write that already succeeded.
+fn sync_parent_dir(path: &std::path::Path) {
+    let parent = match path.parent() {
+        // An empty parent means the path is a bare file name; the
+        // directory is the process CWD.
+        Some(p) if p.as_os_str().is_empty() => std::path::Path::new("."),
+        Some(p) => p,
+        None => return,
+    };
+    if let Ok(dir) = std::fs::File::open(parent) {
+        let _ = dir.sync_all();
+    }
 }
 
 /// An append-mode run-log writer that makes a run crash-safe: the
@@ -903,5 +932,16 @@ mod tests {
             .collect();
         assert!(leftovers.is_empty(), "no temporary left behind");
         std::fs::remove_file(&path).unwrap();
+    }
+
+    /// The directory fsync after rename must be a silent no-op where it
+    /// cannot work: a bare file name (empty parent → CWD), a rootless
+    /// path, and a parent that does not exist must all return without
+    /// panicking or erroring — durability degrades, writes never fail.
+    #[test]
+    fn parent_dir_sync_is_best_effort() {
+        sync_parent_dir(std::path::Path::new("bare_file.txt"));
+        sync_parent_dir(std::path::Path::new("/"));
+        sync_parent_dir(std::path::Path::new("/definitely/not/a/real/dir/x.txt"));
     }
 }

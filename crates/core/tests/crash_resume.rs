@@ -633,6 +633,117 @@ fn committed_v6_fixture_validates_at_the_migrated_digest() {
     );
 }
 
+/// Multi-process safety (DESIGN.md §12): an engine run inserting into
+/// the cache while `gc` rebuilds the index concurrently must lose
+/// nothing. The existing `cache` failpoint site parks one insert in
+/// its rename→append window (`cache:delay`), a racing thread runs
+/// `gc` against the same directory mid-run, and afterwards every live
+/// object must be indexed — the exact line the unlocked code dropped.
+#[test]
+fn gc_concurrent_with_an_inserting_run_keeps_every_index_line() {
+    let matrix = ladder_matrix();
+    let total = matrix.len() as u64;
+    let clean = Engine::new(2).run(&matrix);
+    let dir = cache_dir("gc_race");
+    // Seed one entry so the racing gc always has an index to rebuild.
+    {
+        let seeded = Engine::new(1)
+            .run_with(&matrix, &with_cache(ResultCache::open(&dir).expect("open")))
+            .expect("seed run");
+        assert_eq!(seeded.cached, 0);
+    }
+    std::fs::remove_dir_all(dir.join("objects")).expect("drop seeded objects");
+    std::fs::create_dir_all(dir.join("objects")).expect("recreate objects dir");
+
+    let options = RunOptions {
+        cache: Some(ResultCache::open(&dir).expect("reopen")),
+        failpoint: Some(Failpoint::parse("cache:delay=80@5x1").expect("valid spec")),
+        ..RunOptions::default()
+    };
+    std::thread::scope(|scope| {
+        let gc_thread = scope.spawn(|| {
+            // Land inside the run (and with any luck inside the delayed
+            // insert's window); correctness must not depend on timing.
+            std::thread::sleep(std::time::Duration::from_millis(40));
+            cache::gc(&dir, cache::default_fingerprint()).expect("concurrent gc")
+        });
+        let racing = Engine::new(2)
+            .run_with(&matrix, &options)
+            .expect("run racing gc");
+        assert_eq!(digest_fields(&racing), digest_fields(&clean));
+        gc_thread.join().expect("gc thread");
+    });
+
+    let s = cache::survey(&dir, cache::default_fingerprint()).expect("survey");
+    assert_eq!(s.live, total, "{s:?}");
+    assert_eq!(
+        (s.unindexed, s.dangling, s.index_garbage),
+        (0, 0, 0),
+        "no insert may lose its index line to a racing gc: {s:?}"
+    );
+    let warm = Engine::new(2)
+        .run_with(
+            &matrix,
+            &with_cache(ResultCache::open(&dir).expect("warm reopen")),
+        )
+        .expect("warm run");
+    assert_eq!(warm.cached, total, "every racing insert must still hit");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The rename-durability half of the torn-object story: the two states
+/// an un-fsynced directory entry can leave behind after power loss — a
+/// leftover `.tmp` (rename never happened) and an index line whose
+/// object vanished (rename rolled back) — must both be survivable.
+/// Lookups miss and re-simulate to the clean digests, and `gc` restores
+/// a clean survey. (`write_text_atomic` now fsyncs the parent directory
+/// after rename precisely to make the second state unreachable on
+/// crash-consistent filesystems; this test pins the recovery path for
+/// storage where the fsync is a no-op.)
+#[test]
+fn lost_rename_and_leftover_temp_are_survivable() {
+    let matrix = ladder_matrix();
+    let total = matrix.len() as u64;
+    let dir = cache_dir("lost_rename");
+    let cold = Engine::new(2)
+        .run_with(&matrix, &with_cache(ResultCache::open(&dir).expect("open")))
+        .expect("cold run");
+
+    // Roll back one rename (object gone, index line dangling) and leave
+    // one interrupted temp behind.
+    let mut objects: Vec<_> = std::fs::read_dir(dir.join("objects"))
+        .expect("objects dir")
+        .map(|e| e.expect("entry").path())
+        .collect();
+    objects.sort();
+    std::fs::remove_file(&objects[0]).expect("roll back a rename");
+    std::fs::write(dir.join("objects").join(".x.json.tmp"), "half").expect("leftover temp");
+
+    let s = cache::survey(&dir, cache::default_fingerprint()).expect("survey");
+    assert_eq!((s.live, s.dangling, s.temps), (total - 1, 1, 1), "{s:?}");
+    assert!(s.is_clean(), "a lost rename is damage, not corruption");
+
+    // The warm run misses exactly the vanished cell and heals it.
+    let healed = Engine::new(2)
+        .run_with(
+            &matrix,
+            &with_cache(ResultCache::open(&dir).expect("reopen")),
+        )
+        .expect("healing run");
+    assert_eq!(healed.cached, total - 1, "the vanished object must miss");
+    assert_eq!(digest_fields(&healed), digest_fields(&cold));
+
+    let g = cache::gc(&dir, cache::default_fingerprint()).expect("gc");
+    assert_eq!(g.removed_temps, 1);
+    let s = cache::survey(&dir, cache::default_fingerprint()).expect("survey");
+    assert_eq!(
+        (s.live, s.dangling, s.temps, s.unindexed),
+        (total, 0, 0, 0),
+        "gc rebuilt a fully consistent store: {s:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// The ladder's cells in reverse order — same figure name and count,
 /// different per-index identity.
 fn ladder_matrix_cells_reversed() -> Vec<Cell> {

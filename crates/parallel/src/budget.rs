@@ -90,6 +90,50 @@ impl JobBudget {
         self.inner.spare.load(Ordering::Acquire)
     }
 
+    /// Block until at least `min` slots can be leased (then take up to
+    /// `want`), or until `keep_waiting` returns false — whichever comes
+    /// first. Returns `None` when the wait was abandoned.
+    ///
+    /// This is the admission-control primitive of a *job scheduler*
+    /// sharing one budget across many concurrent runs (see
+    /// `membound-serve`): a job is dispatched only once it holds a seat
+    /// slot, so N queued jobs drain through the budget instead of
+    /// oversubscribing the host. Release is notification-free (slot
+    /// returns are lock-free atomics), so the wait polls on a short
+    /// sleep — milliseconds of dispatch latency against jobs that run
+    /// for seconds.
+    ///
+    /// `min` is clamped to at least 1; a `min` above `total()` would
+    /// never be satisfiable and is clamped down to `total().max(1)`
+    /// (on a [`JobBudget::serial`] budget the wait is abandoned
+    /// immediately — a budget with no slots can never seat a job).
+    #[must_use]
+    pub fn lease_blocking(
+        &self,
+        min: u32,
+        want: u32,
+        keep_waiting: impl Fn() -> bool,
+    ) -> Option<Lease> {
+        if self.inner.total == 0 {
+            return None;
+        }
+        let min = min.clamp(1, self.inner.total);
+        loop {
+            if self.available() >= min {
+                let lease = self.lease(want.max(min));
+                if lease.granted() >= min {
+                    return Some(lease);
+                }
+                // Lost the race; put the partial grab back and retry.
+                drop(lease);
+            }
+            if !keep_waiting() {
+                return None;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+    }
+
     /// Atomically take up to `want` slots; the returned lease reports
     /// how many were actually granted (possibly zero) and returns them
     /// to the pool when dropped.
@@ -202,6 +246,32 @@ mod tests {
         assert_eq!(b.available(), 1);
         drop(held);
         assert_eq!(b.available(), 4);
+    }
+
+    #[test]
+    fn lease_blocking_waits_for_a_seat_and_respects_abandonment() {
+        let b = JobBudget::new(2);
+        // Seats available: returns immediately with at least `min`.
+        let seat = b.lease_blocking(1, 1, || true).expect("seat available");
+        assert_eq!(seat.granted(), 1);
+
+        // Pool exhausted: the wait observes `keep_waiting` and gives up.
+        let rest = b.lease(5);
+        assert_eq!(rest.granted(), 1);
+        assert!(b.lease_blocking(1, 1, || false).is_none());
+
+        // A blocked waiter is seated once a slot comes home.
+        std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| b.lease_blocking(1, 1, || true));
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            drop(rest);
+            let seated = waiter.join().expect("waiter thread");
+            assert_eq!(seated.expect("seated after release").granted(), 1);
+        });
+
+        // A serial budget can never seat anyone.
+        assert!(JobBudget::serial().lease_blocking(1, 1, || true).is_none());
+        drop(seat);
     }
 
     #[test]

@@ -36,9 +36,22 @@
 //! `cell:panic@5x1` (only the first attempt panics — a retry then
 //! succeeds), `cell:abort@19` (the process dies when cell 19 starts),
 //! `cell:delay=250@3` (cell 3 sleeps 250 ms before simulating).
+//!
+//! Degenerate specs are rejected at parse time rather than silently
+//! testing nothing: a fire count of `x0` can never fire, and a delay
+//! longer than [`MAX_DELAY_MS`] would wedge a deadline-bearing daemon
+//! worker for longer than any test legitimately needs (a delay is a
+//! *sleep on a leased worker slot* — nothing can preempt it).
 
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
+
+/// Longest delay a `delay=<millis>` spec may request (10 minutes).
+///
+/// A failpoint delay occupies a worker slot non-preemptibly; anything
+/// longer than this is a typo (e.g. nanoseconds pasted as milliseconds)
+/// that would wedge a daemon past every per-cell deadline.
+pub const MAX_DELAY_MS: u64 = 600_000;
 
 /// What a triggered failpoint does.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,22 +93,31 @@ impl Failpoint {
         if site.is_empty() {
             return Err(format!("failpoint {spec:?}: empty site name"));
         }
-        let action =
-            match action_str {
-                "panic" => FailAction::Panic,
-                "abort" => FailAction::Abort,
-                other => match other.strip_prefix("delay=") {
-                    Some(ms) => FailAction::DelayMs(ms.parse().map_err(|_| {
+        let action = match action_str {
+            "panic" => FailAction::Panic,
+            "abort" => FailAction::Abort,
+            other => match other.strip_prefix("delay=") {
+                Some(ms) => {
+                    let millis: u64 = ms.parse().map_err(|_| {
                         format!("failpoint {spec:?}: bad delay milliseconds {ms:?}")
-                    })?),
-                    None => {
+                    })?;
+                    if millis > MAX_DELAY_MS {
                         return Err(format!(
-                            "failpoint {spec:?}: unknown action {other:?} \
-                         (expected panic, abort, or delay=<millis>)"
-                        ))
+                            "failpoint {spec:?}: delay {millis} ms exceeds the \
+                                 {MAX_DELAY_MS} ms maximum (a delay holds a worker \
+                                 slot non-preemptibly)"
+                        ));
                     }
-                },
-            };
+                    FailAction::DelayMs(millis)
+                }
+                None => {
+                    return Err(format!(
+                        "failpoint {spec:?}: unknown action {other:?} \
+                         (expected panic, abort, or delay=<millis>)"
+                    ))
+                }
+            },
+        };
         let (index_str, max_fires) = match tail.split_once('x') {
             Some((idx, count)) => (
                 idx,
@@ -228,10 +250,30 @@ mod tests {
             "cell:panic@x",
             "cell:panic@5x0",
             "cell:delay=abc@1",
+            "cell:delay=600001@1",
         ] {
             let err = Failpoint::parse(bad).unwrap_err();
             assert!(err.contains("failpoint"), "{bad:?} -> {err}");
         }
+    }
+
+    /// The two degenerate shapes a daemon must refuse up front: a fire
+    /// count that can never fire, and a delay long enough to wedge a
+    /// worker past any deadline. Both errors must say *why*.
+    #[test]
+    fn degenerate_specs_are_rejected_with_specific_errors() {
+        let err = Failpoint::parse("cache:panic@3x0").unwrap_err();
+        assert!(err.contains("fire count must be at least 1"), "{err}");
+
+        let err = Failpoint::parse(&format!("cell:delay={}@0", MAX_DELAY_MS + 1)).unwrap_err();
+        assert!(err.contains("exceeds"), "{err}");
+        assert!(err.contains(&MAX_DELAY_MS.to_string()), "{err}");
+
+        // The boundary itself is legal.
+        let fp = Failpoint::parse(&format!("cell:delay={MAX_DELAY_MS}@0")).unwrap();
+        assert_eq!(fp.action(), FailAction::DelayMs(MAX_DELAY_MS));
+        // So is u64::MAX rejected as unparseable-overflow, not accepted.
+        assert!(Failpoint::parse("cell:delay=18446744073709551616@0").is_err());
     }
 
     #[test]

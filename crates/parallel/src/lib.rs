@@ -48,11 +48,13 @@ pub mod failpoint;
 mod pool;
 mod schedule;
 mod shared;
+pub mod sys;
 mod tasks;
 
 pub use budget::{JobBudget, Lease};
-pub use failpoint::{FailAction, Failpoint};
+pub use failpoint::{FailAction, Failpoint, MAX_DELAY_MS};
 pub use pool::Pool;
 pub use schedule::Schedule;
 pub use shared::SharedSlice;
+pub use sys::{FsLock, ShutdownFlag};
 pub use tasks::{panic_message, Task, TaskPanic};

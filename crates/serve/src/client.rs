@@ -1,0 +1,248 @@
+//! Blocking line client for the daemon — what `membound-cli serve`
+//! and the integration tests speak.
+//!
+//! One [`Client`] wraps one connection. Exchanges are synchronous: a
+//! request line goes out, response lines come back until the exchange's
+//! terminal line; a submission's streamed telemetry lines are handed to
+//! a caller callback as they arrive (and can be validated or digested
+//! like any run log, because they *are* run-log lines).
+
+use crate::protocol::{is_telemetry_line, to_line, JobStatus, Request, Response};
+use crate::spec::JobSpec;
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// The resolved knobs of one submission (what [`Request::Submit`]
+/// carries; `Default` matches the server's defaults).
+#[derive(Debug, Clone)]
+pub struct SubmitOptions {
+    /// Scheduling priority, higher first.
+    pub priority: u8,
+    /// Per-cell retry budget for panicking cells.
+    pub retries: u32,
+    /// Per-cell wall-clock deadline in seconds.
+    pub cell_deadline: Option<f64>,
+    /// Per-job fault-injection spec (failpoint grammar).
+    pub failpoint: Option<String>,
+    /// Stream per-cell telemetry lines back.
+    pub stream: bool,
+}
+
+impl Default for SubmitOptions {
+    fn default() -> Self {
+        Self {
+            priority: 0,
+            retries: 0,
+            cell_deadline: None,
+            failpoint: None,
+            stream: true,
+        }
+    }
+}
+
+/// What a completed submission exchange returned.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubmitOutcome {
+    /// The job ran (or was cancelled while queued); fields are the
+    /// terminal `Done` line's.
+    Done {
+        /// The job id.
+        job: u64,
+        /// Final job state (`done`, `failed`, `cancelled`).
+        status: String,
+        /// Combined stats digest, when the job produced one.
+        digest: Option<String>,
+        /// Total cells of the matrix.
+        cells: u64,
+        /// Cells answered from the persistent result cache.
+        cached: u64,
+        /// Cells actually simulated.
+        misses: u64,
+        /// Failure detail for `failed` jobs.
+        error: Option<String>,
+    },
+    /// Admission control refused the job; nothing ran.
+    Rejected {
+        /// `queue_full` or `draining`.
+        reason: String,
+        /// Backoff hint for `queue_full`.
+        retry_after_ms: Option<u64>,
+    },
+    /// The server answered with a protocol error (bad spec, bad
+    /// failpoint, ...).
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+/// One blocking connection to a membound-serve daemon.
+#[derive(Debug)]
+pub struct Client {
+    writer: UnixStream,
+    reader: BufReader<UnixStream>,
+}
+
+impl Client {
+    /// Connect to the daemon listening on `socket`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors (no daemon, permissions, ...).
+    pub fn connect(socket: &Path) -> std::io::Result<Self> {
+        let stream = UnixStream::connect(socket)?;
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    fn send(&mut self, request: &Request) -> std::io::Result<()> {
+        writeln!(self.writer, "{}", to_line(request))
+    }
+
+    /// Read lines until a protocol response arrives, handing telemetry
+    /// lines (trailing newline stripped) to `on_telemetry`.
+    fn read_response(&mut self, mut on_telemetry: impl FnMut(&str)) -> std::io::Result<Response> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "daemon closed the connection mid-exchange",
+                ));
+            }
+            let trimmed = line.trim_end_matches('\n');
+            if trimmed.trim().is_empty() {
+                continue;
+            }
+            if is_telemetry_line(trimmed) {
+                on_telemetry(trimmed);
+                continue;
+            }
+            return serde_json::from_str(trimmed).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("bad response line {trimmed:?}: {e}"),
+                )
+            });
+        }
+    }
+
+    /// Submit `spec` and block until its terminal response, streaming
+    /// each telemetry line (header first, then cells in index order)
+    /// into `on_telemetry`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors and malformed/unexpected protocol lines. A *rejected*
+    /// submission is not an error — it is [`SubmitOutcome::Rejected`].
+    pub fn submit(
+        &mut self,
+        spec: &JobSpec,
+        options: &SubmitOptions,
+        mut on_telemetry: impl FnMut(&str),
+    ) -> std::io::Result<SubmitOutcome> {
+        self.send(&Request::Submit {
+            spec: spec.clone(),
+            priority: Some(options.priority),
+            retries: Some(options.retries),
+            cell_deadline: options.cell_deadline,
+            failpoint: options.failpoint.clone(),
+            stream: Some(options.stream),
+        })?;
+        loop {
+            match self.read_response(&mut on_telemetry)? {
+                Response::Accepted { .. } => continue,
+                Response::Done {
+                    job,
+                    status,
+                    digest,
+                    cells,
+                    cached,
+                    misses,
+                    error,
+                } => {
+                    return Ok(SubmitOutcome::Done {
+                        job,
+                        status,
+                        digest,
+                        cells,
+                        cached,
+                        misses,
+                        error,
+                    })
+                }
+                Response::Rejected {
+                    reason,
+                    retry_after_ms,
+                } => {
+                    return Ok(SubmitOutcome::Rejected {
+                        reason,
+                        retry_after_ms,
+                    })
+                }
+                Response::Error { message } => return Ok(SubmitOutcome::Error { message }),
+                other => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("unexpected response to submit: {other:?}"),
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Fetch the job table (`job = None` for every job).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors and unexpected protocol lines.
+    pub fn status(&mut self, job: Option<u64>) -> std::io::Result<Vec<JobStatus>> {
+        self.send(&Request::Status { job })?;
+        match self.read_response(|_| {})? {
+            Response::Status { jobs } => Ok(jobs),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unexpected response to status: {other:?}"),
+            )),
+        }
+    }
+
+    /// Cancel a queued job: `Ok(Ok(()))` = cancelled, `Ok(Err(why))` =
+    /// the server refused (unknown job, already running or finished).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors and unexpected protocol lines.
+    pub fn cancel(&mut self, job: u64) -> std::io::Result<Result<(), String>> {
+        self.send(&Request::Cancel { job })?;
+        match self.read_response(|_| {})? {
+            Response::Cancelled { .. } => Ok(Ok(())),
+            Response::Error { message } => Ok(Err(message)),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unexpected response to cancel: {other:?}"),
+            )),
+        }
+    }
+
+    /// Ask the daemon to drain and exit (acknowledged before it does).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors and unexpected protocol lines.
+    pub fn shutdown(&mut self) -> std::io::Result<()> {
+        self.send(&Request::Shutdown)?;
+        match self.read_response(|_| {})? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unexpected response to shutdown: {other:?}"),
+            )),
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! # membound-serve
+//!
+//! A long-running *simulation service* for the membound workspace
+//! (DESIGN.md §14): instead of paying process startup and cache-open
+//! cost per figure run, a daemon accepts simulation jobs over a local
+//! Unix socket, queues them with priorities, schedules them against
+//! **one shared worker budget** ([`membound_parallel::JobBudget`]) and
+//! streams each job's per-cell telemetry back as schema-v6 JSONL — the
+//! byte-identical lines a one-shot figure run writes to its `--run-log`.
+//!
+//! The moving parts:
+//!
+//! * [`spec::JobSpec`] — what to simulate: a figure's full experiment
+//!   matrix (`fig2`/`fig6`) or an ad-hoc transposition ladder, with the
+//!   same device filtering and workload scaling as the figure binaries,
+//!   so a served job reproduces the one-shot canonical digests byte for
+//!   byte.
+//! * [`protocol`] — the newline-delimited JSON wire protocol (one
+//!   request or response object per line; hand-rolled over the
+//!   in-tree serde shims, no network crates).
+//! * [`queue::JobQueue`] — a bounded priority queue. A full queue
+//!   *rejects* with a `retry_after_ms` hint instead of blocking the
+//!   client: admission control, not buffering.
+//! * [`server::Server`] — the daemon: accept loop, scheduler and job
+//!   table. Jobs are seated one budget slot at a time
+//!   ([`membound_parallel::JobBudget::lease_blocking`]) and run through
+//!   [`membound_core::runner::Engine::run_streamed`], so N concurrent
+//!   jobs never oversubscribe the host. `SIGTERM`/`SIGINT` (or a
+//!   `shutdown` request) drains: queued and running jobs finish, new
+//!   work is rejected, then the socket is removed.
+//! * [`client::Client`] — the blocking line client the CLI and tests
+//!   use.
+//!
+//! Determinism contract: simulated outcomes are independent of job
+//! counts and budget contention (DESIGN.md §9), so a job's combined
+//! digest equals a serial one-shot run's regardless of how many other
+//! jobs were racing it for budget slots, and a cache-warm resubmission
+//! answers with `misses = 0` without simulating at all.
+
+#![warn(missing_docs)]
+
+// The daemon and its client speak over Unix sockets; on other targets
+// the wire types, spec and queue still build (and test), the transport
+// does not.
+#[cfg(unix)]
+pub mod client;
+pub mod protocol;
+pub mod queue;
+#[cfg(unix)]
+pub mod server;
+pub mod spec;
+
+#[cfg(unix)]
+pub use client::Client;
+pub use protocol::{Request, Response};
+pub use queue::JobQueue;
+#[cfg(unix)]
+pub use server::{Server, ServerConfig};
+pub use spec::JobSpec;

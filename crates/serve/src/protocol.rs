@@ -1,0 +1,300 @@
+//! The daemon's wire protocol: newline-delimited JSON over a local Unix
+//! socket.
+//!
+//! Both directions carry exactly one JSON object per line. Requests and
+//! responses are externally tagged enums (`{"Submit": {...}}`,
+//! `{"Accepted": {...}}`); in between a submission's `Accepted` and its
+//! terminal `Done`, the server streams the job's run-log lines —
+//! schema-v6 telemetry objects carrying a `"kind"` key (`"header"`,
+//! `"cell"`), byte-identical to a one-shot run's `--run-log` lines.
+//! [`is_telemetry_line`] is the discriminator clients use to split the
+//! two families without speculative parsing.
+//!
+//! The protocol is deliberately hand-rolled over the in-tree serde
+//! shims: no network or RPC crates, one blocking line per exchange, so
+//! `nc -U` can drive a daemon interactively.
+
+use crate::spec::JobSpec;
+use serde::{Deserialize, Serialize};
+
+/// A client-to-server message (one JSON object per line).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Submit one job. The connection then receives the job's streamed
+    /// telemetry lines (unless `stream` is `false`) followed by a
+    /// [`Response::Done`] — or an immediate [`Response::Rejected`].
+    Submit {
+        /// What to simulate.
+        spec: JobSpec,
+        /// Scheduling priority, higher first (FIFO within a priority);
+        /// absent = 0.
+        priority: Option<u8>,
+        /// Per-cell retry budget for panicking cells (engine
+        /// `RunOptions::retries`); absent = 0.
+        retries: Option<u32>,
+        /// Per-cell wall-clock deadline in seconds
+        /// (`RunOptions::cell_deadline`); absent = none.
+        cell_deadline: Option<f64>,
+        /// Fault-injection spec for this job only
+        /// (`membound_parallel::Failpoint` grammar, e.g.
+        /// `cell:delay=100@0`); absent = the daemon's
+        /// `MEMBOUND_FAILPOINT` environment, if any.
+        failpoint: Option<String>,
+        /// Stream per-cell telemetry lines back on this connection;
+        /// absent = `true`. `false` still runs the job — only the
+        /// terminal [`Response::Done`] is sent.
+        stream: Option<bool>,
+    },
+    /// Report the job table: one job, or every job the daemon remembers.
+    Status {
+        /// Restrict to this job id; absent = all jobs.
+        job: Option<u64>,
+    },
+    /// Cancel a *queued* job. A running job cannot be preempted (the
+    /// simulator has no cancellation points) and a finished one is
+    /// already done; both answer [`Response::Error`].
+    Cancel {
+        /// The job id to cancel.
+        job: u64,
+    },
+    /// Ask the daemon to drain and exit, exactly as `SIGTERM` would:
+    /// running and queued jobs finish, new submissions are rejected,
+    /// then the socket is removed.
+    Shutdown,
+}
+
+/// Reasons a submission is rejected ([`Response::Rejected`]).
+pub mod reject {
+    /// The bounded queue is full — back off for `retry_after_ms` and
+    /// resubmit (admission control, the daemon never buffers
+    /// unboundedly).
+    pub const QUEUE_FULL: &str = "queue_full";
+    /// The daemon is draining for shutdown and accepts no new work.
+    pub const DRAINING: &str = "draining";
+}
+
+/// Lifecycle states in [`JobStatus::state`].
+pub mod state {
+    /// Admitted, waiting for a budget seat.
+    pub const QUEUED: &str = "queued";
+    /// Seated and simulating.
+    pub const RUNNING: &str = "running";
+    /// Finished; digest and counters are final.
+    pub const DONE: &str = "done";
+    /// The job could not run (bad spec) or a cell failed terminally.
+    pub const FAILED: &str = "failed";
+    /// Cancelled while still queued.
+    pub const CANCELLED: &str = "cancelled";
+}
+
+/// One job-table row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobStatus {
+    /// Daemon-assigned job id (monotonic per daemon lifetime).
+    pub job: u64,
+    /// Human label of the spec ([`JobSpec::label`]).
+    pub label: String,
+    /// One of the [`state`] constants.
+    pub state: String,
+    /// Scheduling priority the job was admitted with.
+    pub priority: u8,
+    /// Total cells of the job's matrix.
+    pub cells: u64,
+    /// Cells answered from the persistent result cache (final for
+    /// `done`, 0 before).
+    pub cached: u64,
+    /// Cells actually simulated (`cells - cached` for `done`, 0 before).
+    pub misses: u64,
+    /// The run's combined stats digest, once `done`.
+    pub digest: Option<String>,
+    /// Failure detail for `failed` jobs.
+    pub error: Option<String>,
+}
+
+/// A server-to-client message (one JSON object per line).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// The submission was admitted to the queue.
+    Accepted {
+        /// Assigned job id.
+        job: u64,
+        /// Jobs ahead of or alongside it in the queue (including
+        /// itself) at admission time.
+        queue_depth: u64,
+    },
+    /// The submission was refused; nothing was queued.
+    Rejected {
+        /// One of the [`reject`] constants.
+        reason: String,
+        /// For [`reject::QUEUE_FULL`]: how long the client should wait
+        /// before resubmitting.
+        retry_after_ms: Option<u64>,
+    },
+    /// Terminal answer for a submission on this connection.
+    Done {
+        /// The job id.
+        job: u64,
+        /// Final [`state`] constant (`done` or `failed`).
+        status: String,
+        /// Combined stats digest of the run (absent when `failed`).
+        digest: Option<String>,
+        /// Total cells.
+        cells: u64,
+        /// Cells answered from the persistent result cache without
+        /// simulating.
+        cached: u64,
+        /// Cells actually simulated this run.
+        misses: u64,
+        /// Failure detail when `status == "failed"`.
+        error: Option<String>,
+    },
+    /// Answer to [`Request::Status`].
+    Status {
+        /// Matching job-table rows, oldest first.
+        jobs: Vec<JobStatus>,
+    },
+    /// The queued job was removed before running.
+    Cancelled {
+        /// The cancelled job id.
+        job: u64,
+    },
+    /// The daemon acknowledged [`Request::Shutdown`] and is draining.
+    ShuttingDown,
+    /// The request could not be honoured (parse error, unknown job,
+    /// bad spec, uncancellable state, ...). The connection stays open.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+/// Whether a received line is a streamed telemetry record (a run-log
+/// `"kind"`-keyed object) rather than a protocol [`Response`].
+///
+/// Run-log lines are flat objects whose first key is always `"kind"`
+/// (header and cell records alike — serialization order is declaration
+/// order), while every protocol line is an externally tagged enum whose
+/// single key is a variant name. Checking the prefix keeps the hot
+/// streaming path free of a second JSON parse.
+#[must_use]
+pub fn is_telemetry_line(line: &str) -> bool {
+    line.trim_start().starts_with("{\"kind\":")
+}
+
+/// Render a protocol message as one wire line (no trailing newline).
+///
+/// # Panics
+///
+/// Never in practice: the protocol types serialize infallibly.
+#[must_use]
+pub fn to_line<T: Serialize>(message: &T) -> String {
+    serde_json::to_string(message).expect("protocol message serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Submit {
+                spec: JobSpec::Fig2 {
+                    full: false,
+                    device: Some("mango".into()),
+                },
+                priority: Some(3),
+                retries: Some(1),
+                cell_deadline: Some(30.0),
+                failpoint: Some("cell:delay=5@0".into()),
+                stream: Some(true),
+            },
+            Request::Status { job: None },
+            Request::Cancel { job: 7 },
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let line = to_line(&req);
+            assert!(!line.contains('\n'), "{line}");
+            let back: Request = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, req, "{line}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = [
+            Response::Accepted {
+                job: 1,
+                queue_depth: 2,
+            },
+            Response::Rejected {
+                reason: reject::QUEUE_FULL.into(),
+                retry_after_ms: Some(250),
+            },
+            Response::Done {
+                job: 1,
+                status: state::DONE.into(),
+                digest: Some("7bceab43d67f5ae3".into()),
+                cells: 10,
+                cached: 10,
+                misses: 0,
+                error: None,
+            },
+            Response::Status {
+                jobs: vec![JobStatus {
+                    job: 1,
+                    label: "fig2_transpose".into(),
+                    state: state::RUNNING.into(),
+                    priority: 0,
+                    cells: 40,
+                    cached: 0,
+                    misses: 0,
+                    digest: None,
+                    error: None,
+                }],
+            },
+            Response::Cancelled { job: 4 },
+            Response::ShuttingDown,
+            Response::Error {
+                message: "unknown job 99".into(),
+            },
+        ];
+        for resp in resps {
+            let line = to_line(&resp);
+            let back: Response = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, resp, "{line}");
+        }
+    }
+
+    #[test]
+    fn submit_tolerates_absent_optional_fields() {
+        let line = r#"{"Submit":{"spec":{"Fig2":{"full":false,"device":null}}}}"#;
+        let req: Request = serde_json::from_str(line).unwrap();
+        let Request::Submit {
+            priority,
+            retries,
+            cell_deadline,
+            failpoint,
+            stream,
+            ..
+        } = req
+        else {
+            panic!("not a submit")
+        };
+        assert_eq!(priority, None);
+        assert_eq!(retries, None);
+        assert_eq!(cell_deadline, None);
+        assert_eq!(failpoint, None);
+        assert_eq!(stream, None);
+    }
+
+    #[test]
+    fn telemetry_lines_are_distinguishable_from_protocol_lines() {
+        let header = membound_core::telemetry::RunHeader::new("fig2_transpose", 2, 40);
+        let line = serde_json::to_string(&header).unwrap();
+        assert!(is_telemetry_line(&line), "{line}");
+        assert!(!is_telemetry_line(&to_line(&Response::ShuttingDown)));
+        assert!(!is_telemetry_line(&to_line(&Request::Shutdown)));
+    }
+}

@@ -1,0 +1,274 @@
+//! Bounded priority job queue — the daemon's admission-control stage.
+//!
+//! Capacity is a hard limit: a submission against a full queue is
+//! *rejected* (the server answers `queue_full` with a retry hint)
+//! instead of blocking the connection or buffering unboundedly.
+//! Scheduling order is priority-descending, FIFO within one priority
+//! (an admission sequence number breaks ties), so equal-priority jobs
+//! drain in arrival order and a late high-priority job overtakes the
+//! queue but never a job already running.
+
+use std::sync::{Condvar, Mutex};
+
+/// Why [`JobQueue::submit`] refused an entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue holds `cap` entries; `depth` is that capacity. The
+    /// caller should back off and resubmit.
+    Full {
+        /// Entries currently queued (= the capacity).
+        depth: usize,
+    },
+    /// The queue was closed for shutdown; no work is admitted anymore.
+    Closed,
+}
+
+#[derive(Debug)]
+struct Entry<T> {
+    job: u64,
+    priority: u8,
+    seq: u64,
+    payload: T,
+}
+
+#[derive(Debug)]
+struct State<T> {
+    entries: Vec<Entry<T>>,
+    next_seq: u64,
+    closed: bool,
+}
+
+/// A bounded, closable priority queue of `(job id, payload)` entries.
+#[derive(Debug)]
+pub struct JobQueue<T> {
+    cap: usize,
+    state: Mutex<State<T>>,
+    takeable: Condvar,
+}
+
+impl<T> JobQueue<T> {
+    /// A queue admitting at most `cap` entries (clamped to at least 1).
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap: cap.max(1),
+            state: Mutex::new(State {
+                entries: Vec::new(),
+                next_seq: 0,
+                closed: false,
+            }),
+            takeable: Condvar::new(),
+        }
+    }
+
+    /// Capacity this queue admits.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Entries currently queued (racy the instant it returns; for
+    /// status reporting).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").entries.len()
+    }
+
+    /// Whether no entries are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Admit `payload` for `job` at `priority`, returning the queue
+    /// depth including it.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Full`] against a full queue (admission control —
+    /// nothing was queued), [`SubmitError::Closed`] once the queue shut
+    /// down.
+    pub fn submit(&self, job: u64, priority: u8, payload: T) -> Result<usize, SubmitError> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.closed {
+            return Err(SubmitError::Closed);
+        }
+        if state.entries.len() >= self.cap {
+            return Err(SubmitError::Full { depth: self.cap });
+        }
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        state.entries.push(Entry {
+            job,
+            priority,
+            seq,
+            payload,
+        });
+        self.takeable.notify_one();
+        Ok(state.entries.len())
+    }
+
+    /// Block until an entry is schedulable and take the best one
+    /// (highest priority, oldest within it), or return `None` once the
+    /// queue is closed *and* drained — closing never drops admitted
+    /// work.
+    #[must_use]
+    pub fn pop(&self) -> Option<(u64, u8, T)> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(best) = state
+                .entries
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, e)| (e.priority, std::cmp::Reverse(e.seq)))
+                .map(|(i, _)| i)
+            {
+                let entry = state.entries.remove(best);
+                return Some((entry.job, entry.priority, entry.payload));
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.takeable.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Block until the queue is non-empty (`true`) or closed *and*
+    /// drained (`false`), without removing anything.
+    ///
+    /// This is the scheduler's gate for correct backpressure: it must
+    /// *not* pop a job before it holds a budget seat for it, or the
+    /// queue would drain into a hidden waiting room and a "full" queue
+    /// would never reject. The scheduler waits here, acquires the seat,
+    /// then [`Self::try_pop`]s — entries stay visible (and countable
+    /// against capacity) until they are genuinely dispatched.
+    #[must_use]
+    pub fn wait_nonempty(&self) -> bool {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if !state.entries.is_empty() {
+                return true;
+            }
+            if state.closed {
+                return false;
+            }
+            state = self.takeable.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Take the best entry (highest priority, oldest within it) if one
+    /// is queued right now; never blocks.
+    #[must_use]
+    pub fn try_pop(&self) -> Option<(u64, u8, T)> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        let best = state
+            .entries
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, e)| (e.priority, std::cmp::Reverse(e.seq)))
+            .map(|(i, _)| i)?;
+        let entry = state.entries.remove(best);
+        Some((entry.job, entry.priority, entry.payload))
+    }
+
+    /// Remove a still-queued job, returning its payload; `None` when it
+    /// is not in the queue (already popped, finished, or never
+    /// admitted).
+    #[must_use]
+    pub fn cancel(&self, job: u64) -> Option<T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        let index = state.entries.iter().position(|e| e.job == job)?;
+        Some(state.entries.remove(index).payload)
+    }
+
+    /// Close the queue: further submissions fail, blocked [`Self::pop`]
+    /// callers drain the remaining entries and then observe `None`.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.takeable.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn priority_beats_fifo_and_fifo_breaks_ties() {
+        let q = JobQueue::new(8);
+        q.submit(1, 0, "a").unwrap();
+        q.submit(2, 5, "b").unwrap();
+        q.submit(3, 5, "c").unwrap();
+        q.submit(4, 9, "d").unwrap();
+        let order: Vec<u64> = std::iter::from_fn(|| {
+            q.close();
+            q.pop().map(|(job, _, _)| job)
+        })
+        .collect();
+        assert_eq!(order, vec![4, 2, 3, 1]);
+    }
+
+    #[test]
+    fn a_full_queue_rejects_without_queueing() {
+        let q = JobQueue::new(2);
+        q.submit(1, 0, ()).unwrap();
+        q.submit(2, 0, ()).unwrap();
+        assert_eq!(q.submit(3, 9, ()), Err(SubmitError::Full { depth: 2 }));
+        assert_eq!(q.len(), 2, "the rejected entry left no trace");
+    }
+
+    #[test]
+    fn cancel_removes_only_queued_jobs() {
+        let q = JobQueue::new(4);
+        q.submit(1, 0, "x").unwrap();
+        assert_eq!(q.cancel(1), Some("x"));
+        assert_eq!(q.cancel(1), None, "already gone");
+        assert_eq!(q.cancel(99), None, "never admitted");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn close_rejects_new_work_but_drains_admitted_work() {
+        let q = JobQueue::new(4);
+        q.submit(1, 0, ()).unwrap();
+        q.close();
+        assert_eq!(q.submit(2, 0, ()), Err(SubmitError::Closed));
+        assert_eq!(q.pop().map(|(j, _, _)| j), Some(1));
+        assert_eq!(q.pop(), None, "drained and closed");
+    }
+
+    #[test]
+    fn wait_nonempty_leaves_entries_counting_against_capacity() {
+        let q = JobQueue::new(1);
+        q.submit(1, 0, "a").unwrap();
+        assert!(q.wait_nonempty(), "work is queued");
+        // The scheduler is now off acquiring a seat; the entry must
+        // still hold its queue slot so admission control sees it.
+        assert_eq!(q.submit(2, 0, "b"), Err(SubmitError::Full { depth: 1 }));
+        assert_eq!(q.try_pop().map(|(j, _, _)| j), Some(1));
+        assert_eq!(q.try_pop(), None, "drained; try_pop never blocks");
+        q.close();
+        assert!(!q.wait_nonempty(), "closed and drained");
+    }
+
+    #[test]
+    fn pop_blocks_until_work_or_close() {
+        let q = Arc::new(JobQueue::new(4));
+        let popper = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop().map(|(j, _, _)| j))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.submit(7, 0, ()).unwrap();
+        assert_eq!(popper.join().unwrap(), Some(7));
+
+        let waiter = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+}

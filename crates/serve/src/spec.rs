@@ -1,0 +1,312 @@
+//! What a submitted job simulates.
+//!
+//! A [`JobSpec`] is the wire-side description of one experiment matrix.
+//! Its [`JobSpec::matrix`] constructor replicates the corresponding
+//! figure binary's matrix-building loop *statement for statement*
+//! (`crates/bench/src/bin/fig2_transpose.rs`, `fig6_blur.rs`), because
+//! the determinism contract of the daemon is digest equality with the
+//! one-shot binaries: same cells in the same order, same workload
+//! configs, same device sweep — hence the same canonical combined
+//! digest.
+
+use membound_core::runner::{Cell, ExperimentMatrix};
+use membound_core::{BlurConfig, BlurVariant, TransposeConfig, TransposeVariant};
+use membound_sim::Device;
+use serde::{Deserialize, Serialize};
+
+/// One job's experiment matrix, as submitted over the wire.
+///
+/// Externally tagged JSON, e.g.
+/// `{"Fig2": {"full": false, "device": "mango"}}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JobSpec {
+    /// The Fig. 2/3 transposition matrix: two sizes × devices × the
+    /// five-variant ladder, exactly as `fig2_transpose` builds it.
+    Fig2 {
+        /// Paper-scale sizes (8192/16384) instead of the scaled-down
+        /// defaults (2048/4096).
+        full: bool,
+        /// Device filter ([`Device::matching`]); `None` sweeps all four.
+        device: Option<String>,
+    },
+    /// The Fig. 6/7 Gaussian-blur matrix: devices × the five-variant
+    /// ladder at one image size, exactly as `fig6_blur` builds it.
+    Fig6 {
+        /// The paper's 2544×2027 image instead of the half-resolution
+        /// default.
+        full: bool,
+        /// Device filter ([`Device::matching`]); `None` sweeps all four.
+        device: Option<String>,
+    },
+    /// An ad-hoc transposition ladder: caller-chosen sizes and block,
+    /// the full five-variant ladder per size × device. This is what the
+    /// crash-safety and daemon tests use — tiny sizes keep a served job
+    /// fast under unoptimized test binaries.
+    TransposeLadder {
+        /// Matrix sizes (one panel per size).
+        sizes: Vec<usize>,
+        /// Blocking factor for the blocked variants.
+        block: usize,
+        /// Device filter ([`Device::matching`]); `None` sweeps all four.
+        device: Option<String>,
+    },
+}
+
+impl JobSpec {
+    /// Resolve the device axis: `None` sweeps all modelled devices, a
+    /// filter goes through [`Device::matching`] (loose, case- and
+    /// punctuation-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// A filter matching no device names the filter and the inventory.
+    fn devices(filter: Option<&str>) -> Result<Vec<Device>, String> {
+        let Some(filter) = filter else {
+            return Ok(Device::all().to_vec());
+        };
+        let picked = Device::matching(filter);
+        if picked.is_empty() {
+            return Err(format!(
+                "device filter {filter:?} matches none of: {}",
+                Device::all()
+                    .iter()
+                    .map(|d| d.label())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+        Ok(picked)
+    }
+
+    /// Build the experiment matrix this spec describes — cell for cell
+    /// the matrix the corresponding figure binary would run, so the
+    /// served digest is the one-shot digest.
+    ///
+    /// # Errors
+    ///
+    /// A device filter matching nothing, or a degenerate ladder (no
+    /// sizes / zero block), is a submission error the server reports
+    /// back instead of running.
+    pub fn matrix(&self) -> Result<ExperimentMatrix, String> {
+        match self {
+            JobSpec::Fig2 { full, device } => {
+                let devices = Self::devices(device.as_deref())?;
+                let (n1, n2) = if *full { (8192, 16384) } else { (2048, 4096) };
+                let mut matrix = ExperimentMatrix::new("fig2_transpose");
+                for n in [n1, n2] {
+                    let cfg = TransposeConfig::new(n);
+                    for device in &devices {
+                        let spec = device.spec();
+                        for variant in TransposeVariant::all() {
+                            matrix.push(Cell::transpose(
+                                n.to_string(),
+                                device.label(),
+                                &spec,
+                                variant,
+                                cfg,
+                            ));
+                        }
+                    }
+                }
+                Ok(matrix)
+            }
+            JobSpec::Fig6 { full, device } => {
+                let devices = Self::devices(device.as_deref())?;
+                let cfg = if *full {
+                    BlurConfig::paper()
+                } else {
+                    BlurConfig::small(1013, 1272)
+                };
+                let panel = format!("{}x{}", cfg.height, cfg.width);
+                let mut matrix = ExperimentMatrix::new("fig6_blur");
+                for device in &devices {
+                    let spec = device.spec();
+                    for variant in BlurVariant::all() {
+                        matrix.push(Cell::blur(
+                            panel.clone(),
+                            device.label(),
+                            &spec,
+                            variant,
+                            cfg,
+                        ));
+                    }
+                }
+                Ok(matrix)
+            }
+            JobSpec::TransposeLadder {
+                sizes,
+                block,
+                device,
+            } => {
+                if sizes.is_empty() {
+                    return Err("transpose ladder needs at least one size".into());
+                }
+                if *block == 0 {
+                    return Err("transpose ladder block must be positive".into());
+                }
+                let devices = Self::devices(device.as_deref())?;
+                let mut matrix = ExperimentMatrix::new("transpose_ladder");
+                for &n in sizes {
+                    let cfg = TransposeConfig::with_block(n, *block);
+                    for device in &devices {
+                        let spec = device.spec();
+                        for variant in TransposeVariant::all() {
+                            matrix.push(Cell::transpose(
+                                n.to_string(),
+                                device.label(),
+                                &spec,
+                                variant,
+                                cfg,
+                            ));
+                        }
+                    }
+                }
+                Ok(matrix)
+            }
+        }
+    }
+
+    /// Short human label for the job table (`serve status`).
+    #[must_use]
+    pub fn label(&self) -> String {
+        let (name, full, device) = match self {
+            JobSpec::Fig2 { full, device } => ("fig2_transpose", *full, device),
+            JobSpec::Fig6 { full, device } => ("fig6_blur", *full, device),
+            JobSpec::TransposeLadder { sizes, device, .. } => {
+                return format!(
+                    "transpose_ladder[{}]{}",
+                    sizes
+                        .iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join(","),
+                    device
+                        .as_deref()
+                        .map(|d| format!(" @{d}"))
+                        .unwrap_or_default()
+                );
+            }
+        };
+        format!(
+            "{name}{}{}",
+            if full { " --full" } else { "" },
+            device
+                .as_deref()
+                .map(|d| format!(" @{d}"))
+                .unwrap_or_default()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_matrix_matches_the_figure_binary_shape() {
+        let spec = JobSpec::Fig2 {
+            full: false,
+            device: None,
+        };
+        let m = spec.matrix().unwrap();
+        assert_eq!(m.figure(), "fig2_transpose");
+        // 2 sizes x 4 devices x 5 variants, sizes outermost.
+        assert_eq!(m.len(), 2 * 4 * 5);
+        assert_eq!(m.cells()[0].panel, "2048");
+        assert_eq!(m.cells()[0].variant, "Naive");
+        assert_eq!(m.cells().last().unwrap().panel, "4096");
+        assert!(m.baselines().is_empty(), "fig2 carries no baselines");
+    }
+
+    #[test]
+    fn fig2_full_switches_to_paper_sizes() {
+        let spec = JobSpec::Fig2 {
+            full: true,
+            device: Some("xeon".into()),
+        };
+        let m = spec.matrix().unwrap();
+        // 2 sizes x 1 filtered device x 5 variants.
+        assert_eq!(m.len(), 10);
+        assert_eq!(m.cells()[0].panel, "8192");
+        assert_eq!(m.cells().last().unwrap().panel, "16384");
+    }
+
+    #[test]
+    fn fig6_matrix_matches_the_figure_binary_shape() {
+        let spec = JobSpec::Fig6 {
+            full: false,
+            device: None,
+        };
+        let m = spec.matrix().unwrap();
+        assert_eq!(m.figure(), "fig6_blur");
+        assert_eq!(m.len(), 4 * 5);
+        assert_eq!(m.cells()[0].panel, "1013x1272");
+        assert_eq!(m.cells()[0].kind.kernel(), "blur");
+    }
+
+    #[test]
+    fn unknown_device_filter_is_a_submission_error() {
+        let spec = JobSpec::Fig2 {
+            full: false,
+            device: Some("cray-1".into()),
+        };
+        let err = spec.matrix().unwrap_err();
+        assert!(err.contains("cray-1"), "{err}");
+        assert!(err.contains("Mango Pi"), "{err}");
+    }
+
+    #[test]
+    fn degenerate_ladders_are_rejected() {
+        let none = JobSpec::TransposeLadder {
+            sizes: vec![],
+            block: 16,
+            device: None,
+        };
+        assert!(none.matrix().unwrap_err().contains("at least one size"));
+        let zero = JobSpec::TransposeLadder {
+            sizes: vec![128],
+            block: 0,
+            device: None,
+        };
+        assert!(zero.matrix().unwrap_err().contains("block"));
+    }
+
+    #[test]
+    fn specs_round_trip_the_wire_format() {
+        let specs = [
+            JobSpec::Fig2 {
+                full: true,
+                device: Some("mango".into()),
+            },
+            JobSpec::Fig6 {
+                full: false,
+                device: None,
+            },
+            JobSpec::TransposeLadder {
+                sizes: vec![96, 128],
+                block: 16,
+                device: Some("mango".into()),
+            },
+        ];
+        for spec in specs {
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: JobSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, spec, "{json}");
+        }
+    }
+
+    #[test]
+    fn labels_are_compact() {
+        let spec = JobSpec::TransposeLadder {
+            sizes: vec![96, 128],
+            block: 16,
+            device: Some("mango".into()),
+        };
+        assert_eq!(spec.label(), "transpose_ladder[96,128] @mango");
+        let spec = JobSpec::Fig2 {
+            full: true,
+            device: None,
+        };
+        assert_eq!(spec.label(), "fig2_transpose --full");
+    }
+}

@@ -58,6 +58,28 @@ impl Device {
         }
     }
 
+    /// The devices whose label or preset name loosely matches
+    /// `filter`: case-insensitive substring match with spaces, dashes,
+    /// underscores, and parentheses stripped, so `visionfive`,
+    /// `mango-pi`, and `Xeon` all select what a human means by them.
+    /// An empty result is the caller's error to surface — the bench
+    /// CLI panics with the device list, the serve daemon rejects the
+    /// job — which is why this returns a possibly-empty `Vec` instead
+    /// of asserting.
+    #[must_use]
+    pub fn matching(filter: &str) -> Vec<Device> {
+        let normalize = |s: &str| s.to_lowercase().replace([' ', '-', '_', '(', ')'], "");
+        let needle = normalize(filter);
+        Device::all()
+            .iter()
+            .copied()
+            .filter(|d| {
+                normalize(d.label()).contains(&needle)
+                    || normalize(&format!("{d:?}")).contains(&needle)
+            })
+            .collect()
+    }
+
     /// Build the full device model.
     #[must_use]
     pub fn spec(self) -> DeviceSpec {
@@ -250,6 +272,21 @@ mod tests {
     #[test]
     fn mango_pi_has_no_l2() {
         assert_eq!(Device::MangoPiMqPro.spec().caches.len(), 1);
+    }
+
+    #[test]
+    fn matching_is_loose_but_not_wrong() {
+        assert_eq!(Device::matching("mango"), vec![Device::MangoPiMqPro]);
+        assert_eq!(
+            Device::matching("VisionFive"),
+            vec![Device::StarFiveVisionFive]
+        );
+        assert_eq!(Device::matching("mango-pi"), vec![Device::MangoPiMqPro]);
+        assert_eq!(Device::matching("Xeon"), vec![Device::IntelXeon4310T]);
+        // "pi" is genuinely ambiguous and must say so by matching both.
+        assert_eq!(Device::matching("pi").len(), 2, "Mango Pi + Raspberry Pi 4");
+        assert!(Device::matching("gpu").is_empty());
+        assert_eq!(Device::matching("").len(), 4, "empty filter matches all");
     }
 
     #[test]

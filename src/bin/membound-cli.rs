@@ -10,6 +10,7 @@
 //! membound-cli native-transpose [-n 1024] [--variant all] [--threads 0]
 //! membound-cli native-blur      [--height 317 --width 397] [--variant all]
 //! membound-cli cache stats|gc|verify [--cache-dir <dir>]
+//! membound-cli serve submit|status|cancel|shutdown --socket <path> [...]
 //! ```
 //!
 //! `--device all` (the default) sweeps the paper's four devices;
@@ -50,6 +51,8 @@ fn usage() -> ! {
          \x20 strided-gate                    prove batched strided replay matches per-element\n\
          \x20 cache stats|gc|verify           inspect or reclaim a persistent result cache\n\
          \x20                                 (--cache-dir <dir>, or MEMBOUND_CACHE_DIR)\n\
+         \x20 serve submit|status|cancel|shutdown   talk to a membound-serve daemon\n\
+         \x20                                 (--socket <path>; see `serve --help`)\n\
          common options:\n\
          \x20 --device mangopi|starfive|rpi4|xeon|all   (default: all)\n\
          \x20 --variant <ladder variant>|all            (default: all)\n\
@@ -627,6 +630,228 @@ fn cmd_cache(args: &[String]) -> ExitCode {
     }
 }
 
+/// Usage of the `serve` client subcommands.
+fn serve_usage() -> ! {
+    eprintln!(
+        "usage: membound-cli serve <action> --socket <path> [options]\n\
+         actions:\n\
+         \x20 submit    run a job on the daemon and stream its telemetry\n\
+         \x20           --figure fig2|fig6|ladder      (default: fig2)\n\
+         \x20           --full                         paper-scale workload sizes\n\
+         \x20           --device <filter>              restrict the device axis\n\
+         \x20           --sizes N,N,... --block N      ladder workload (figure `ladder`)\n\
+         \x20           --priority N                   higher runs first (default 0)\n\
+         \x20           --retries N  --cell-deadline S engine fault-tolerance policy\n\
+         \x20           --failpoint <spec>             per-job fault injection\n\
+         \x20           --quiet                        suppress streamed telemetry lines\n\
+         \x20 status    print the daemon's job table   [--job N]\n\
+         \x20 cancel    cancel a queued job            --job N\n\
+         \x20 shutdown  ask the daemon to drain and exit\n\
+         exit codes: 0 done, 1 job failed, 2 usage/protocol error, 3 rejected\n\
+         (a `queue_full` rejection prints its retry_after_ms hint)"
+    );
+    std::process::exit(2);
+}
+
+/// Parse `serve submit` flags into a spec + options pair.
+fn serve_submit_params(
+    opts: &Opts,
+    full: bool,
+    quiet: bool,
+) -> (
+    membound::serve::JobSpec,
+    membound::serve::client::SubmitOptions,
+) {
+    use membound::serve::JobSpec;
+    let device = opts.get("device").map(str::to_owned);
+    let spec = match opts.get("figure").unwrap_or("fig2") {
+        "fig2" => JobSpec::Fig2 { full, device },
+        "fig6" => JobSpec::Fig6 { full, device },
+        "ladder" => {
+            let sizes: Vec<usize> = opts
+                .get("sizes")
+                .unwrap_or("96,128")
+                .split(',')
+                .map(|s| {
+                    s.trim().parse().unwrap_or_else(|_| {
+                        eprintln!("--sizes requires comma-separated integers, got {s:?}");
+                        serve_usage()
+                    })
+                })
+                .collect();
+            JobSpec::TransposeLadder {
+                sizes,
+                block: opts.num("block", 16),
+                device,
+            }
+        }
+        other => {
+            eprintln!("unknown figure: {other} (expected fig2, fig6 or ladder)");
+            serve_usage()
+        }
+    };
+    let options = membound::serve::client::SubmitOptions {
+        priority: opts.num("priority", 0),
+        retries: opts.num("retries", 0),
+        cell_deadline: opts.get("cell-deadline").map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--cell-deadline requires seconds, got {v:?}");
+                serve_usage()
+            })
+        }),
+        failpoint: opts.get("failpoint").map(str::to_owned),
+        stream: !quiet,
+    };
+    (spec, options)
+}
+
+/// `serve submit|status|cancel|shutdown`: the daemon's line client.
+fn cmd_serve(args: &[String]) -> ExitCode {
+    use membound::serve::client::SubmitOutcome;
+    use membound::serve::Client;
+
+    let Some(action) = args.first().map(String::as_str) else {
+        serve_usage()
+    };
+    if action == "--help" || action == "-h" {
+        serve_usage()
+    }
+    // `--full` and `--quiet` are valueless flags the generic Opts
+    // parser would mis-eat; strip them first.
+    let mut rest: Vec<String> = Vec::new();
+    let mut full = false;
+    let mut quiet = false;
+    for a in &args[1..] {
+        match a.as_str() {
+            "--full" => full = true,
+            "--quiet" => quiet = true,
+            _ => rest.push(a.clone()),
+        }
+    }
+    let opts = Opts::parse(&rest);
+    let Some(socket) = opts.get("socket").map(PathBuf::from) else {
+        eprintln!("serve {action}: --socket <path> is required");
+        serve_usage()
+    };
+    let mut client = match Client::connect(&socket) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!(
+                "serve {action}: cannot connect to {}: {e}",
+                socket.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let exchange = match action {
+        "submit" => {
+            let (spec, options) = serve_submit_params(&opts, full, quiet);
+            client.submit(&spec, &options, |line| println!("{line}"))
+        }
+        "status" => {
+            let job = opts.get("job").map(|v| {
+                v.parse().unwrap_or_else(|_| {
+                    eprintln!("--job requires a job id, got {v:?}");
+                    serve_usage()
+                })
+            });
+            match client.status(job) {
+                Err(e) => Err(e),
+                Ok(jobs) => {
+                    let mut table = TextTable::new(
+                        ["job", "label", "state", "prio", "cells", "cached", "digest"]
+                            .map(String::from)
+                            .to_vec(),
+                    );
+                    for j in &jobs {
+                        table.row(vec![
+                            j.job.to_string(),
+                            j.label.clone(),
+                            j.state.clone(),
+                            j.priority.to_string(),
+                            j.cells.to_string(),
+                            j.cached.to_string(),
+                            j.digest.clone().unwrap_or_else(|| "-".into()),
+                        ]);
+                    }
+                    println!("{}", table.render());
+                    return ExitCode::SUCCESS;
+                }
+            }
+        }
+        "cancel" => {
+            let Some(job) = opts.get("job").and_then(|v| v.parse().ok()) else {
+                eprintln!("serve cancel: --job <id> is required");
+                serve_usage()
+            };
+            match client.cancel(job) {
+                Err(e) => Err(e),
+                Ok(Ok(())) => {
+                    println!("[job {job} cancelled]");
+                    return ExitCode::SUCCESS;
+                }
+                Ok(Err(why)) => {
+                    eprintln!("serve cancel: {why}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        "shutdown" => match client.shutdown() {
+            Err(e) => Err(e),
+            Ok(()) => {
+                println!("[daemon draining]");
+                return ExitCode::SUCCESS;
+            }
+        },
+        other => {
+            eprintln!("unknown serve action: {other}");
+            serve_usage()
+        }
+    };
+    match exchange {
+        Ok(SubmitOutcome::Done {
+            job,
+            status,
+            digest,
+            cells,
+            cached,
+            misses,
+            error,
+        }) => {
+            println!(
+                "[job {job} {status}: cells={cells} cached={cached} misses={misses} digest={}]",
+                digest.as_deref().unwrap_or("-")
+            );
+            if let Some(error) = error {
+                eprintln!("[job {job} error: {error}]");
+            }
+            if status == "done" {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Ok(SubmitOutcome::Rejected {
+            reason,
+            retry_after_ms,
+        }) => {
+            eprintln!(
+                "[rejected: {reason}{}]",
+                retry_after_ms.map_or(String::new(), |ms| format!(" retry_after_ms={ms}"))
+            );
+            ExitCode::from(3)
+        }
+        Ok(SubmitOutcome::Error { message }) => {
+            eprintln!("serve {action}: {message}");
+            ExitCode::from(2)
+        }
+        Err(e) => {
+            eprintln!("serve {action}: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
@@ -635,6 +860,9 @@ fn main() -> ExitCode {
     }
     if cmd == "cache" {
         return cmd_cache(&args[1..]);
+    }
+    if cmd == "serve" {
+        return cmd_serve(&args[1..]);
     }
     let opts = Opts::parse(&args[1..]);
     if cmd == "strided-gate" {

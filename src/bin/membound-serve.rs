@@ -1,0 +1,106 @@
+//! `membound-serve` — the long-running simulation daemon (DESIGN.md §14).
+//!
+//! ```text
+//! membound-serve --socket /tmp/membound.sock [--jobs N] [--queue-cap N] [--cache-dir DIR]
+//! ```
+//!
+//! Accepts simulation jobs over a local Unix socket (newline-delimited
+//! JSON; submit with `membound-cli serve submit`), queues them with
+//! priorities, and schedules them against **one shared worker budget**
+//! so N concurrent jobs never oversubscribe the host. Per-cell
+//! telemetry streams back to each submitter as schema-v6 JSONL — the
+//! byte-identical lines a one-shot figure run writes — and jobs whose
+//! cells are already in the `--cache-dir` result cache answer without
+//! simulating at all.
+//!
+//! `SIGTERM`/`SIGINT` drain cleanly: queued and running jobs finish,
+//! new submissions are rejected, the socket is removed, exit code 0.
+
+use membound::parallel::ShutdownFlag;
+use membound::serve::{Server, ServerConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: membound-serve --socket <path> [--jobs <N>] [--queue-cap <N>] [--cache-dir <dir>]\n\
+         \x20 --socket     Unix-socket path to listen on (required; the daemon owns the path)\n\
+         \x20 --jobs       shared worker budget across all running jobs\n\
+         \x20              (default: MEMBOUND_JOBS, then the host core count)\n\
+         \x20 --queue-cap  bounded queue capacity; beyond it submissions are\n\
+         \x20              rejected with a retry-after hint (default: 16)\n\
+         \x20 --cache-dir  persistent result cache shared by every job\n\
+         \x20              (default: MEMBOUND_CACHE_DIR if set, else no cache)"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut socket = None;
+    let mut jobs = None;
+    let mut queue_cap = 16usize;
+    let mut cache_dir = std::env::var_os("MEMBOUND_CACHE_DIR")
+        .filter(|v| !v.is_empty())
+        .map(PathBuf::from);
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--socket" => {
+                socket = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
+            }
+            "--jobs" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                jobs = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("--jobs requires a positive integer, got {v:?}");
+                    usage()
+                }));
+            }
+            "--queue-cap" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                queue_cap = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--queue-cap requires a positive integer, got {v:?}");
+                    usage()
+                });
+            }
+            "--cache-dir" => {
+                cache_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    let Some(socket) = socket else {
+        eprintln!("--socket is required");
+        usage()
+    };
+    let config = ServerConfig {
+        socket,
+        jobs: membound::core::runner::resolve_jobs(jobs),
+        queue_cap,
+        cache_dir,
+    };
+    println!(
+        "[membound-serve] listening on {} (jobs={}, queue-cap={}, cache={})",
+        config.socket.display(),
+        config.jobs,
+        config.queue_cap,
+        config
+            .cache_dir
+            .as_ref()
+            .map_or("off".to_string(), |d| d.display().to_string()),
+    );
+    let shutdown = ShutdownFlag::install();
+    match Server::new(config).run(&shutdown) {
+        Ok(()) => {
+            println!("[membound-serve] drained and exited cleanly");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("[membound-serve] fatal: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

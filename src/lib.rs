@@ -16,7 +16,7 @@
 //! on the host, so the optimization ladders can be demonstrated on real
 //! hardware too.
 //!
-//! This crate is a facade: it re-exports the workspace's five libraries
+//! This crate is a facade: it re-exports the workspace's six libraries
 //! under one namespace.
 //!
 //! | Module | Crate | Contents |
@@ -26,6 +26,7 @@
 //! | [`trace`] | `membound-trace` | memory-reference traces and generators |
 //! | [`parallel`] | `membound-parallel` | OpenMP-style pool and schedules |
 //! | [`image`] | `membound-image` | image substrate and Gaussian kernels |
+//! | [`serve`] | `membound-serve` | simulation daemon, job queue, wire protocol |
 //!
 //! # Quickstart
 //!
@@ -49,5 +50,6 @@
 pub use membound_core as core;
 pub use membound_image as image;
 pub use membound_parallel as parallel;
+pub use membound_serve as serve;
 pub use membound_sim as sim;
 pub use membound_trace as trace;
