@@ -156,12 +156,54 @@ fn bench_fig2_cell(c: &mut Criterion) {
     group.finish();
 }
 
+/// Blocked single-pass triad (the `whatif_large_n` kernel at reduced
+/// scale) on the TLB-off Xeon preset: the analytic executor's headline
+/// shape. `analytic/` fast-forwards the steady state after warm-up;
+/// `replay/` forces full per-line replay of the identical trace, so the
+/// pair puts a number on what steady-state extrapolation buys at a size
+/// (2^24 elements, 128 MiB/array — the smallest size whose ~100 fold
+/// chunks leave room for the w=16 warm-up the shared L3 needs) that the
+/// suite can still afford to replay.
+fn replay_blocked_triad(machine: &Machine, elements: u64) {
+    const BLOCK: u64 = 1024;
+    let stride = (elements * 8).next_power_of_two().max(1 << 20) + 65 * 64;
+    let (a, b, c) = (1u64 << 41, (1 << 41) + stride, (1 << 41) + 2 * stride);
+    machine.simulate(1, |_tid, sink| {
+        for blk in 0..elements / BLOCK {
+            let off = blk * BLOCK * 8;
+            sink.load_range(b + off, BLOCK * 8);
+            sink.load_range(c + off, BLOCK * 8);
+            sink.store_range(a + off, BLOCK * 8);
+        }
+    });
+}
+
+fn bench_analytic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath_analytic");
+    group.sample_size(10);
+    let elements = 1u64 << 24;
+    group.throughput(Throughput::Elements(elements));
+    let spec = Device::IntelXeon4310T.spec().without_tlb();
+    let modes = [
+        ("analytic", Machine::new(spec.clone())),
+        ("replay", Machine::new(spec).with_analytic(false)),
+    ];
+    for (mode, machine) in modes {
+        let id = format!("{mode}/xeon_triad_4m");
+        group.bench_with_input(BenchmarkId::from_parameter(id), &machine, |b, machine| {
+            b.iter(|| replay_blocked_triad(machine, elements));
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_repeat_touch,
     bench_unit_stride,
     bench_strided,
     bench_range_vs_elements,
-    bench_fig2_cell
+    bench_fig2_cell,
+    bench_analytic
 );
 criterion_main!(benches);

@@ -29,6 +29,14 @@ use serde::{Deserialize, Serialize};
 /// versions rather than guess.
 ///
 /// History:
+/// * 7 — analytic execution (DESIGN.md §15): [`SimRecord`] carries
+///   `analytic_ops` and `replay_fallback_ops`
+///   ([`membound_sim::SimReport`]'s fast-forward accounting, summed over
+///   cores). Diagnostic like `strided_batches`: excluded from
+///   `stats_digest` — the analytic executor is digest-preserving by
+///   contract, so the log records *whether* steady states were
+///   extrapolated without perturbing digest equality. Absent ⇒ `None`
+///   (pre-v7 log).
 /// * 6 — fixed-point cycle accounting (DESIGN.md §13): the simulator's
 ///   per-core cycle counters migrated from f64 to exact u64 subcycle
 ///   integers, which changes `stats_digest` (and thus every canonical
@@ -59,15 +67,15 @@ use serde::{Deserialize, Serialize};
 ///   silently disagreeing with the simulator's text reports), and
 ///   [`SimRecord`] carries `host_workers`.
 /// * 1 — initial schema.
-pub const SCHEMA_VERSION: u32 = 6;
+pub const SCHEMA_VERSION: u32 = 7;
 
 /// Oldest run-log schema version the validator still reads.
 ///
 /// Migration defaults applied to older logs: fields introduced after a
 /// log's version deserialize as `None` (`host_workers` and
 /// `strided_batches` before v2/v3, `attempts` before v4, `provenance`
-/// before v5) — absent means "this release did not record it", never a
-/// guessed value.
+/// before v5, `analytic_ops`/`replay_fallback_ops` before v7) — absent
+/// means "this release did not record it", never a guessed value.
 pub const MIN_SCHEMA_VERSION: u32 = 1;
 
 /// First line of a run log.
@@ -181,6 +189,18 @@ pub struct SimRecord {
     /// digest-equality contract. `None` only when read from a pre-v3
     /// log, which predates the field.
     pub strided_batches: Option<u64>,
+    /// Expanded elements the analytic executor fast-forwarded instead of
+    /// replaying ([`membound_sim::SimReport::analytic_ops`], summed over
+    /// cores). Diagnostic, digest-excluded: analytic execution is
+    /// digest-preserving by contract (DESIGN.md §15), so this records
+    /// *whether* steady states were extrapolated without perturbing the
+    /// digest-equality checks. `None` only when read from a pre-v7 log.
+    pub analytic_ops: Option<u64>,
+    /// Expanded elements that fell back to concrete replay after the
+    /// analytic planner considered and refused them
+    /// ([`membound_sim::SimReport::replay_fallback_ops`], summed over
+    /// cores). `None` only when read from a pre-v7 log.
+    pub replay_fallback_ops: Option<u64>,
 }
 
 impl SimRecord {
@@ -204,6 +224,8 @@ impl SimRecord {
             stats_digest: format!("{:016x}", report.stats_digest()),
             host_workers: Some(report.host_workers),
             strided_batches: Some(report.strided_batches),
+            analytic_ops: Some(report.analytic_ops),
+            replay_fallback_ops: Some(report.replay_fallback_ops),
         }
     }
 }
@@ -667,6 +689,8 @@ mod tests {
                 stats_digest: "00deadbeef001234".into(),
                 host_workers: Some(1),
                 strided_batches: Some(4),
+                analytic_ops: Some(0),
+                replay_fallback_ops: Some(128),
             }),
             gbps: None,
             speedup_vs_naive: Some(1.0),

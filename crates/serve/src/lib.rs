@@ -5,7 +5,7 @@
 //! cost per figure run, a daemon accepts simulation jobs over a local
 //! Unix socket, queues them with priorities, schedules them against
 //! **one shared worker budget** ([`membound_parallel::JobBudget`]) and
-//! streams each job's per-cell telemetry back as schema-v6 JSONL — the
+//! streams each job's per-cell telemetry back as current-schema JSONL — the
 //! byte-identical lines a one-shot figure run writes to its `--run-log`.
 //!
 //! The moving parts:

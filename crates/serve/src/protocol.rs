@@ -5,7 +5,7 @@
 //! responses are externally tagged enums (`{"Submit": {...}}`,
 //! `{"Accepted": {...}}`); in between a submission's `Accepted` and its
 //! terminal `Done`, the server streams the job's run-log lines —
-//! schema-v6 telemetry objects carrying a `"kind"` key (`"header"`,
+//! current-schema telemetry objects carrying a `"kind"` key (`"header"`,
 //! `"cell"`), byte-identical to a one-shot run's `--run-log` lines.
 //! [`is_telemetry_line`] is the discriminator clients use to split the
 //! two families without speculative parsing.

@@ -469,11 +469,11 @@ fn drain_rejects_new_work_and_finishes_admitted_work() {
     daemon.stop();
 }
 
-/// Streamed telemetry is schema-v6 JSONL: every line the client's
+/// Streamed telemetry is schema-v7 JSONL: every line the client's
 /// callback sees parses as a `kind` record, and the stream carries
 /// exactly one header plus one line per cell.
 #[test]
-fn streamed_telemetry_is_schema_v6_jsonl() {
+fn streamed_telemetry_is_schema_v7_jsonl() {
     let daemon = Daemon::start("stream", 2, 4, None);
     let spec = ladder(&[96]);
     let mut lines = Vec::new();
@@ -493,7 +493,7 @@ fn streamed_telemetry_is_schema_v6_jsonl() {
         "one header + one line per cell"
     );
     assert!(
-        lines[0].starts_with("{\"kind\":\"header\"") && lines[0].contains("\"schema_version\":6"),
+        lines[0].starts_with("{\"kind\":\"header\"") && lines[0].contains("\"schema_version\":7"),
         "header first: {}",
         lines[0]
     );

@@ -571,6 +571,137 @@ impl AssocArray {
         self.flags.fill(0);
         self.hint.fill(0);
     }
+
+    /// Compare against `base` under the tag isomorphism `map` — the
+    /// fast-forward verification primitive. Two states are equivalent when
+    /// every *future* operation behaves identically modulo `map`:
+    ///
+    /// * per set, tags and flags compare positionally (`map`-ped tags for
+    ///   valid entries; invalid ways hold the sentinel on both sides) with
+    ///   LRU/FIFO stamps compared by pairwise *order* (including ties) —
+    ///   victim scans and their tie-breaks consume only the relative
+    ///   order, never the absolute clock values;
+    /// * a set that fails positionally may still match **way-agnostically**
+    ///   for the stamped policies (LRU/FIFO) when both sets are full with
+    ///   strictly ordered stamps: the recency-ranked `(map(tag), flags)`
+    ///   sequences must be equal. Way indices are immaterial there — hits
+    ///   locate by tag, victims by strict-minimum stamp, and the
+    ///   first-invalid-way rule cannot fire on a full set. This absorbs
+    ///   way-rotation phase: a level receiving fewer than `ways` fills per
+    ///   set per period rotates its fill way chunk-to-chunk while the
+    ///   resident *content* is already periodic;
+    /// * PLRU bits and the replacement RNG compare exactly (positional
+    ///   policies never take the way-agnostic path: `plru` is empty for
+    ///   stamped policies and vice versa) — random replacement therefore
+    ///   only matches when the RNG took zero draws between the states;
+    /// * the last-hit way `hint` is excluded: it is a scan shortcut and
+    ///   never changes an access outcome, only how the way is found;
+    /// * the access clock itself is excluded: it differs between any two
+    ///   points in time, and no decision reads it directly.
+    pub(crate) fn ff_shift_eq<F: Fn(u64) -> u64>(&self, base: &AssocArray, map: F) -> bool {
+        if self.sets != base.sets || self.ways != base.ways || self.policy != base.policy {
+            return false;
+        }
+        if self.plru != base.plru || self.rng != base.rng {
+            return false;
+        }
+        if self.stamps.len() != base.stamps.len() {
+            return false;
+        }
+        for set in 0..self.sets {
+            if !self.set_eq_positional(base, set, &map) && !self.set_eq_recency(base, set, &map) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Positional set compare for [`AssocArray::ff_shift_eq`].
+    fn set_eq_positional<F: Fn(u64) -> u64>(&self, base: &AssocArray, set: usize, map: &F) -> bool {
+        let b = set * self.ways;
+        for i in b..b + self.ways {
+            if self.flags[i] != base.flags[i] {
+                return false;
+            }
+            let want = if base.flags[i] & FLAG_VALID != 0 {
+                map(base.tags[i])
+            } else {
+                base.tags[i]
+            };
+            if self.tags[i] != want {
+                return false;
+            }
+        }
+        if self.stamps.is_empty() {
+            return true;
+        }
+        let cur = &self.stamps[b..b + self.ways];
+        let old = &base.stamps[b..b + self.ways];
+        for i in 0..self.ways {
+            for j in i + 1..self.ways {
+                if (cur[i] < cur[j]) != (old[i] < old[j]) || (cur[i] > cur[j]) != (old[i] > old[j])
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Way-agnostic set compare for [`AssocArray::ff_shift_eq`]: both
+    /// sets full, stamps strictly ordered, recency-ranked `(map(tag),
+    /// flags)` sequences equal.
+    fn set_eq_recency<F: Fn(u64) -> u64>(&self, base: &AssocArray, set: usize, map: &F) -> bool {
+        if self.stamps.is_empty() {
+            return false;
+        }
+        let b = set * self.ways;
+        if (b..b + self.ways)
+            .any(|i| self.flags[i] & FLAG_VALID == 0 || base.flags[i] & FLAG_VALID == 0)
+        {
+            return false;
+        }
+        let mut cur_ways: Vec<usize> = (0..self.ways).collect();
+        let mut base_ways: Vec<usize> = (0..self.ways).collect();
+        cur_ways.sort_unstable_by_key(|&w| self.stamps[b + w]);
+        base_ways.sort_unstable_by_key(|&w| base.stamps[b + w]);
+        for r in 0..self.ways {
+            let (cw, bw) = (b + cur_ways[r], b + base_ways[r]);
+            // Strict stamp order (a tie would make the rank ambiguous).
+            if r + 1 < self.ways
+                && (self.stamps[b + cur_ways[r]] == self.stamps[b + cur_ways[r + 1]]
+                    || base.stamps[b + base_ways[r]] == base.stamps[b + base_ways[r + 1]])
+            {
+                return false;
+            }
+            if self.flags[cw] != base.flags[bw] || self.tags[cw] != map(base.tags[bw]) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Does `ok` hold for every valid tag? (Fast-forward uses this to
+    /// prove a frozen level's resident lines cannot collide with the
+    /// remaining footprint of an op.)
+    pub(crate) fn ff_all_tags<F: FnMut(u64) -> bool>(&self, mut ok: F) -> bool {
+        self.tags
+            .iter()
+            .zip(&self.flags)
+            .all(|(&t, &f)| f & FLAG_VALID == 0 || ok(t))
+    }
+
+    /// Apply the tag isomorphism `map` to every valid entry (the
+    /// fast-forward state advance). Recency state is untouched: stamps,
+    /// PLRU bits, hints and the RNG are position-based and `map` moves
+    /// tags, not ways.
+    pub(crate) fn ff_shift_tags<F: Fn(u64) -> u64>(&mut self, map: F) {
+        for i in 0..self.tags.len() {
+            if self.flags[i] & FLAG_VALID != 0 {
+                self.tags[i] = map(self.tags[i]);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -229,6 +229,28 @@ impl Cache {
         self.stats = LevelStats::default();
     }
 
+    /// Mutable counter access (the analytic executor's exact scaled
+    /// advance writes counters back after fast-forwarding).
+    pub(crate) fn stats_mut(&mut self) -> &mut LevelStats {
+        &mut self.stats
+    }
+
+    /// Compare the *state* (not counters) against `base` under the
+    /// line-address isomorphism `map`. See `AssocArray::ff_shift_eq`.
+    pub(crate) fn ff_shift_eq<F: Fn(u64) -> u64>(&self, base: &Cache, map: F) -> bool {
+        self.config == base.config && self.array.ff_shift_eq(&base.array, map)
+    }
+
+    /// Apply the line-address isomorphism `map` to every resident line.
+    pub(crate) fn ff_shift_lines<F: Fn(u64) -> u64>(&mut self, map: F) {
+        self.array.ff_shift_tags(map);
+    }
+
+    /// Does `ok` hold for every resident line address?
+    pub(crate) fn ff_all_lines<F: FnMut(u64) -> bool>(&self, ok: F) -> bool {
+        self.array.ff_all_tags(ok)
+    }
+
     /// Line size in bytes.
     #[must_use]
     pub fn line_bytes(&self) -> u32 {

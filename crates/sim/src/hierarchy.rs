@@ -5,6 +5,7 @@
 //! charges each one against the device model, accumulating cycle and
 //! traffic accounting per *phase* (the stretches between barriers).
 
+use crate::analytic::Analytic;
 use crate::assoc::Reserved;
 use crate::cache::{Cache, CacheConfig};
 use crate::core::CoreConfig;
@@ -12,15 +13,15 @@ use crate::dram::DramConfig;
 use crate::prefetch::{Prefetcher, PrefetcherConfig};
 use crate::stats::{CycleBreakdown, DramStats, LevelStats, SUBCYCLE_SHIFT};
 use crate::tlb::{PageWalk, Tlb, TlbConfig};
-use membound_trace::{strided_addr, IterCost, MemAccess, TraceSink};
+use membound_trace::{strided_addr, IterCost, MemAccess, TraceOp, TraceSink};
 use serde::{Deserialize, Serialize};
 
 /// Upper bound on modelled cache levels (real devices have 2-3); sized
 /// so per-access fill-slot bookkeeping can live on the stack.
-const MAX_LEVELS: usize = 4;
+pub(crate) const MAX_LEVELS: usize = 4;
 
 /// Upper bound on memoized page-walk radix levels (Sv39 walks 3).
-const MAX_WALK_LEVELS: usize = 4;
+pub(crate) const MAX_WALK_LEVELS: usize = 4;
 
 /// Traffic and cycle accounting for one phase (between barriers) on one
 /// core.
@@ -75,64 +76,68 @@ impl PhaseAccum {
 /// ```
 #[derive(Debug)]
 pub struct CorePipeline {
-    core: CoreConfig,
-    dtlb: Tlb,
-    l2tlb: Option<Tlb>,
-    walk: PageWalk,
-    levels: Vec<Cache>,
-    prefetchers: Vec<Option<Prefetcher>>,
-    line_bytes: u32,
+    pub(crate) core: CoreConfig,
+    pub(crate) dtlb: Tlb,
+    pub(crate) l2tlb: Option<Tlb>,
+    pub(crate) walk: PageWalk,
+    pub(crate) levels: Vec<Cache>,
+    pub(crate) prefetchers: Vec<Option<Prefetcher>>,
+    pub(crate) line_bytes: u32,
     /// `exposed_subcycles` of each cache level (then DRAM at index
     /// `levels.len()`), precomputed once: the MLP division is quantized
     /// to an integer subcycle constant here and nowhere else, so the
     /// per-miss stall adds in `demand_line` are exact integer
     /// accumulation. A stack array (not a `Vec`) so the per-miss lookup
     /// is a direct indexed load.
-    exposed: [u64; MAX_LEVELS + 1],
+    pub(crate) exposed: [u64; MAX_LEVELS + 1],
     /// Full (serialized) latency of each cache level then DRAM, in
     /// subcycles — charged when a miss depends on a just-finished page
     /// walk and MLP cannot overlap it.
-    full_latency: [u64; MAX_LEVELS + 1],
-    cur: PhaseAccum,
-    done: Vec<PhaseAccum>,
-    pred_buf: Vec<u64>,
-    tlb_enabled: bool,
-    fastpath: bool,
-    armed: Option<ArmedLine>,
+    pub(crate) full_latency: [u64; MAX_LEVELS + 1],
+    pub(crate) cur: PhaseAccum,
+    pub(crate) done: Vec<PhaseAccum>,
+    pub(crate) pred_buf: Vec<u64>,
+    pub(crate) tlb_enabled: bool,
+    pub(crate) fastpath: bool,
+    pub(crate) armed: Option<ArmedLine>,
     /// Constant-stride batches received through
     /// [`TraceSink::access_strided`] / [`TraceSink::access_strided_rmw`]
     /// — a digest-excluded diagnostic surfaced through
     /// [`crate::SimReport`].
-    strided_batches: u64,
+    pub(crate) strided_batches: u64,
     /// Per radix level, where the previous page walk's PTE line sat in L1
     /// (`(line, set, way)`). Consecutive walks of nearby pages share their
     /// upper-level PTE lines, so most re-probes replay as direct hits; the
     /// slot is re-validated against the live L1 state before every use.
-    walk_memo: [Option<(u64, usize, u32)>; MAX_WALK_LEVELS],
+    pub(crate) walk_memo: [Option<(u64, usize, u32)>; MAX_WALK_LEVELS],
     /// `vpn >> 9` of the previous page walk. Every *non-leaf* PTE address
     /// depends on the VPN only through these bits (each level consumes 9
     /// index bits and the leaf level is the only one reading the low 9),
     /// so while they are unchanged the memoized upper-level lines are
     /// this walk's lines too and `PageWalk::pte_address` need not be
     /// recomputed for them.
-    walk_upper_node: Option<u64>,
+    pub(crate) walk_upper_node: Option<u64>,
+    /// The analytic executor (recorder + fast-forward engine), present
+    /// when the machine runs with analytic execution enabled. `None`
+    /// means every sink call takes the raw per-element path directly.
+    pub(crate) analytic: Option<Box<Analytic>>,
 }
 
 /// The repeat-line fast path's memory of the last data line referenced:
 /// where it sits in L1, so an immediately following touch of the same
 /// line replays as a handful of direct state updates instead of a full
 /// translate + multi-level probe (see `CorePipeline::replay_repeat`).
-#[derive(Debug, Clone, Copy)]
-struct ArmedLine {
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ArmedLine {
     /// L1 line address of the access.
-    line: u64,
+    pub(crate) line: u64,
     /// L1 set holding it.
-    set: usize,
+    pub(crate) set: usize,
     /// L1 way holding it.
-    way: u32,
+    pub(crate) way: u32,
     /// Whether the line is already dirty (a repeat store then skips the
     /// redundant flag write).
-    dirty: bool,
+    pub(crate) dirty: bool,
 }
 
 /// Everything needed to build one core's pipeline.
@@ -147,6 +152,7 @@ pub(crate) struct PipelineConfig {
     pub dram: DramConfig,
     pub tlb_enabled: bool,
     pub fastpath: bool,
+    pub analytic: bool,
 }
 
 impl CorePipeline {
@@ -201,6 +207,11 @@ impl CorePipeline {
             strided_batches: 0,
             walk_memo: [None; MAX_WALK_LEVELS],
             walk_upper_node: None,
+            analytic: if cfg.analytic && cfg.fastpath {
+                Some(Box::new(Analytic::new()))
+            } else {
+                None
+            },
         }
     }
 
@@ -230,17 +241,24 @@ impl CorePipeline {
 
     /// Finish the current phase and return all per-phase accounting.
     pub(crate) fn finish(mut self) -> CoreOutcome {
+        self.analytic_flush();
         self.flush_phase();
+        let (analytic_ops, replay_fallback_ops) = self
+            .analytic
+            .as_ref()
+            .map_or((0, 0), |a| (a.analytic_ops, a.replay_fallback_ops));
         CoreOutcome {
             phases: self.done,
             cache_stats: self.levels.iter().map(Cache::stats).collect(),
             dtlb_stats: self.dtlb.stats(),
             l2tlb_stats: self.l2tlb.as_ref().map(Tlb::stats),
             strided_batches: self.strided_batches,
+            analytic_ops,
+            replay_fallback_ops,
         }
     }
 
-    fn flush_phase(&mut self) {
+    pub(crate) fn flush_phase(&mut self) {
         let n = self.levels.len();
         let cur = std::mem::replace(&mut self.cur, PhaseAccum::new(n));
         self.done.push(cur);
@@ -251,7 +269,7 @@ impl CorePipeline {
     /// caller then charges the subsequent data miss *unoverlapped*,
     /// because the data address is not known until the walk completes, so
     /// memory-level parallelism cannot hide it.
-    fn translate(&mut self, addr: u64) -> bool {
+    pub(crate) fn translate(&mut self, addr: u64) -> bool {
         if !self.tlb_enabled {
             return false;
         }
@@ -358,7 +376,7 @@ impl CorePipeline {
     /// can arm the repeat fast path without rescanning. `None` means
     /// "unknown" (an L1 prefetch fill ran after the slot was determined
     /// and may have displaced the line): callers fall back to the probe.
-    fn demand_line(
+    pub(crate) fn demand_line(
         &mut self,
         line: u64,
         is_write: bool,
@@ -562,7 +580,7 @@ impl CorePipeline {
     /// preconditions hold by construction: the line's page was the last
     /// DTLB translation, and the L1 prefetcher's last observation was
     /// this line (page-walk traffic trains no prefetcher).
-    fn arm(&mut self, line: u64, slot: Option<(usize, u32, bool)>) {
+    pub(crate) fn arm(&mut self, line: u64, slot: Option<(usize, u32, bool)>) {
         self.armed =
             slot.or_else(|| self.levels[0].probe_for_repeat(line))
                 .map(|(set, way, dirty)| ArmedLine {
@@ -585,7 +603,7 @@ impl CorePipeline {
     /// matched stream entry, no predictions — see
     /// [`Prefetcher::refresh_repeat`]). A store additionally sets the
     /// dirty flag, exactly as a full-path store hit would.
-    fn replay_repeat(&mut self, is_write: bool) {
+    pub(crate) fn replay_repeat(&mut self, is_write: bool) {
         if self.tlb_enabled {
             self.dtlb.note_repeat_hit();
         }
@@ -603,8 +621,12 @@ impl CorePipeline {
     }
 }
 
-impl TraceSink for CorePipeline {
-    fn access(&mut self, access: MemAccess) {
+/// The raw per-element execution paths — the pre-analytic [`TraceSink`]
+/// bodies, verbatim. The trait impl below routes here either directly
+/// (analytic execution off or disabled) or through the analytic
+/// executor's recorder, whose replay calls these same methods.
+impl CorePipeline {
+    pub(crate) fn raw_access(&mut self, access: MemAccess) {
         let shift = self.line_bytes.trailing_zeros();
         let is_write = access.kind.is_write();
         // Repeat-line fast path: a single-line touch of the data line
@@ -648,11 +670,11 @@ impl TraceSink for CorePipeline {
         }
     }
 
-    fn compute(&mut self, cost: IterCost, iters: u64) {
+    pub(crate) fn raw_compute(&mut self, cost: IterCost, iters: u64) {
         self.cur.cycles.issue_subcycles += self.core.issue_subcycles(&cost, iters);
     }
 
-    fn barrier(&mut self) {
+    pub(crate) fn raw_barrier(&mut self) {
         self.flush_phase();
     }
 
@@ -666,7 +688,7 @@ impl TraceSink for CorePipeline {
     /// fast path for a line that is still armed, and a DTLB repeat-hit
     /// bump for lines within the page translated immediately before
     /// (whose VPN is by construction the DTLB's MRU entry).
-    fn access_range(&mut self, addr: u64, len: u64, write: bool) {
+    pub(crate) fn raw_access_range(&mut self, addr: u64, len: u64, write: bool) {
         if len == 0 {
             return;
         }
@@ -721,7 +743,14 @@ impl TraceSink for CorePipeline {
     /// mid-run is unobservable (`Cache::probe_for_repeat` is read-only)
     /// and only the final element arms. Elements straddling a line
     /// boundary fall back to the scalar multi-line flow verbatim.
-    fn access_strided(&mut self, base: u64, stride_bytes: i64, count: u64, size: u32, write: bool) {
+    pub(crate) fn raw_access_strided(
+        &mut self,
+        base: u64,
+        stride_bytes: i64,
+        count: u64,
+        size: u32,
+        write: bool,
+    ) {
         if count == 0 {
             return;
         }
@@ -731,7 +760,7 @@ impl TraceSink for CorePipeline {
             // default.
             for i in 0..count {
                 let addr = strided_addr(base, stride_bytes, i);
-                self.access(if write {
+                self.raw_access(if write {
                     MemAccess::store(addr, size)
                 } else {
                     MemAccess::load(addr, size)
@@ -809,7 +838,13 @@ impl TraceSink for CorePipeline {
     /// the slot stale). When neither resolves the line (it was displaced
     /// between the load's fill and now), the store takes the full scalar
     /// path, exactly as the per-element default would after a failed arm.
-    fn access_strided_rmw(&mut self, base: u64, stride_bytes: i64, count: u64, size: u32) {
+    pub(crate) fn raw_access_strided_rmw(
+        &mut self,
+        base: u64,
+        stride_bytes: i64,
+        count: u64,
+        size: u32,
+    ) {
         if count == 0 {
             return;
         }
@@ -817,8 +852,8 @@ impl TraceSink for CorePipeline {
         if !self.fastpath {
             for i in 0..count {
                 let addr = strided_addr(base, stride_bytes, i);
-                self.access(MemAccess::load(addr, size));
-                self.access(MemAccess::store(addr, size));
+                self.raw_access(MemAccess::load(addr, size));
+                self.raw_access(MemAccess::store(addr, size));
             }
             return;
         }
@@ -848,9 +883,9 @@ impl TraceSink for CorePipeline {
             if first != last {
                 // Straddling pair: both halves through the scalar flow
                 // (the load's arm and the store's replay happen inside
-                // `access`).
-                self.access(MemAccess::load(addr, size));
-                self.access(MemAccess::store(addr, size));
+                // `raw_access`).
+                self.raw_access(MemAccess::load(addr, size));
+                self.raw_access(MemAccess::store(addr, size));
                 cur_vpn = None;
                 continue;
             }
@@ -902,6 +937,70 @@ impl TraceSink for CorePipeline {
     }
 }
 
+impl TraceSink for CorePipeline {
+    fn access(&mut self, access: MemAccess) {
+        if self.analytic_live() {
+            self.analytic_push(TraceOp::Access {
+                addr: access.addr,
+                size: access.size,
+                write: access.kind.is_write(),
+            });
+        } else {
+            self.raw_access(access);
+        }
+    }
+
+    fn compute(&mut self, cost: IterCost, iters: u64) {
+        if self.analytic_live() {
+            self.analytic_push(TraceOp::Compute { cost, iters });
+        } else {
+            self.raw_compute(cost, iters);
+        }
+    }
+
+    fn barrier(&mut self) {
+        // Phases never span a barrier, so the recorder drains first: every
+        // buffered op belongs to the phase being closed.
+        self.analytic_flush();
+        self.raw_barrier();
+    }
+
+    fn access_range(&mut self, addr: u64, len: u64, write: bool) {
+        if self.analytic_live() {
+            self.analytic_push(TraceOp::Range { addr, len, write });
+        } else {
+            self.raw_access_range(addr, len, write);
+        }
+    }
+
+    fn access_strided(&mut self, base: u64, stride_bytes: i64, count: u64, size: u32, write: bool) {
+        if self.analytic_live() {
+            self.analytic_push(TraceOp::Strided {
+                base,
+                stride: stride_bytes,
+                count,
+                size,
+                write,
+            });
+        } else {
+            self.raw_access_strided(base, stride_bytes, count, size, write);
+        }
+    }
+
+    fn access_strided_rmw(&mut self, base: u64, stride_bytes: i64, count: u64, size: u32) {
+        if self.analytic_live() {
+            self.analytic_push(TraceOp::StridedRmw {
+                base,
+                stride: stride_bytes,
+                count,
+                size,
+            });
+        } else {
+            self.raw_access_strided_rmw(base, stride_bytes, count, size);
+        }
+    }
+}
+
 /// Everything a finished core run hands back to the machine.
 #[derive(Debug, Clone)]
 pub(crate) struct CoreOutcome {
@@ -910,6 +1009,11 @@ pub(crate) struct CoreOutcome {
     pub dtlb_stats: LevelStats,
     pub l2tlb_stats: Option<LevelStats>,
     pub strided_batches: u64,
+    /// Elements advanced analytically (fast-forwarded, never executed).
+    pub analytic_ops: u64,
+    /// Elements replayed raw inside fast-forward-attempted ops that
+    /// could not be proven periodic.
+    pub replay_fallback_ops: u64,
 }
 
 #[cfg(test)]
@@ -936,6 +1040,7 @@ mod tests {
             dram: DramConfig::new(100, 1.0, 1),
             tlb_enabled: false,
             fastpath: true,
+            analytic: false,
         })
     }
 

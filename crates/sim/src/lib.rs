@@ -65,6 +65,7 @@
 /// integers, changing every digest once.
 pub const SIM_FINGERPRINT: &str = "sim-v2+f2:7bceab43d67f5ae3+f6:a232853937fe2c5d";
 
+mod analytic;
 mod assoc;
 mod cache;
 mod core;
@@ -78,12 +79,16 @@ mod replacement;
 mod stats;
 mod tlb;
 
+pub use analytic::{estimate_coverage, Coverage};
 pub use cache::{Cache, CacheAccessResult, CacheConfig};
 pub use core::{CoreConfig, MAX_ISSUE_WIDTH, MAX_MLP};
 pub use devices::Device;
 pub use dram::DramConfig;
 pub use hierarchy::{CorePipeline, PhaseAccum};
-pub use machine::{Bottleneck, DeviceSpec, Machine, PhaseReport, SimReport};
+pub use machine::{
+    analytic_default, set_analytic_override, Bottleneck, DeviceSpec, Machine, PhaseReport,
+    SimReport,
+};
 // Re-exported so `Machine::with_budget` callers need no direct
 // `membound-parallel` dependency.
 pub use membound_parallel::JobBudget;

@@ -9,6 +9,46 @@ use crate::stats::{CycleBreakdown, DramStats, LevelStats};
 use crate::tlb::{PageWalk, TlbConfig};
 use membound_parallel::{JobBudget, Pool, Task};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Process-wide override for whether new [`Machine`]s default to analytic
+/// execution: 0 = unset (consult `MEMBOUND_ANALYTIC`, default on),
+/// 1 = forced off, 2 = forced on.
+static ANALYTIC_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Force the default analytic-execution setting for machines constructed
+/// after this call: `Some(true)`/`Some(false)` pin it, `None` restores the
+/// environment-driven default. Used by `--analytic`/`--no-analytic` CLI
+/// flags; [`Machine::with_analytic`] still overrides per machine.
+pub fn set_analytic_override(v: Option<bool>) {
+    ANALYTIC_OVERRIDE.store(
+        match v {
+            None => 0,
+            Some(false) => 1,
+            Some(true) => 2,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// The analytic-execution default a fresh [`Machine`] picks up: the
+/// override if set, else the `MEMBOUND_ANALYTIC` environment variable
+/// (`0`/`off`/`false`/`no` disable), else on.
+#[must_use]
+pub fn analytic_default() -> bool {
+    match ANALYTIC_OVERRIDE.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => std::env::var("MEMBOUND_ANALYTIC")
+            .map(|v| {
+                !matches!(
+                    v.to_ascii_lowercase().as_str(),
+                    "0" | "off" | "false" | "no"
+                )
+            })
+            .unwrap_or(true),
+    }
+}
 
 /// Full static description of a device (one of the paper's four boards, or
 /// a custom configuration).
@@ -150,6 +190,19 @@ pub struct SimReport {
     /// not what it simulated, and is excluded from
     /// [`SimReport::stats_digest`].
     pub strided_batches: u64,
+    /// Elements the analytic executor advanced by steady-state
+    /// multiplication instead of replaying (0 when analytic execution is
+    /// off). Like `host_workers`, a diagnostic of *how* the replay ran —
+    /// analytic fast-forward is digest-preserving by construction (see
+    /// DESIGN.md §15) — so it is excluded from
+    /// [`SimReport::stats_digest`].
+    #[serde(default)]
+    pub analytic_ops: u64,
+    /// Elements replayed raw inside analytic-attempted ops whose
+    /// steady state could not be proven (digest-excluded, like
+    /// `analytic_ops`).
+    #[serde(default)]
+    pub replay_fallback_ops: u64,
 }
 
 impl SimReport {
@@ -308,6 +361,7 @@ impl Fnv {
 pub struct Machine {
     spec: DeviceSpec,
     fastpath: bool,
+    analytic: bool,
     budget: JobBudget,
 }
 
@@ -330,6 +384,7 @@ impl Machine {
         Self {
             spec,
             fastpath: true,
+            analytic: analytic_default(),
             budget: JobBudget::serial(),
         }
     }
@@ -347,6 +402,24 @@ impl Machine {
     pub fn without_fastpath(mut self) -> Self {
         self.fastpath = false;
         self
+    }
+
+    /// Enable or disable analytic (trace-IR fast-forward) execution on
+    /// this machine, overriding [`analytic_default`]. Analytic execution
+    /// is digest-preserving: `tests/prop_analytic.rs` proves
+    /// [`SimReport::stats_digest`] identical with it on, off, and against
+    /// the [`Machine::without_fastpath`] reference. The reference build
+    /// never uses it (it requires the fast path).
+    #[must_use]
+    pub fn with_analytic(mut self, on: bool) -> Self {
+        self.analytic = on;
+        self
+    }
+
+    /// Whether this machine runs the analytic executor.
+    #[must_use]
+    pub fn analytic(&self) -> bool {
+        self.analytic && self.fastpath
     }
 
     /// Attach a [`JobBudget`] so [`Machine::simulate`] may replay
@@ -432,6 +505,7 @@ impl Machine {
                 dram: self.spec.dram,
                 tlb_enabled: self.spec.tlb_enabled,
                 fastpath: self.fastpath,
+                analytic: self.analytic,
             });
             trace(tid, &mut pipeline);
             pipeline.finish()
@@ -545,8 +619,12 @@ impl Machine {
         let mut dram = DramStats::default();
         let mut core_cycles_total = CycleBreakdown::default();
         let mut strided_batches = 0u64;
+        let mut analytic_ops = 0u64;
+        let mut replay_fallback_ops = 0u64;
         for o in &outcomes {
             strided_batches += o.strided_batches;
+            analytic_ops = analytic_ops.saturating_add(o.analytic_ops);
+            replay_fallback_ops = replay_fallback_ops.saturating_add(o.replay_fallback_ops);
             for (agg, s) in cache_stats.iter_mut().zip(&o.cache_stats) {
                 agg.merge(s);
             }
@@ -573,6 +651,8 @@ impl Machine {
             core_cycles_total,
             host_workers: 1,
             strided_batches,
+            analytic_ops,
+            replay_fallback_ops,
         }
     }
 }

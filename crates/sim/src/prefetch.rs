@@ -169,6 +169,124 @@ impl Prefetcher {
         }
     }
 
+    /// Is this prefetcher *frozen* relative to `base` — bitwise identical
+    /// with an equal clock? Every mutator ([`Prefetcher::observe`],
+    /// [`Prefetcher::refresh_repeat`]) advances the clock, so clock
+    /// equality proves the prefetcher was never consulted across the
+    /// interval; its table (which may hold stale in-window lines from a
+    /// cold start) is inert and must stay at absolute values under
+    /// fast-forward rather than being shifted.
+    pub(crate) fn ff_frozen_eq(&self, base: &Prefetcher) -> bool {
+        self.config == base.config
+            && self.clock == base.clock
+            && self.last_match == base.last_match
+            && self.alloc_ring == base.alloc_ring
+            && self.ring_head == base.ring_head
+            && self.const_streak == base.const_streak
+            && self.streak_delta == base.streak_delta
+            && self.streak_line == base.streak_line
+            && self.last_alloc_slot == base.last_alloc_slot
+            && self.table.len() == base.table.len()
+            && self.table.iter().zip(&base.table).all(|(a, b)| {
+                a.valid == b.valid
+                    && a.last_line == b.last_line
+                    && a.stride == b.stride
+                    && a.confidence == b.confidence
+                    && a.last_used == b.last_used
+            })
+    }
+
+    /// Compare against `base` under the line isomorphism `map` — the
+    /// fast-forward verification primitive. Equivalence means every future
+    /// observation behaves identically modulo `map`:
+    ///
+    /// * per-slot fields compare positionally (the match scan breaks at
+    ///   the first hit, so slot order is behaviour);
+    /// * `last_line`/`streak_line` compare `map`-ped — deltas to future
+    ///   (equally mapped) observations are preserved;
+    /// * `confidence` compares capped at the value past which behaviour
+    ///   is constant (`degree + 1` when ramping, else 2), and
+    ///   `const_streak` capped at the run-owns-table threshold — below
+    ///   the cap both still compare exactly;
+    /// * `last_used` compares by global pairwise *order* (invalid slots
+    ///   scan as key 0), which is all the LRU victim scan consumes;
+    /// * the clock is excluded (monotone, never read directly).
+    pub(crate) fn ff_shift_eq<F: Fn(u64) -> u64>(&self, base: &Prefetcher, map: F) -> bool {
+        if self.config != base.config
+            || self.table.len() != base.table.len()
+            || self.last_match != base.last_match
+            || self.alloc_ring != base.alloc_ring
+            || self.ring_head != base.ring_head
+            || self.streak_delta != base.streak_delta
+            || self.last_alloc_slot != base.last_alloc_slot
+        {
+            return false;
+        }
+        let streak_cap = self.table.len().max(2) as u32;
+        if self.const_streak.min(streak_cap) != base.const_streak.min(streak_cap) {
+            return false;
+        }
+        // `streak_line` is only read on the alloc path. A chunk with no
+        // allocation leaves it *frozen* (exact-equal), and — since
+        // allocation occurrence is itself determined by the compared
+        // state — no extrapolated chunk allocates either, so frozen is a
+        // consistent evolution. A chunk that did allocate rewrote it from
+        // an in-window line, so it must compare `map`-ped.
+        if self.streak_line != base.streak_line && self.streak_line != map(base.streak_line) {
+            return false;
+        }
+        let conf_cap = match self.config {
+            PrefetcherConfig::Stride { degree, ramp, .. } => {
+                if ramp {
+                    degree.saturating_add(1)
+                } else {
+                    2
+                }
+            }
+            _ => u32::MAX,
+        };
+        for (cur, old) in self.table.iter().zip(&base.table) {
+            if cur.valid != old.valid {
+                return false;
+            }
+            if cur.valid
+                && (cur.last_line != map(old.last_line)
+                    || cur.stride != old.stride
+                    || cur.confidence.min(conf_cap) != old.confidence.min(conf_cap))
+            {
+                return false;
+            }
+        }
+        let scan_key = |t: &[StreamEntry], i: usize| if t[i].valid { t[i].last_used } else { 0 };
+        for i in 0..self.table.len() {
+            for j in i + 1..self.table.len() {
+                let (a1, a2) = (scan_key(&self.table, i), scan_key(&self.table, j));
+                let (b1, b2) = (scan_key(&base.table, i), scan_key(&base.table, j));
+                if (a1 < a2) != (b1 < b2) || (a1 > a2) != (b1 > b2) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Apply the line isomorphism `map` to every tracked line (the
+    /// fast-forward state advance). Slot order, recency and confidence are
+    /// untouched — `map` moves lines, not slots. `base` is the verified
+    /// pre-chunk snapshot: a `streak_line` that did not change across the
+    /// verified chunk is frozen (no allocation happened, so none will)
+    /// and must stay at its absolute value.
+    pub(crate) fn ff_shift_lines<F: Fn(u64) -> u64>(&mut self, base: &Prefetcher, map: F) {
+        for e in &mut self.table {
+            if e.valid {
+                e.last_line = map(e.last_line);
+            }
+        }
+        if self.streak_line != base.streak_line {
+            self.streak_line = map(self.streak_line);
+        }
+    }
+
     /// Observe a demand access to `line` and append predicted line
     /// addresses to `out`. The caller decides whether each prediction
     /// results in a fill (it skips lines already resident).

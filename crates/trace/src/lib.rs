@@ -37,6 +37,7 @@
 mod access;
 mod buffer;
 mod codec;
+pub mod ir;
 mod program;
 pub mod reuse;
 pub mod synthetic;
@@ -44,6 +45,7 @@ pub mod synthetic;
 pub use access::{AccessKind, MemAccess};
 pub use buffer::{TraceBuffer, TraceStats};
 pub use codec::CodecError;
+pub use ir::{IrStats, Recorder, RecordingSink, TraceOp};
 pub use program::{IterCost, TracedProgram, WorkloadFootprint};
 
 /// A consumer of memory references.

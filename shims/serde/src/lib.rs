@@ -190,6 +190,25 @@ pub fn field<T: Deserialize>(obj: &[(String, Value)], key: &str) -> Result<T, Er
     T::from_value(v).map_err(|e| Error::custom(format!("field `{key}`: {e}")))
 }
 
+/// Look up `key` in an object's field list for a `#[serde(default)]`
+/// field: a missing (or `null`) key yields `T::default()` instead of an
+/// error, matching serde's behaviour for that attribute.
+///
+/// # Errors
+///
+/// Propagates the field type's deserialization error, annotated with the
+/// field name.
+pub fn field_or_default<T: Deserialize + Default>(
+    obj: &[(String, Value)],
+    key: &str,
+) -> Result<T, Error> {
+    match obj.iter().find(|(k, _)| k == key) {
+        None => Ok(T::default()),
+        Some((_, v)) if v.is_null() => Ok(T::default()),
+        Some((_, v)) => T::from_value(v).map_err(|e| Error::custom(format!("field `{key}`: {e}"))),
+    }
+}
+
 macro_rules! impl_uint {
     ($($t:ty),*) => {$(
         impl Serialize for $t {

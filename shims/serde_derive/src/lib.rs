@@ -5,7 +5,8 @@
 //! `proc_macro::TokenStream`. The parser handles exactly the shapes this
 //! workspace derives on:
 //!
-//! * structs with named fields (any visibility, attributes skipped),
+//! * structs with named fields (any visibility; `#[serde(default)]` is
+//!   honoured on deserialization, other attributes skipped),
 //! * enums with unit, tuple and struct variants (externally tagged, like
 //!   serde's default representation).
 //!
@@ -13,8 +14,11 @@
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// One named field: `(name, has #[serde(default)])`.
+type Field = (String, bool);
+
 /// Field list of a braced item.
-type Fields = Vec<String>;
+type Fields = Vec<Field>;
 
 enum VariantKind {
     Unit,
@@ -40,17 +44,42 @@ enum Shape {
 
 /// Skip attributes (`#[...]`, including doc comments) starting at `i`.
 fn skip_attrs(toks: &[TokenTree], mut i: usize) -> usize {
+    let (next, _) = scan_attrs(toks, i);
+    i = next;
+    i
+}
+
+/// Skip attributes starting at `i`, reporting whether one of them is
+/// `#[serde(default)]`.
+fn scan_attrs(toks: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut has_default = false;
     while i + 1 < toks.len() {
         match (&toks[i], &toks[i + 1]) {
             (TokenTree::Punct(p), TokenTree::Group(g))
                 if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
             {
+                has_default |= is_serde_default(&g.stream());
                 i += 2;
             }
             _ => break,
         }
     }
-    i
+    (i, has_default)
+}
+
+/// Does an attribute body (the tokens inside `#[...]`) spell
+/// `serde(default)`?
+fn is_serde_default(body: &TokenStream) -> bool {
+    let toks: Vec<TokenTree> = body.clone().into_iter().collect();
+    match toks.as_slice() {
+        [TokenTree::Ident(id), TokenTree::Group(g)]
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            matches!(inner.as_slice(), [TokenTree::Ident(id)] if id.to_string() == "default")
+        }
+        _ => false,
+    }
 }
 
 /// Skip a visibility qualifier (`pub`, `pub(crate)`, ...) starting at `i`.
@@ -76,12 +105,12 @@ fn parse_named_fields(body: &TokenStream) -> Fields {
     let mut fields = Vec::new();
     let mut i = 0;
     while i < toks.len() {
-        i = skip_attrs(&toks, i);
-        i = skip_vis(&toks, i);
+        let (next, has_default) = scan_attrs(&toks, i);
+        i = skip_vis(&toks, next);
         let TokenTree::Ident(name) = &toks[i] else {
             panic!("expected field name, found {:?}", toks[i]);
         };
-        fields.push(name.to_string());
+        fields.push((name.to_string(), has_default));
         i += 1;
         match &toks[i] {
             TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
@@ -210,12 +239,12 @@ fn parse_item(input: TokenStream) -> Shape {
 }
 
 /// Derive `serde::Serialize` (value-tree model) for a struct or enum.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let out = match parse_item(input) {
         Shape::Struct { name, fields } => {
             let mut pushes = String::new();
-            for f in &fields {
+            for (f, _) in &fields {
                 pushes.push_str(&format!(
                     "fields.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
                 ));
@@ -250,10 +279,14 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                         ));
                     }
                     VariantKind::Struct(fields) => {
-                        let pat = fields.join(", ");
+                        let pat = fields
+                            .iter()
+                            .map(|(f, _)| f.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ");
                         let items: Vec<String> = fields
                             .iter()
-                            .map(|f| {
+                            .map(|(f, _)| {
                                 format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))")
                             })
                             .collect();
@@ -276,13 +309,18 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derive `serde::Deserialize` (value-tree model) for a struct or enum.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let out = match parse_item(input) {
         Shape::Struct { name, fields } => {
             let mut inits = String::new();
-            for f in &fields {
-                inits.push_str(&format!("{f}: ::serde::field(obj, \"{f}\")?,\n"));
+            for (f, has_default) in &fields {
+                let helper = if *has_default {
+                    "field_or_default"
+                } else {
+                    "field"
+                };
+                inits.push_str(&format!("{f}: ::serde::{helper}(obj, \"{f}\")?,\n"));
             }
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\
@@ -317,7 +355,14 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                     VariantKind::Struct(fields) => {
                         let items: Vec<String> = fields
                             .iter()
-                            .map(|f| format!("{f}: ::serde::field(obj, \"{f}\")?,"))
+                            .map(|(f, has_default)| {
+                                let helper = if *has_default {
+                                    "field_or_default"
+                                } else {
+                                    "field"
+                                };
+                                format!("{f}: ::serde::{helper}(obj, \"{f}\")?,")
+                            })
                             .collect();
                         tagged_arms.push_str(&format!(
                             "\"{vname}\" => {{\n\

@@ -27,11 +27,13 @@ use membound::core::metrics::{attach_speedups, Measurement};
 use membound::core::report::{fmt_seconds, fmt_speedup, to_json, TextTable};
 use membound::core::{
     blur_native, run_native_stream, transpose_native, BlurConfig, BlurVariant, SquareMatrix,
-    StreamOp, TransposeConfig, TransposeVariant,
+    StreamOp, StreamTrace, TransposeConfig, TransposeVariant,
 };
+use membound::core::{BlurTrace, TransposeTrace};
 use membound::image::generate;
-use membound::parallel::Pool;
-use membound::sim::Device;
+use membound::parallel::{Pool, Schedule};
+use membound::sim::{estimate_coverage, Device, Machine};
+use membound::trace::{IrStats, RecordingSink, TraceSink};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -47,8 +49,10 @@ fn usage() -> ! {
          \x20 native-stream                   STREAM on this host\n\
          \x20 native-transpose                transposition on this host\n\
          \x20 native-blur                     Gaussian blur on this host\n\
-         \x20 validate-runlog <path>          check a JSONL run log (accepts schema v1..=v5)\n\
+         \x20 validate-runlog <path>          check a JSONL run log (accepts schema v1..=v7)\n\
          \x20 strided-gate                    prove batched strided replay matches per-element\n\
+         \x20 analytic-gate                   prove analytic fast-forward matches full replay\n\
+         \x20 trace-ir transpose|blur|stream  dump a kernel's lowered trace IR and coverage\n\
          \x20 cache stats|gc|verify           inspect or reclaim a persistent result cache\n\
          \x20                                 (--cache-dir <dir>, or MEMBOUND_CACHE_DIR)\n\
          \x20 serve submit|status|cancel|shutdown   talk to a membound-serve daemon\n\
@@ -58,6 +62,8 @@ fn usage() -> ! {
          \x20 --variant <ladder variant>|all            (default: all)\n\
          \x20 --threads N                               native thread count (0 = host)\n\
          \x20 --json                                    machine-readable output\n\
+         \x20 --analytic / --no-analytic                force the analytic trace-IR executor\n\
+         \x20                                           on/off (default: MEMBOUND_ANALYTIC, on)\n\
          kernel options:\n\
          \x20 stream:    --op copy|scale|add|triad|all  --level l1|l2|l3|dram|all\n\
          \x20 transpose: -n SIZE  --block SIZE\n\
@@ -70,16 +76,26 @@ fn usage() -> ! {
 struct Opts {
     flags: HashMap<String, String>,
     json: bool,
+    /// `--analytic` / `--no-analytic`: process-wide override for the
+    /// analytic trace-IR executor (`None` leaves the `MEMBOUND_ANALYTIC`
+    /// environment default in force).
+    analytic: Option<bool>,
 }
 
 impl Opts {
     fn parse(args: &[String]) -> Self {
         let mut flags = HashMap::new();
         let mut json = false;
+        let mut analytic = None;
         let mut it = args.iter();
         while let Some(a) = it.next() {
             match a.as_str() {
                 "--json" => json = true,
+                "--analytic" => analytic = Some(true),
+                "--no-analytic" => analytic = Some(false),
+                "--no-tlb" => {
+                    flags.insert("no-tlb".to_owned(), "1".to_owned());
+                }
                 "--help" | "-h" => usage(),
                 flag if flag.starts_with('-') => {
                     let value = it.next().unwrap_or_else(|| {
@@ -94,7 +110,11 @@ impl Opts {
                 }
             }
         }
-        Self { flags, json }
+        Self {
+            flags,
+            json,
+            analytic,
+        }
     }
 
     fn get(&self, key: &str) -> Option<&str> {
@@ -543,6 +563,313 @@ fn cmd_strided_gate(opts: &Opts) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Record core 0's trace emission for one transpose cell into a folded
+/// IR program (the same plumbing as `simulate_transpose`, with a
+/// [`RecordingSink`] in place of the machine).
+fn record_transpose_ir(
+    spec: &membound::sim::DeviceSpec,
+    variant: TransposeVariant,
+    cfg: TransposeConfig,
+) -> Vec<membound::trace::TraceOp> {
+    let trace = TransposeTrace::new(cfg);
+    let threads = if variant.is_parallel() { spec.cores } else { 1 };
+    let total = trace.outer_iterations(variant);
+    let plan = variant
+        .schedule()
+        .plan(total, threads, |i| trace.weight(variant, i));
+    let mut sink = RecordingSink::new();
+    for range in &plan[0] {
+        trace.trace_outer(variant, &mut sink, 0, range.start, range.end);
+    }
+    sink.finish()
+}
+
+/// Record core 0's trace emission for one blur cell (see
+/// `simulate_blur` for the pass structure per variant).
+fn record_blur_ir(
+    spec: &membound::sim::DeviceSpec,
+    variant: BlurVariant,
+    cfg: BlurConfig,
+) -> Vec<membound::trace::TraceOp> {
+    let trace = BlurTrace::new(cfg);
+    let mut sink = RecordingSink::new();
+    match variant {
+        BlurVariant::Naive | BlurVariant::UnitStride => {
+            trace.trace_2d(variant, &mut sink, 0, trace.output_rows());
+        }
+        BlurVariant::OneDimKernels | BlurVariant::Memory => {
+            trace.trace_pass1(&mut sink, 0, trace.all_rows());
+            trace.trace_pass2(variant, &mut sink, 0, trace.output_rows());
+        }
+        BlurVariant::Parallel => {
+            let threads = spec.cores;
+            let plan1 = Schedule::Static.plan(trace.all_rows(), threads, |_| 1.0);
+            let plan2 = Schedule::Static.plan(trace.output_rows(), threads, |_| 1.0);
+            for r in &plan1[0] {
+                trace.trace_pass1(&mut sink, r.start, r.end);
+            }
+            sink.barrier();
+            for r in &plan2[0] {
+                trace.trace_pass2(variant, &mut sink, r.start, r.end);
+            }
+        }
+    }
+    sink.finish()
+}
+
+#[derive(serde::Serialize)]
+struct TraceIrRow {
+    device: String,
+    variant: String,
+    nodes: u64,
+    access: u64,
+    range: u64,
+    strided: u64,
+    strided_rmw: u64,
+    repeat: u64,
+    max_depth: u32,
+    coverage_percent: f64,
+}
+
+/// `trace-ir transpose|blur|stream`: dump the lowered trace IR of a
+/// kernel's core-0 emission — folded node counts, repeat nesting depth,
+/// and the static analytic-coverage estimate (the fraction of expanded
+/// elements inside loops that pass the fast-forward shape gates on the
+/// selected device). `--no-tlb` estimates against the device with
+/// translation disabled — the regime where nonzero-stride loops become
+/// eligible (DESIGN.md §15).
+fn cmd_trace_ir(kernel: &str, opts: &Opts) -> ExitCode {
+    let mut table = TextTable::new(
+        [
+            "device", "variant", "nodes", "access", "range", "strided", "rmw", "repeat", "depth",
+            "analytic",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    let mut rows = Vec::new();
+    for device in opts.devices() {
+        let spec = if opts.get("no-tlb").is_some() {
+            device.spec().without_tlb()
+        } else {
+            device.spec()
+        };
+        let cells: Vec<(String, Vec<membound::trace::TraceOp>)> = match kernel {
+            "transpose" | "fig2" => {
+                let cfg = TransposeConfig::with_block(opts.num("n", 2048), opts.num("block", 64));
+                transpose_variants(opts)
+                    .into_iter()
+                    .map(|v| (v.label().to_owned(), record_transpose_ir(&spec, v, cfg)))
+                    .collect()
+            }
+            "blur" | "fig6" => {
+                let cfg = BlurConfig {
+                    height: opts.num("height", 507),
+                    width: opts.num("width", 636),
+                    channels: 3,
+                    filter_size: opts.num("filter", 19),
+                    sigma: None,
+                };
+                blur_variants(opts)
+                    .into_iter()
+                    .map(|v| (v.label().to_owned(), record_blur_ir(&spec, v, cfg)))
+                    .collect()
+            }
+            "stream" => {
+                let elements: u64 = opts.num("elements", 4 << 20);
+                let filter = opts.get("op").unwrap_or("all").to_lowercase();
+                let ops: Vec<StreamOp> = StreamOp::all()
+                    .into_iter()
+                    .filter(|o| filter == "all" || o.label().to_lowercase() == filter)
+                    .collect();
+                if ops.is_empty() {
+                    eprintln!("unknown stream op: {filter}");
+                    usage();
+                }
+                ops.into_iter()
+                    .map(|op| {
+                        let t = StreamTrace::new(op, elements);
+                        let mut sink = RecordingSink::new();
+                        t.trace_pass(&mut sink, 0, elements);
+                        (op.label().to_owned(), sink.finish())
+                    })
+                    .collect()
+            }
+            other => {
+                eprintln!("trace-ir: unknown kernel {other} (expected transpose, blur or stream)");
+                return ExitCode::from(2);
+            }
+        };
+        for (variant, program) in cells {
+            let stats = IrStats::of(&program);
+            let cov = estimate_coverage(&spec, &program);
+            table.row(vec![
+                device.label().into(),
+                variant.clone(),
+                stats.total_nodes().to_string(),
+                stats.access.to_string(),
+                stats.range.to_string(),
+                stats.strided.to_string(),
+                stats.strided_rmw.to_string(),
+                stats.repeat.to_string(),
+                stats.max_depth.to_string(),
+                format!("{:.1}%", cov.percent()),
+            ]);
+            rows.push(TraceIrRow {
+                device: device.label().to_owned(),
+                variant,
+                nodes: stats.total_nodes(),
+                access: stats.access,
+                range: stats.range,
+                strided: stats.strided,
+                strided_rmw: stats.strided_rmw,
+                repeat: stats.repeat,
+                max_depth: stats.max_depth,
+                coverage_percent: cov.percent(),
+            });
+        }
+    }
+    if opts.json {
+        println!("{}", to_json(&rows));
+    } else {
+        println!("trace IR, core 0 emission\n{}", table.render());
+        println!(
+            "analytic = static fast-forward coverage estimate (elements in loops\n\
+             passing the shape gates; runtime warm-up can still fall back)"
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// `analytic-gate`: prove the analytic trace-IR executor is
+/// digest-invisible — every figure cell simulated with fast-forward
+/// enabled must produce byte-identical statistics to forced per-element
+/// replay — and non-vacuous: a TLB-off streaming workload must actually
+/// fast-forward (`analytic_ops > 0`), or the equality above proved
+/// nothing.
+fn cmd_analytic_gate(opts: &Opts) -> ExitCode {
+    use membound::sim::set_analytic_override;
+    let cfg_t = TransposeConfig::new(opts.num("n", 512));
+    let cfg_b = BlurConfig {
+        height: opts.num("height", 127),
+        width: opts.num("width", 159),
+        channels: 3,
+        filter_size: opts.num("filter", 19),
+        sigma: None,
+    };
+    let mut table = TextTable::new(
+        [
+            "figure",
+            "device",
+            "variant",
+            "analytic digest",
+            "replay digest",
+            "gate",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    let mut failures = 0u32;
+    let mut gate = |table: &mut TextTable,
+                    figure: &str,
+                    device: &str,
+                    variant: &str,
+                    on: Option<membound::sim::SimReport>,
+                    off: Option<membound::sim::SimReport>| {
+        let (Some(on), Some(off)) = (on, off) else {
+            table.row(vec![
+                figure.into(),
+                device.into(),
+                variant.into(),
+                "does not fit in memory".into(),
+                "-".into(),
+                "skip".into(),
+            ]);
+            return;
+        };
+        let ok = on.stats_digest() == off.stats_digest();
+        failures += u32::from(!ok);
+        table.row(vec![
+            figure.into(),
+            device.into(),
+            variant.into(),
+            format!("{:016x}", on.stats_digest()),
+            format!("{:016x}", off.stats_digest()),
+            if ok { "ok" } else { "DIVERGED" }.into(),
+        ]);
+    };
+    for device in opts.devices() {
+        let spec = device.spec();
+        for variant in transpose_variants(opts) {
+            set_analytic_override(Some(true));
+            let on = simulate_transpose(&spec, variant, cfg_t);
+            set_analytic_override(Some(false));
+            let off = simulate_transpose(&spec, variant, cfg_t);
+            gate(&mut table, "fig2", device.label(), variant.label(), on, off);
+        }
+        for variant in blur_variants(opts) {
+            set_analytic_override(Some(true));
+            let on = simulate_blur(&spec, variant, cfg_b);
+            set_analytic_override(Some(false));
+            let off = simulate_blur(&spec, variant, cfg_b);
+            gate(
+                &mut table,
+                "fig6",
+                device.label(),
+                variant.label(),
+                Some(on),
+                Some(off),
+            );
+        }
+    }
+    set_analytic_override(None);
+    println!("analytic gate\n{}", table.render());
+    if failures > 0 {
+        eprintln!("analytic gate FAILED: {failures} cell(s) diverged from forced replay");
+        return ExitCode::FAILURE;
+    }
+    // Non-vacuity: the figures run with translation on, where the
+    // executor proves nothing and falls back (by design). A TLB-off
+    // single-pass triad must demonstrably fast-forward, or the digest
+    // equality above was vacuous.
+    let spec = Device::IntelXeon4310T.spec().without_tlb();
+    let n = 1u64 << 25;
+    let triad = move |_tid: u32, sink: &mut membound::sim::CorePipeline| {
+        let mut i = 0;
+        while i < n {
+            let hi = (i + 1024).min(n);
+            let bytes = (hi - i) * 8;
+            sink.load_range((1 << 41) + i * 8, bytes);
+            sink.load_range((1 << 42) + i * 8, bytes);
+            sink.store_range((3 << 41) + i * 8, bytes);
+            i = hi;
+        }
+    };
+    let on = Machine::new(spec.clone())
+        .with_analytic(true)
+        .simulate(1, triad);
+    let off = Machine::new(spec).with_analytic(false).simulate(1, triad);
+    if on.stats_digest() != off.stats_digest() {
+        eprintln!(
+            "analytic gate FAILED: triad digests diverged ({:016x} != {:016x})",
+            on.stats_digest(),
+            off.stats_digest()
+        );
+        return ExitCode::FAILURE;
+    }
+    if on.analytic_ops == 0 {
+        eprintln!(
+            "analytic gate FAILED: the TLB-off triad never fast-forwarded — the gate proved nothing"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "analytic gate passed: {} elements fast-forwarded, all digests bit-identical",
+        on.analytic_ops
+    );
+    ExitCode::SUCCESS
+}
+
 /// `cache stats|gc|verify`: inspect, reclaim, or integrity-check the
 /// persistent result cache (DESIGN.md §12). The directory comes from
 /// `--cache-dir`, falling back to `MEMBOUND_CACHE_DIR`. `verify` is
@@ -864,9 +1191,23 @@ fn main() -> ExitCode {
     if cmd == "serve" {
         return cmd_serve(&args[1..]);
     }
+    if cmd == "trace-ir" {
+        let Some(kernel) = args.get(1).filter(|a| !a.starts_with('-')) else {
+            eprintln!("trace-ir requires a kernel: transpose, blur or stream");
+            return ExitCode::from(2);
+        };
+        let opts = Opts::parse(&args[2..]);
+        return cmd_trace_ir(kernel, &opts);
+    }
     let opts = Opts::parse(&args[1..]);
+    if let Some(v) = opts.analytic {
+        membound::sim::set_analytic_override(Some(v));
+    }
     if cmd == "strided-gate" {
         return cmd_strided_gate(&opts);
+    }
+    if cmd == "analytic-gate" {
+        return cmd_analytic_gate(&opts);
     }
     match cmd.as_str() {
         "devices" => cmd_devices(&opts),
