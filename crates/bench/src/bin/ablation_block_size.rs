@@ -34,7 +34,7 @@ fn main() {
                 .chain(blocks.iter().map(|b| format!("blk={b}")))
                 .collect(),
         );
-        for device in Device::all() {
+        for device in Device::paper() {
             let spec = device.spec();
             let mut cells = vec![device.label().to_owned()];
             for &block in &blocks {

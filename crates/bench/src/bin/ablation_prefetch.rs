@@ -47,7 +47,7 @@ fn main() {
     // Devices are walked serially; the whole budget is spare for the
     // multi-core STREAM replays (the blur variant here is single-core).
     let budget = JobBudget::new(resolve_jobs(args.jobs));
-    for device in Device::all() {
+    for device in Device::paper() {
         let with = device.spec();
         let without = device.spec().without_prefetchers();
         let stream_with = stream_dram_gbps_budgeted(&with, &budget);

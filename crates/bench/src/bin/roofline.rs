@@ -54,7 +54,7 @@ fn main() {
     // Devices are walked serially; the budget feeds the multi-core
     // STREAM measurement inside each device.
     let budget = JobBudget::new(resolve_jobs(args.jobs));
-    for device in Device::all() {
+    for device in Device::paper() {
         let spec = device.spec();
         let stream = stream_dram_gbps_budgeted(&spec, &budget);
         let roof = DeviceRoofline::for_device(&spec, stream);

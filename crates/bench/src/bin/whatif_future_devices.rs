@@ -32,7 +32,7 @@ fn main() {
     println!("WHAT-IF: best-variant kernels on RISC-V successors");
     println!("{}\n", scale_banner(args.full));
 
-    let mut specs: Vec<DeviceSpec> = Device::all().iter().map(|d| d.spec()).collect();
+    let mut specs: Vec<DeviceSpec> = Device::paper().iter().map(|d| d.spec()).collect();
     specs.push(future::visionfive2());
     specs.push(future::with_vectorization(future::visionfive2(), 16));
     specs.push(future::riscv_server_class());

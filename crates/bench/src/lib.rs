@@ -252,27 +252,23 @@ impl Args {
         results
     }
 
-    /// The devices the run covers: all four, or the one picked by
-    /// `--device` (matched case-insensitively as a substring of the
-    /// device label or preset name — `visionfive` selects the StarFive
-    /// VisionFive).
+    /// The devices the run covers: the four paper boards (the canonical
+    /// figure digests are pinned to that sweep), or the set picked by
+    /// `--device` via [`Device::select`] — matched case-insensitively
+    /// as a substring of the device label or preset name (`visionfive`
+    /// selects the StarFive VisionFive), with commas for an intentional
+    /// multi-select (`--device mango,sg2044`).
     ///
     /// # Panics
     ///
-    /// Panics when the filter matches no device.
+    /// Panics when the filter matches no device or is ambiguous,
+    /// listing the candidates.
     #[must_use]
     pub fn devices(&self) -> Vec<Device> {
-        let all = Device::all();
         let Some(filter) = &self.device_filter else {
-            return all.to_vec();
+            return Device::paper().to_vec();
         };
-        let picked = Device::matching(filter);
-        assert!(
-            !picked.is_empty(),
-            "--device {filter:?} matches none of: {}",
-            all.iter().map(|d| d.label()).collect::<Vec<_>>().join(", ")
-        );
-        picked
+        Device::select(filter).unwrap_or_else(|e| panic!("--device: {e}"))
     }
 
     /// The two matrix sizes of Fig. 2/3: the paper's 8192/16384 under
@@ -381,17 +377,39 @@ mod tests {
     #[test]
     fn device_filter_selects_by_loose_substring() {
         let mut a = args(false);
-        assert_eq!(a.devices().len(), Device::all().len());
+        // No filter: the four paper boards, never the what-if presets.
+        assert_eq!(a.devices(), Device::paper().to_vec());
         a.device_filter = Some("visionfive".into());
         let picked = a.devices();
         assert_eq!(picked, vec![Device::StarFiveVisionFive]);
     }
 
     #[test]
-    #[should_panic(expected = "matches none")]
+    fn device_filter_exact_set_multi_selects() {
+        let mut a = args(false);
+        a.device_filter = Some("mango,sg2044".into());
+        assert_eq!(
+            a.devices(),
+            vec![Device::MangoPiMqPro, Device::SophonSG2044]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no device matches")]
     fn unknown_device_filter_panics() {
         let mut a = args(false);
         a.device_filter = Some("cray-1".into());
+        let _ = a.devices();
+    }
+
+    #[test]
+    #[should_panic(expected = "ambiguous")]
+    fn ambiguous_device_filter_panics() {
+        let mut a = args(false);
+        // "pi" is a substring of both Mango Pi MQ-Pro and Raspberry
+        // Pi 4 — silently sweeping both used to corrupt single-device
+        // figure runs.
+        a.device_filter = Some("pi".into());
         let _ = a.devices();
     }
 

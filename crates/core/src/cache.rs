@@ -195,6 +195,10 @@ fn workload_json(cell: &Cell) -> String {
             };
             format!("{{\"op\":{:?},\"level\":{level}}}", op.label())
         }
+        CellKind::Gbmv { cfg, .. } => format!(
+            "{{\"n\":{},\"kl\":{},\"ku\":{},\"block\":{}}}",
+            cfg.n, cfg.kl, cfg.ku, cfg.block
+        ),
     }
 }
 
@@ -864,6 +868,43 @@ mod tests {
         let outcome = CellOutcome::DoesNotFit;
         let entry = CacheEntry::capture(cache.fingerprint(), &key, cell, &outcome, 0.5).unwrap();
         (key, entry)
+    }
+
+    /// Every inventory entry — not just the paper's four — must
+    /// round-trip through the selection path (`matching` finds it,
+    /// `select` on its exact preset name resolves it uniquely), produce
+    /// a serializable spec, and yield a cache key distinct from every
+    /// other device's for the same workload. Guards against new presets
+    /// being reachable by sweep code but invisible (or colliding) in
+    /// the device-filter and cache layers.
+    #[test]
+    fn every_device_round_trips_through_selection_spec_and_cache_key() {
+        let cell = transpose_cell(64, TransposeVariant::Naive);
+        let mut keys = std::collections::BTreeSet::new();
+        for &device in Device::all() {
+            assert!(
+                Device::matching(device.label()).contains(&device),
+                "{device}: label must match itself"
+            );
+            let by_name = Device::select(&format!("{device:?}"))
+                .unwrap_or_else(|e| panic!("{device}: {e}"));
+            assert_eq!(by_name, vec![device], "{device}: preset name is unique");
+
+            let spec = device.spec();
+            let json = serde_json::to_string(&spec).expect("spec serializes");
+            let back: membound_sim::DeviceSpec =
+                serde_json::from_str(&json).expect("spec deserializes");
+            assert_eq!(back, spec, "{device}: spec JSON round-trip");
+
+            let mut on_device = cell.clone();
+            on_device.device = device.label().into();
+            on_device.spec = spec;
+            assert!(
+                keys.insert(CacheKey::derive(&on_device, "fp-a").as_hex().to_owned()),
+                "{device}: cache key collides with another device"
+            );
+        }
+        assert_eq!(keys.len(), Device::all().len());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! device model (`membound_sim::Machine`).
 
 use crate::blur::{BlurConfig, BlurTrace, BlurVariant};
+use crate::gbmv::{traced::GbmvTrace, GbmvConfig, GbmvVariant};
 use crate::stream::{StreamOp, StreamTrace};
 use crate::transpose::{traced::TransposeTrace, TransposeConfig, TransposeVariant};
 use membound_parallel::JobBudget;
@@ -89,6 +90,75 @@ pub fn simulate_transpose_reference(
     }
     let machine = Machine::new(spec.clone()).without_fastpath();
     let trace = TransposeTrace::new(cfg);
+    let threads = if variant.is_parallel() { spec.cores } else { 1 };
+    let total = trace.outer_iterations(variant);
+    let plan = variant
+        .schedule()
+        .plan(total, threads, |i| trace.weight(variant, i));
+    Some(machine.simulate(threads, |tid, sink| {
+        for range in &plan[tid as usize] {
+            trace.trace_outer(variant, sink, tid, range.start, range.end);
+        }
+    }))
+}
+
+/// Simulate one band-matrix `gbmv` variant on a device, replaying
+/// simulated cores serially on the calling thread.
+///
+/// Returns `None` when the band array plus both vectors do not fit in
+/// device memory (the Mango Pi's 1 GB cuts off wide-band configurations
+/// exactly like the 16384² transpose panel).
+#[must_use]
+pub fn simulate_gbmv(
+    spec: &DeviceSpec,
+    variant: GbmvVariant,
+    cfg: GbmvConfig,
+) -> Option<SimReport> {
+    simulate_gbmv_budgeted(spec, variant, cfg, &JobBudget::serial())
+}
+
+/// [`simulate_gbmv`] with per-core replay fanned out across host workers
+/// leased from `budget` (digest-identical to the serial variant).
+#[must_use]
+pub fn simulate_gbmv_budgeted(
+    spec: &DeviceSpec,
+    variant: GbmvVariant,
+    cfg: GbmvConfig,
+    budget: &JobBudget,
+) -> Option<SimReport> {
+    if !spec.fits_in_memory(cfg.footprint_bytes()) {
+        return None;
+    }
+    let machine = Machine::new(spec.clone()).with_budget(budget.clone());
+    let trace = GbmvTrace::new(cfg);
+    let threads = if variant.is_parallel() { spec.cores } else { 1 };
+    let total = trace.outer_iterations(variant);
+    let plan = variant
+        .schedule()
+        .plan(total, threads, |i| trace.weight(variant, i));
+    Some(machine.simulate(threads, |tid, sink| {
+        for range in &plan[tid as usize] {
+            trace.trace_outer(variant, sink, tid, range.start, range.end);
+        }
+    }))
+}
+
+/// [`simulate_gbmv`] on a reference machine built with
+/// [`Machine::without_fastpath`], mirroring
+/// [`simulate_transpose_reference`]: the naïve variant's anti-diagonal
+/// `ab` walk is exactly the constant-stride pattern the bulk executors
+/// accelerate, so the strided gate replays one gbmv cell too.
+#[must_use]
+pub fn simulate_gbmv_reference(
+    spec: &DeviceSpec,
+    variant: GbmvVariant,
+    cfg: GbmvConfig,
+) -> Option<SimReport> {
+    if !spec.fits_in_memory(cfg.footprint_bytes()) {
+        return None;
+    }
+    let machine = Machine::new(spec.clone()).without_fastpath();
+    let trace = GbmvTrace::new(cfg);
     let threads = if variant.is_parallel() { spec.cores } else { 1 };
     let total = trace.outer_iterations(variant);
     let plan = variant
@@ -411,6 +481,62 @@ mod tests {
     }
 
     #[test]
+    fn gbmv_blocking_beats_naive_on_the_mango_pi() {
+        let spec = Device::MangoPiMqPro.spec();
+        let cfg = GbmvConfig::with_bands(4096, 64, 64, 256);
+        let naive = simulate_gbmv(&spec, GbmvVariant::Naive, cfg).unwrap();
+        let blocked = simulate_gbmv(&spec, GbmvVariant::Blocked, cfg).unwrap();
+        assert!(
+            blocked.seconds < naive.seconds,
+            "unit-stride panels must beat the anti-diagonal walk: {} vs {}",
+            blocked.seconds,
+            naive.seconds
+        );
+    }
+
+    #[test]
+    fn gbmv_wide_band_does_not_fit_on_mango_pi() {
+        // 2049 diagonals × 65536 columns × 8 B ≈ 1.07 GB of band storage
+        // alone — past the Mango Pi's 1 GB, like the 16384² transpose.
+        let cfg = GbmvConfig::with_bands(65536, 1024, 1024, 256);
+        let r = simulate_gbmv(&Device::MangoPiMqPro.spec(), GbmvVariant::Naive, cfg);
+        assert!(r.is_none());
+        assert!(
+            simulate_gbmv(&Device::RaspberryPi4.spec(), GbmvVariant::Naive, cfg).is_some(),
+            "the same workload fits in the Pi 4's 4 GB"
+        );
+    }
+
+    /// `gbmv` reads the band exactly once, so once the walk is
+    /// unit-stride it is pure DRAM streaming: spreading panels over the
+    /// Pi 4's four cores must neither help nor hurt — the paper's
+    /// memory-bound-scaling point in miniature. The parallel variant
+    /// still beats the latency-bound naïve walk.
+    #[test]
+    fn parallel_gbmv_uses_all_cores_but_stays_dram_bound() {
+        let spec = Device::RaspberryPi4.spec();
+        let cfg = GbmvConfig::with_bands(8192, 64, 64, 256);
+        let parallel = simulate_gbmv(&spec, GbmvVariant::Parallel, cfg).unwrap();
+        assert_eq!(parallel.threads, 4);
+        let blocked = simulate_gbmv(&spec, GbmvVariant::Blocked, cfg).unwrap();
+        assert_eq!(blocked.threads, 1);
+        let ratio = parallel.seconds / blocked.seconds;
+        assert!(
+            (0.8..=1.05).contains(&ratio),
+            "DRAM-bound panels should not scale with cores: parallel {} vs blocked {}",
+            parallel.seconds,
+            blocked.seconds
+        );
+        let naive = simulate_gbmv(&spec, GbmvVariant::Naive, cfg).unwrap();
+        assert!(
+            parallel.seconds < naive.seconds,
+            "parallel {} vs naive {}",
+            parallel.seconds,
+            naive.seconds
+        );
+    }
+
+    #[test]
     fn blur_ladder_improves_on_xeon() {
         let spec = Device::IntelXeon4310T.spec();
         let cfg = BlurConfig::small(96, 120);
@@ -485,6 +611,50 @@ mod tests {
         let serial = simulate_stream(&spec, StreamOp::Triad, None);
         let fanned = simulate_stream_budgeted(&spec, StreamOp::Triad, None, &budget);
         assert_eq!(serial.to_bits(), fanned.to_bits());
+
+        let gcfg = GbmvConfig::with_bands(2048, 32, 32, 128);
+        let serial = simulate_gbmv(&spec, GbmvVariant::Parallel, gcfg).unwrap();
+        let fanned = simulate_gbmv_budgeted(&spec, GbmvVariant::Parallel, gcfg, &budget).unwrap();
+        assert_eq!(serial.stats_digest(), fanned.stats_digest());
+    }
+
+    /// At 64 simulated cores on the SG2044 (contended DRAM, so every
+    /// phase replays), host fan-out must engage and stay
+    /// digest-invisible at every `--jobs` level.
+    #[test]
+    fn sg2044_gbmv_is_jobs_invariant_with_host_fanout() {
+        let spec = Device::SophonSG2044.spec();
+        let cfg = GbmvConfig::with_bands(2048, 32, 32, 32); // 64 panels, one per core
+        let serial = simulate_gbmv(&spec, GbmvVariant::Parallel, cfg).unwrap();
+        assert_eq!(serial.threads, 64);
+        for jobs in [8u32, 64] {
+            let fanned =
+                simulate_gbmv_budgeted(&spec, GbmvVariant::Parallel, cfg, &JobBudget::new(jobs))
+                    .unwrap();
+            assert_eq!(
+                serial.stats_digest(),
+                fanned.stats_digest(),
+                "digest diverged at --jobs {jobs}"
+            );
+            assert!(fanned.host_workers > 1, "spare budget must be used");
+        }
+    }
+
+    /// The strided fast path must be an exact optimization for the gbmv
+    /// traces too (the naïve anti-diagonal walk is its hardest case).
+    #[test]
+    fn gbmv_reference_machine_matches_fastpath_digest() {
+        let spec = Device::StarFiveVisionFive.spec();
+        for variant in GbmvVariant::all() {
+            let cfg = GbmvConfig::with_bands(1024, 16, 16, 128);
+            let fast = simulate_gbmv(&spec, variant, cfg).unwrap();
+            let reference = simulate_gbmv_reference(&spec, variant, cfg).unwrap();
+            assert_eq!(
+                fast.stats_digest(),
+                reference.stats_digest(),
+                "{variant}"
+            );
+        }
     }
 
     #[test]

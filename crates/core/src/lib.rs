@@ -1,7 +1,7 @@
 //! `membound-core` — the kernel suite of *"Case Study for Running
 //! Memory-Bound Kernels on RISC-V CPUs"* (PACT 2023).
 //!
-//! Three memory-bound kernels, each as the paper's ladder of progressively
+//! Four memory-bound kernels, each as a ladder of progressively
 //! optimized variants:
 //!
 //! * **STREAM** (§4.1) — [`StreamOp`]: Copy/Scale/Add/Triad, sized per
@@ -9,7 +9,9 @@
 //! * **in-place matrix transposition** (§4.2) — [`TransposeVariant`]:
 //!   Naive → Parallel → Blocking → Manual_blocking → Dynamic;
 //! * **Gaussian blur** (§4.3) — [`BlurVariant`]: Naive → Unit-stride →
-//!   1D_kernels → Memory → Parallel.
+//!   1D_kernels → Memory → Parallel;
+//! * **band-matrix `gbmv`** (the group's band-BLAS follow-up) —
+//!   [`GbmvVariant`]: Naive → Blocked → Parallel.
 //!
 //! Every variant has two execution paths:
 //!
@@ -49,6 +51,7 @@
 mod blur;
 pub mod cache;
 pub mod experiment;
+mod gbmv;
 mod matrix;
 pub mod metrics;
 pub mod report;
@@ -61,6 +64,7 @@ mod transpose;
 pub use blur::{
     blur_fused_native, blur_native, BlurConfig, BlurTrace, BlurVariant, FusedBlurTrace,
 };
+pub use gbmv::{gbmv_native, traced::GbmvTrace, BandMatrix, GbmvConfig, GbmvVariant};
 pub use matrix::SquareMatrix;
 pub use stream::{run_native as run_native_stream, NativeStreamResult, StreamOp, StreamTrace};
 pub use transpose::{traced::TransposeTrace, transpose_native, TransposeConfig, TransposeVariant};

@@ -183,7 +183,7 @@ mod tests {
             KernelIntensity::stream_triad(),
             KernelIntensity::transpose(TransposeConfig::new(8192)),
         ];
-        for device in Device::all() {
+        for &device in Device::all() {
             let r = roof(device);
             for k in &kernels {
                 assert!(

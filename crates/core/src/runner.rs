@@ -34,6 +34,7 @@
 use crate::blur::{BlurConfig, BlurVariant};
 use crate::cache::{CacheEntry, CacheKey, CachedOutcome, ResultCache};
 use crate::experiment;
+use crate::gbmv::{GbmvConfig, GbmvVariant};
 use crate::metrics::speedup;
 use crate::stream::StreamOp;
 use crate::telemetry::{self, CellRecord, PartialRunLog, RunHeader, SimRecord, StreamingRunLog};
@@ -117,6 +118,13 @@ pub enum CellKind {
         /// Cache level index, or `None` for DRAM.
         level: Option<usize>,
     },
+    /// One band-matrix `gbmv` variant ([`experiment::simulate_gbmv`]).
+    Gbmv {
+        /// Ladder variant.
+        variant: GbmvVariant,
+        /// Band workload.
+        cfg: GbmvConfig,
+    },
 }
 
 impl CellKind {
@@ -130,12 +138,13 @@ impl CellKind {
                 Some(cfg.nominal_bytes())
             }
             CellKind::Stream { .. } => None,
+            CellKind::Gbmv { cfg, .. } => Some(cfg.nominal_bytes()),
         }
     }
 
     /// Kernel-family label in the telemetry schema (and the result
     /// cache's key material): `"transpose"`, `"blur"`, `"fused_blur"`,
-    /// or `"stream"`.
+    /// `"stream"`, or `"gbmv"`.
     #[must_use]
     pub fn kernel(&self) -> &'static str {
         match self {
@@ -143,6 +152,7 @@ impl CellKind {
             CellKind::Blur { .. } => "blur",
             CellKind::FusedBlur { .. } => "fused_blur",
             CellKind::Stream { .. } => "stream",
+            CellKind::Gbmv { .. } => "gbmv",
         }
     }
 }
@@ -232,6 +242,24 @@ impl Cell {
             variant: op.label().into(),
             spec: spec.clone(),
             kind: CellKind::Stream { op, level },
+        }
+    }
+
+    /// A band-matrix `gbmv` cell.
+    #[must_use]
+    pub fn gbmv(
+        panel: impl Into<String>,
+        device: &str,
+        spec: &DeviceSpec,
+        variant: GbmvVariant,
+        cfg: GbmvConfig,
+    ) -> Self {
+        Self {
+            panel: panel.into(),
+            device: device.into(),
+            variant: variant.label().into(),
+            spec: spec.clone(),
+            kind: CellKind::Gbmv { variant, cfg },
         }
     }
 
@@ -1007,6 +1035,12 @@ fn execute(cell: &Cell, budget: &JobBudget) -> CellOutcome {
         CellKind::Stream { op, level } => CellOutcome::Gbps(experiment::simulate_stream_budgeted(
             &cell.spec, *op, *level, budget,
         )),
+        CellKind::Gbmv { variant, cfg } => {
+            match experiment::simulate_gbmv_budgeted(&cell.spec, *variant, *cfg, budget) {
+                Some(report) => CellOutcome::Report(Box::new(report)),
+                None => CellOutcome::DoesNotFit,
+            }
+        }
     }
 }
 

@@ -63,6 +63,19 @@ const CONN_POLL: Duration = Duration::from_millis(100);
 /// deliberately coarse "come back later", not a latency model.
 const RETRY_AFTER_MS_PER_QUEUED: u64 = 250;
 
+/// Ceiling on the backoff hint (one minute): the hint is advisory, and
+/// a pathological queue depth must not overflow the multiply or tell a
+/// well-behaved client to go away for hours.
+const RETRY_AFTER_MS_CAP: u64 = 60_000;
+
+/// The queue-full backoff hint for a rejection observed at `depth`
+/// queued entries: saturating, capped at [`RETRY_AFTER_MS_CAP`].
+fn retry_after_ms(depth: usize) -> u64 {
+    (depth as u64)
+        .saturating_mul(RETRY_AFTER_MS_PER_QUEUED)
+        .min(RETRY_AFTER_MS_CAP)
+}
+
 /// Daemon configuration (one [`Server`] per socket path).
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -477,7 +490,7 @@ fn handle_submit(
             Err(SubmitError::Full { depth }) => {
                 return Ok(Response::Rejected {
                     reason: reject::QUEUE_FULL.into(),
-                    retry_after_ms: Some(depth as u64 * RETRY_AFTER_MS_PER_QUEUED),
+                    retry_after_ms: Some(retry_after_ms(depth)),
                 });
             }
             Err(SubmitError::Closed) => {
@@ -549,4 +562,26 @@ fn read_line_polling(
 /// Write one protocol line.
 fn write_line<T: serde::Serialize>(writer: &mut UnixStream, message: &T) -> std::io::Result<()> {
     writeln!(writer, "{}", protocol::to_line(message))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The backoff hint saturates instead of overflowing, and is capped
+    /// at one minute even at the largest representable queue depth.
+    #[test]
+    fn retry_after_hint_saturates_and_caps() {
+        assert_eq!(retry_after_ms(0), 0);
+        assert_eq!(retry_after_ms(4), 1000);
+        assert_eq!(
+            retry_after_ms(RETRY_AFTER_MS_CAP as usize / 250),
+            RETRY_AFTER_MS_CAP
+        );
+        assert_eq!(retry_after_ms(usize::MAX), RETRY_AFTER_MS_CAP);
+        // The raw multiply would wrap well before usize::MAX; make sure
+        // the first overflowing depth is already capped.
+        let first_overflow = (u64::MAX / RETRY_AFTER_MS_PER_QUEUED) as usize + 1;
+        assert_eq!(retry_after_ms(first_overflow), RETRY_AFTER_MS_CAP);
+    }
 }

@@ -10,7 +10,9 @@
 //! digest.
 
 use membound_core::runner::{Cell, ExperimentMatrix};
-use membound_core::{BlurConfig, BlurVariant, TransposeConfig, TransposeVariant};
+use membound_core::{
+    BlurConfig, BlurVariant, GbmvConfig, GbmvVariant, TransposeConfig, TransposeVariant,
+};
 use membound_sim::Device;
 use serde::{Deserialize, Serialize};
 
@@ -26,7 +28,7 @@ pub enum JobSpec {
         /// Paper-scale sizes (8192/16384) instead of the scaled-down
         /// defaults (2048/4096).
         full: bool,
-        /// Device filter ([`Device::matching`]); `None` sweeps all four.
+        /// Device filter ([`Device::select`]); `None` sweeps the paper boards.
         device: Option<String>,
     },
     /// The Fig. 6/7 Gaussian-blur matrix: devices × the five-variant
@@ -35,7 +37,16 @@ pub enum JobSpec {
         /// The paper's 2544×2027 image instead of the half-resolution
         /// default.
         full: bool,
-        /// Device filter ([`Device::matching`]); `None` sweeps all four.
+        /// Device filter ([`Device::select`]); `None` sweeps the paper boards.
+        device: Option<String>,
+    },
+    /// The band-matrix `gbmv` ladder: caller-chosen orders, the
+    /// three-variant ladder per order × device, mirroring the gbmv half
+    /// of `whatif_manycore`'s per-device loop.
+    GbmvLadder {
+        /// Matrix orders (one panel per order).
+        sizes: Vec<usize>,
+        /// Device filter ([`Device::select`]); `None` sweeps the paper boards.
         device: Option<String>,
     },
     /// An ad-hoc transposition ladder: caller-chosen sizes and block,
@@ -47,35 +58,28 @@ pub enum JobSpec {
         sizes: Vec<usize>,
         /// Blocking factor for the blocked variants.
         block: usize,
-        /// Device filter ([`Device::matching`]); `None` sweeps all four.
+        /// Device filter ([`Device::select`]); `None` sweeps the paper boards.
         device: Option<String>,
     },
 }
 
 impl JobSpec {
-    /// Resolve the device axis: `None` sweeps all modelled devices, a
-    /// filter goes through [`Device::matching`] (loose, case- and
-    /// punctuation-insensitive).
+    /// Resolve the device axis: `None` sweeps the four paper boards
+    /// (the canonical figure matrices are pinned to that sweep), a
+    /// filter goes through [`Device::select`] — loose, case- and
+    /// punctuation-insensitive, with a comma-separated exact-set syntax
+    /// for intentional multi-select.
     ///
     /// # Errors
     ///
-    /// A filter matching no device names the filter and the inventory.
+    /// A filter matching no device, or ambiguously matching several,
+    /// names the filter and the candidates instead of silently running
+    /// a different matrix than the client asked for.
     fn devices(filter: Option<&str>) -> Result<Vec<Device>, String> {
         let Some(filter) = filter else {
-            return Ok(Device::all().to_vec());
+            return Ok(Device::paper().to_vec());
         };
-        let picked = Device::matching(filter);
-        if picked.is_empty() {
-            return Err(format!(
-                "device filter {filter:?} matches none of: {}",
-                Device::all()
-                    .iter()
-                    .map(|d| d.label())
-                    .collect::<Vec<_>>()
-                    .join(", ")
-            ));
-        }
-        Ok(picked)
+        Device::select(filter)
     }
 
     /// Build the experiment matrix this spec describes — cell for cell
@@ -133,6 +137,34 @@ impl JobSpec {
                 }
                 Ok(matrix)
             }
+            JobSpec::GbmvLadder { sizes, device } => {
+                if sizes.is_empty() {
+                    return Err("gbmv ladder needs at least one order".into());
+                }
+                if let Some(&n) = sizes.iter().find(|&&n| n <= 64) {
+                    // GbmvConfig::new's symmetric bandwidth is 64 and the
+                    // band layout needs kl, ku < n.
+                    return Err(format!("gbmv order {n} must exceed the bandwidth (64)"));
+                }
+                let devices = Self::devices(device.as_deref())?;
+                let mut matrix = ExperimentMatrix::new("gbmv_ladder");
+                for &n in sizes {
+                    let cfg = GbmvConfig::new(n);
+                    for device in &devices {
+                        let spec = device.spec();
+                        for variant in GbmvVariant::all() {
+                            matrix.push(Cell::gbmv(
+                                n.to_string(),
+                                device.label(),
+                                &spec,
+                                variant,
+                                cfg,
+                            ));
+                        }
+                    }
+                }
+                Ok(matrix)
+            }
             JobSpec::TransposeLadder {
                 sizes,
                 block,
@@ -172,6 +204,20 @@ impl JobSpec {
         let (name, full, device) = match self {
             JobSpec::Fig2 { full, device } => ("fig2_transpose", *full, device),
             JobSpec::Fig6 { full, device } => ("fig6_blur", *full, device),
+            JobSpec::GbmvLadder { sizes, device } => {
+                return format!(
+                    "gbmv_ladder[{}]{}",
+                    sizes
+                        .iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join(","),
+                    device
+                        .as_deref()
+                        .map(|d| format!(" @{d}"))
+                        .unwrap_or_default()
+                );
+            }
             JobSpec::TransposeLadder { sizes, device, .. } => {
                 return format!(
                     "transpose_ladder[{}]{}",
@@ -245,6 +291,36 @@ mod tests {
     }
 
     #[test]
+    fn gbmv_ladder_matrix_has_three_variants_per_order() {
+        let spec = JobSpec::GbmvLadder {
+            sizes: vec![512, 1024],
+            device: Some("sg2044".into()),
+        };
+        let m = spec.matrix().unwrap();
+        assert_eq!(m.figure(), "gbmv_ladder");
+        // 2 orders x 1 device x 3 variants, orders outermost.
+        assert_eq!(m.len(), 6);
+        assert_eq!(m.cells()[0].panel, "512");
+        assert_eq!(m.cells()[0].variant, "Naive");
+        assert_eq!(m.cells()[0].kind.kernel(), "gbmv");
+        assert_eq!(m.cells().last().unwrap().variant, "Parallel");
+    }
+
+    #[test]
+    fn degenerate_gbmv_ladders_are_rejected() {
+        let none = JobSpec::GbmvLadder {
+            sizes: vec![],
+            device: None,
+        };
+        assert!(none.matrix().unwrap_err().contains("at least one order"));
+        let tiny = JobSpec::GbmvLadder {
+            sizes: vec![512, 64],
+            device: None,
+        };
+        assert!(tiny.matrix().unwrap_err().contains("bandwidth"));
+    }
+
+    #[test]
     fn unknown_device_filter_is_a_submission_error() {
         let spec = JobSpec::Fig2 {
             full: false,
@@ -286,6 +362,10 @@ mod tests {
                 sizes: vec![96, 128],
                 block: 16,
                 device: Some("mango".into()),
+            },
+            JobSpec::GbmvLadder {
+                sizes: vec![512],
+                device: Some("sg2044".into()),
             },
         ];
         for spec in specs {

@@ -1,8 +1,11 @@
-//! Presets for the four devices benchmarked in the paper (§3.1).
+//! Presets for the four devices benchmarked in the paper (§3.1), plus
+//! two modern many-core RISC-V platforms the follow-up literature
+//! evaluates (the Sophon SG2044 and a Monte Cimone-style U740 node).
 //!
 //! All microarchitectural geometry (cache sizes, associativities, TLB
 //! entry counts, prefetcher behaviour, pipeline widths) is taken directly
-//! from the paper's infrastructure section. Latencies and bandwidths are
+//! from the paper's infrastructure section (or the vendors' published
+//! parameters for the post-paper parts). Latencies and bandwidths are
 //! *calibration parameters*: the paper does not publish them, so they are
 //! set to publicly known ballpark values for each part. EXPERIMENTS.md
 //! compares result *shapes*, not absolute times.
@@ -15,7 +18,8 @@ use crate::prefetch::PrefetcherConfig;
 use crate::replacement::ReplacementPolicy;
 use crate::tlb::{PageWalk, TlbConfig};
 
-/// The four evaluation platforms of the paper.
+/// The four evaluation platforms of the paper, plus two modern
+/// many-core RISC-V platforms for the what-if extension.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Device {
     /// Mango Pi MQ-Pro: Allwinner D1, 1× XuanTie C906 @ 1 GHz, 1 GB DDR3L.
@@ -27,24 +31,54 @@ pub enum Device {
     /// One socket of the 2× Intel Xeon 4310T server: 10 Ice Lake cores,
     /// 64 GB DDR4 (only the first CPU used, as in the paper).
     IntelXeon4310T,
+    /// Sophon SG2044: 64× XuanTie C920 @ 2.6 GHz, shared LLC,
+    /// multi-channel DDR with per-channel bandwidth contention, 128 GB.
+    SophonSG2044,
+    /// Monte Cimone-style node: SiFive Freedom U740, 4× U74 @ 1.2 GHz,
+    /// 16 GB DDR4 behind one channel.
+    MonteCimone,
 }
 
+/// Every preset, paper boards first (their presentation order), then the
+/// modern many-core parts.
+const ALL: [Device; 6] = [
+    Device::IntelXeon4310T,
+    Device::RaspberryPi4,
+    Device::MangoPiMqPro,
+    Device::StarFiveVisionFive,
+    Device::SophonSG2044,
+    Device::MonteCimone,
+];
+
+/// Every RISC-V preset.
+const RISCV: [Device; 4] = [
+    Device::MangoPiMqPro,
+    Device::StarFiveVisionFive,
+    Device::SophonSG2044,
+    Device::MonteCimone,
+];
+
 impl Device {
-    /// All four devices in the paper's presentation order.
+    /// Every preset: the paper's four boards in their presentation order,
+    /// then the modern many-core parts. A slice (not a fixed-arity
+    /// array), so growing the inventory can never silently truncate a
+    /// matrix or panic an array destructure.
     #[must_use]
-    pub fn all() -> [Device; 4] {
-        [
-            Device::IntelXeon4310T,
-            Device::RaspberryPi4,
-            Device::MangoPiMqPro,
-            Device::StarFiveVisionFive,
-        ]
+    pub fn all() -> &'static [Device] {
+        &ALL
     }
 
-    /// The two RISC-V boards only.
+    /// The paper's four evaluation platforms in presentation order — the
+    /// sweep every canonical figure (and its pinned digest) runs over.
     #[must_use]
-    pub fn riscv() -> [Device; 2] {
-        [Device::MangoPiMqPro, Device::StarFiveVisionFive]
+    pub fn paper() -> &'static [Device] {
+        &ALL[..4]
+    }
+
+    /// The RISC-V devices only.
+    #[must_use]
+    pub fn riscv() -> &'static [Device] {
+        &RISCV
     }
 
     /// Short label used in figures ("Mango Pi", "StarFive", ...).
@@ -55,6 +89,8 @@ impl Device {
             Device::StarFiveVisionFive => "StarFive (JH7100)",
             Device::RaspberryPi4 => "Raspberry Pi 4",
             Device::IntelXeon4310T => "Intel Xeon 4310T",
+            Device::SophonSG2044 => "Sophon SG2044",
+            Device::MonteCimone => "Monte Cimone (U740)",
         }
     }
 
@@ -62,10 +98,11 @@ impl Device {
     /// `filter`: case-insensitive substring match with spaces, dashes,
     /// underscores, and parentheses stripped, so `visionfive`,
     /// `mango-pi`, and `Xeon` all select what a human means by them.
-    /// An empty result is the caller's error to surface — the bench
-    /// CLI panics with the device list, the serve daemon rejects the
-    /// job — which is why this returns a possibly-empty `Vec` instead
-    /// of asserting.
+    /// An empty result is the caller's error to surface. Callers that
+    /// treat the result as a *selection* must not accept a silent
+    /// multi-match either — `"pi"` matches two boards and `""` matches
+    /// everything — so they go through [`Device::select`], which turns
+    /// ambiguity into an explicit error.
     #[must_use]
     pub fn matching(filter: &str) -> Vec<Device> {
         let normalize = |s: &str| s.to_lowercase().replace([' ', '-', '_', '(', ')'], "");
@@ -80,6 +117,58 @@ impl Device {
             .collect()
     }
 
+    /// Resolve `filter` to an explicit device selection.
+    ///
+    /// A plain filter must match exactly one device; zero matches and
+    /// ambiguous multi-matches (`"pi"`, `""`) are errors that list the
+    /// candidates. Intentional multi-select uses a comma-separated
+    /// exact set (`"mango,xeon"`), each component again matching exactly
+    /// one device; order and duplicates are preserved as written.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the offending component and the
+    /// devices it matched (or the full inventory on zero matches).
+    pub fn select(filter: &str) -> Result<Vec<Device>, String> {
+        let parts: Vec<&str> = filter
+            .split(',')
+            .map(str::trim)
+            .filter(|p| !p.is_empty())
+            .collect();
+        if parts.is_empty() {
+            return Err(format!(
+                "empty device filter; known devices: {}",
+                Self::inventory_list()
+            ));
+        }
+        parts.into_iter().map(Self::select_one).collect()
+    }
+
+    fn select_one(part: &str) -> Result<Device, String> {
+        let found = Self::matching(part);
+        match found.as_slice() {
+            [one] => Ok(*one),
+            [] => Err(format!(
+                "no device matches {part:?}; known devices: {}",
+                Self::inventory_list()
+            )),
+            many => {
+                let candidates: Vec<&str> = many.iter().map(|d| d.label()).collect();
+                Err(format!(
+                    "device filter {part:?} is ambiguous: matches {}; \
+                     narrow it, or list an exact set like {:?}",
+                    candidates.join(", "),
+                    candidates.join(",")
+                ))
+            }
+        }
+    }
+
+    fn inventory_list() -> String {
+        let labels: Vec<&str> = Device::all().iter().map(|d| d.label()).collect();
+        labels.join(", ")
+    }
+
     /// Build the full device model.
     #[must_use]
     pub fn spec(self) -> DeviceSpec {
@@ -88,6 +177,8 @@ impl Device {
             Device::StarFiveVisionFive => visionfive(),
             Device::RaspberryPi4 => raspberry_pi4(),
             Device::IntelXeon4310T => xeon_4310t(),
+            Device::SophonSG2044 => sophon_sg2044(),
+            Device::MonteCimone => monte_cimone(),
         }
     }
 }
@@ -247,6 +338,92 @@ fn xeon_4310t() -> DeviceSpec {
     }
 }
 
+/// Sophon SG2044 (64× XuanTie C920 @ 2.6 GHz).
+///
+/// The "Is RISC-V ready for HPC?" class of part: 64 in-order RVA cores
+/// behind a large shared LLC and multi-channel DDR. Per-channel
+/// bandwidth contention is modelled ([`DramConfig::contended`]): with 64
+/// cores the channel count, not the aggregate figure, bounds streaming
+/// scalability. Vector codegen is left off, like the paper's RISC-V
+/// boards: the C920's RVV 0.7.1 predates the ratified spec and mainline
+/// compilers do not target it.
+fn sophon_sg2044() -> DeviceSpec {
+    let freq = 2.6;
+    DeviceSpec {
+        name: "Sophon SG2044 (64x XuanTie C920)".into(),
+        isa: "RV64GCV (RVV 0.7.1)".into(),
+        cores: 64,
+        core: CoreConfig::new("XuanTie C920", freq, 2, 0, 4.0),
+        caches: vec![
+            CacheConfig::new("L1D", 64 * 1024, 4, 64)
+                .policy(ReplacementPolicy::Lru)
+                .latency(4)
+                .bytes_per_cycle(16.0),
+            CacheConfig::new("L2", 1024 * 1024, 8, 64)
+                .policy(ReplacementPolicy::Lru)
+                .latency(16)
+                .bytes_per_cycle(16.0),
+            CacheConfig::new("L3", 64 * 1024 * 1024, 16, 64)
+                .policy(ReplacementPolicy::Lru)
+                .latency(52)
+                .bytes_per_cycle(64.0)
+                .shared(),
+        ],
+        prefetchers: vec![
+            PrefetcherConfig::stream(8),
+            PrefetcherConfig::stream(12),
+            PrefetcherConfig::None,
+        ],
+        dtlb: TlbConfig::set_associative("DTLB", 32, 4),
+        l2tlb: Some(TlbConfig::set_associative("L2 TLB", 2048, 8).latency(8)),
+        walk: PageWalk {
+            levels: 3,
+            overhead_cycles: 35,
+        },
+        dram: DramConfig::from_gbps(280, 102.4, freq, 4).with_channel_contention(),
+        dram_capacity_bytes: 128 << 30,
+        tlb_enabled: true,
+    }
+}
+
+/// Monte Cimone-style node (SiFive Freedom U740, 4 usable U74 cores).
+///
+/// The first RISC-V HPC cluster's compute SoC: the same U74
+/// microarchitecture as the VisionFive (random-replacement caches, the
+/// ramping-stride prefetcher) but with a 2 MB *shared* L2 and a single
+/// DDR4 channel whose measured STREAM figure is far below the DDR4
+/// nominal — the aggregate DRAM model fits a single channel exactly.
+fn monte_cimone() -> DeviceSpec {
+    let freq = 1.2;
+    DeviceSpec {
+        name: "Monte Cimone node (SiFive U740, 4x U74)".into(),
+        isa: "RV64GC".into(),
+        cores: 4,
+        core: CoreConfig::new("SiFive U74", freq, 2, 0, 2.0),
+        caches: vec![
+            CacheConfig::new("L1D", 32 * 1024, 4, 64)
+                .policy(ReplacementPolicy::Random)
+                .latency(3)
+                .bytes_per_cycle(16.0),
+            CacheConfig::new("L2", 2 * 1024 * 1024, 16, 64)
+                .policy(ReplacementPolicy::Random)
+                .latency(18)
+                .bytes_per_cycle(16.0)
+                .shared(),
+        ],
+        prefetchers: vec![PrefetcherConfig::u74(), PrefetcherConfig::None],
+        dtlb: TlbConfig::fully_associative("DTLB", 40),
+        l2tlb: Some(TlbConfig::direct_mapped("L2 TLB", 512).latency(8)),
+        walk: PageWalk {
+            levels: 3,
+            overhead_cycles: 30,
+        },
+        dram: DramConfig::from_gbps(180, 7.6, freq, 1),
+        dram_capacity_bytes: 16 << 30,
+        tlb_enabled: true,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -267,6 +444,27 @@ mod tests {
         assert_eq!(Device::StarFiveVisionFive.spec().cores, 2);
         assert_eq!(Device::RaspberryPi4.spec().cores, 4);
         assert_eq!(Device::IntelXeon4310T.spec().cores, 10);
+        assert_eq!(Device::SophonSG2044.spec().cores, 64);
+        assert_eq!(Device::MonteCimone.spec().cores, 4);
+    }
+
+    #[test]
+    fn inventory_split_is_stable() {
+        assert_eq!(Device::all().len(), 6);
+        assert_eq!(
+            Device::paper(),
+            [
+                Device::IntelXeon4310T,
+                Device::RaspberryPi4,
+                Device::MangoPiMqPro,
+                Device::StarFiveVisionFive,
+            ],
+            "canonical figure sweeps depend on this exact order"
+        );
+        assert_eq!(Device::riscv().len(), 4);
+        for d in Device::riscv() {
+            assert!(Device::all().contains(d));
+        }
     }
 
     #[test]
@@ -286,7 +484,79 @@ mod tests {
         // "pi" is genuinely ambiguous and must say so by matching both.
         assert_eq!(Device::matching("pi").len(), 2, "Mango Pi + Raspberry Pi 4");
         assert!(Device::matching("gpu").is_empty());
-        assert_eq!(Device::matching("").len(), 4, "empty filter matches all");
+        assert_eq!(Device::matching("").len(), 6, "empty filter matches all");
+    }
+
+    /// Regression for every label/preset-name alias a user might type:
+    /// each must resolve through `select` to exactly one device.
+    #[test]
+    fn every_alias_selects_exactly_one_device() {
+        let aliases = [
+            ("mango", Device::MangoPiMqPro),
+            ("mangopi", Device::MangoPiMqPro),
+            ("MangoPiMqPro", Device::MangoPiMqPro),
+            ("d1", Device::MangoPiMqPro),
+            ("star", Device::StarFiveVisionFive),
+            ("starfive", Device::StarFiveVisionFive),
+            ("visionfive", Device::StarFiveVisionFive),
+            ("jh7100", Device::StarFiveVisionFive),
+            ("raspberry", Device::RaspberryPi4),
+            ("RaspberryPi4", Device::RaspberryPi4),
+            ("xeon", Device::IntelXeon4310T),
+            ("intel", Device::IntelXeon4310T),
+            ("4310", Device::IntelXeon4310T),
+            ("sophon", Device::SophonSG2044),
+            ("sg2044", Device::SophonSG2044),
+            ("SophonSG2044", Device::SophonSG2044),
+            ("monte", Device::MonteCimone),
+            ("cimone", Device::MonteCimone),
+            ("u740", Device::MonteCimone),
+            ("MonteCimone", Device::MonteCimone),
+        ];
+        for (alias, want) in aliases {
+            assert_eq!(
+                Device::select(alias),
+                Ok(vec![want]),
+                "alias {alias:?} must resolve uniquely"
+            );
+        }
+        // Full labels resolve to themselves, and so do enum names.
+        for d in Device::all() {
+            assert_eq!(Device::select(d.label()), Ok(vec![*d]), "{d}");
+            assert_eq!(Device::select(&format!("{d:?}")), Ok(vec![*d]), "{d}");
+        }
+    }
+
+    #[test]
+    fn select_rejects_ambiguous_and_unknown_filters() {
+        let err = Device::select("pi").unwrap_err();
+        assert!(err.contains("ambiguous"), "{err}");
+        assert!(err.contains("Mango Pi"), "{err}");
+        assert!(err.contains("Raspberry Pi 4"), "{err}");
+
+        let err = Device::select("").unwrap_err();
+        assert!(err.contains("empty device filter"), "{err}");
+        assert!(err.contains("Sophon SG2044"), "lists the inventory: {err}");
+
+        let err = Device::select("gpu").unwrap_err();
+        assert!(err.contains("no device matches"), "{err}");
+        assert!(err.contains("Monte Cimone"), "lists the inventory: {err}");
+
+        // One bad component poisons the whole set.
+        assert!(Device::select("mango,pi").is_err());
+    }
+
+    #[test]
+    fn select_exact_set_multi_select() {
+        assert_eq!(
+            Device::select("mango,xeon"),
+            Ok(vec![Device::MangoPiMqPro, Device::IntelXeon4310T])
+        );
+        assert_eq!(
+            Device::select(" sg2044 , monte "),
+            Ok(vec![Device::SophonSG2044, Device::MonteCimone]),
+            "whitespace around components is tolerated"
+        );
     }
 
     #[test]
@@ -338,9 +608,31 @@ mod tests {
     fn only_one_device_lacks_memory_for_16k_matrix() {
         let bytes = 16384u64 * 16384 * 8;
         let lacking: Vec<Device> = Device::all()
-            .into_iter()
+            .iter()
+            .copied()
             .filter(|d| !d.spec().fits_in_memory(bytes))
             .collect();
         assert_eq!(lacking, vec![Device::MangoPiMqPro]);
+    }
+
+    #[test]
+    fn modern_presets_model_their_headline_features() {
+        let sg = Device::SophonSG2044.spec();
+        assert!(sg.dram.contended, "SG2044 models channel contention");
+        assert_eq!(sg.dram.channels, 4);
+        assert!(
+            sg.caches.last().unwrap().shared,
+            "SG2044's LLC is shared across all 64 cores"
+        );
+        let mc = Device::MonteCimone.spec();
+        assert!(!mc.dram.contended, "one channel: aggregate model fits");
+        assert_eq!(mc.dram.channels, 1);
+        assert!(mc.caches.last().unwrap().shared, "U740's L2 is shared");
+        assert!(
+            mc.caches
+                .iter()
+                .all(|c| c.replacement == ReplacementPolicy::Random),
+            "U74 cores keep random replacement, as on the VisionFive"
+        );
     }
 }

@@ -24,6 +24,14 @@ pub struct DramConfig {
     /// Number of independent memory channels (reported in the device table
     /// and used by the §4.3 discussion of parallel-speedup limits).
     pub channels: u32,
+    /// Whether per-channel bandwidth contention is modelled: lines are
+    /// interleaved over channels by line address, each channel supplies
+    /// `bytes_per_cycle / channels`, and a phase lasts as long as its
+    /// most-loaded channel. Off (the default, and for every paper board)
+    /// the aggregate-bandwidth model applies — the two are identical
+    /// when traffic spreads evenly, so existing digests are unaffected.
+    #[serde(default)]
+    pub contended: bool,
 }
 
 impl DramConfig {
@@ -43,7 +51,17 @@ impl DramConfig {
             latency_cycles,
             bytes_per_cycle,
             channels,
+            contended: false,
         }
+    }
+
+    /// Enable per-channel bandwidth contention (see
+    /// [`DramConfig::contended`]). Many-core presets with several narrow
+    /// channels use this; the paper boards keep the aggregate model.
+    #[must_use]
+    pub fn with_channel_contention(mut self) -> Self {
+        self.contended = true;
+        self
     }
 
     /// Convenience: build from a bandwidth in GB/s and a core frequency in
@@ -72,6 +90,20 @@ impl DramConfig {
     pub fn occupancy_cycles(&self, bytes: u64) -> f64 {
         bytes as f64 / self.bytes_per_cycle
     }
+
+    /// Cycles the most-loaded channel is occupied moving `channel_bytes`
+    /// (one entry per channel), each channel supplying an equal
+    /// `bytes_per_cycle / channels` share of the aggregate bandwidth.
+    /// Always ≥ [`DramConfig::occupancy_cycles`] of the summed bytes,
+    /// with equality exactly when traffic spreads evenly.
+    #[must_use]
+    pub fn channel_occupancy_cycles(&self, channel_bytes: &[u64]) -> f64 {
+        let per_channel_bw = self.bytes_per_cycle / f64::from(self.channels);
+        channel_bytes
+            .iter()
+            .map(|&b| b as f64 / per_channel_bw)
+            .fold(0.0, f64::max)
+    }
 }
 
 #[cfg(test)]
@@ -90,6 +122,33 @@ mod tests {
         let d = DramConfig::new(100, 2.0, 1);
         assert!((d.occupancy_cycles(64) - 32.0).abs() < 1e-12);
         assert!((d.occupancy_cycles(128) - 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn channel_occupancy_is_governed_by_the_hottest_channel() {
+        let d = DramConfig::new(100, 4.0, 4).with_channel_contention();
+        assert!(d.contended);
+        // Even spread: identical to the aggregate model.
+        let even = d.channel_occupancy_cycles(&[64, 64, 64, 64]);
+        assert!((even - d.occupancy_cycles(256)).abs() < 1e-12);
+        // All traffic on one channel: 4x slower than the aggregate model.
+        let skewed = d.channel_occupancy_cycles(&[256, 0, 0, 0]);
+        assert!((skewed - 4.0 * d.occupancy_cycles(256)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contended_flag_defaults_to_off_on_deserialize() {
+        // Pre-contention device JSON (no `contended` key) must still
+        // deserialize, and must land on the aggregate model.
+        let legacy = r#"{"latency_cycles":100,"bytes_per_cycle":2.0,"channels":2}"#;
+        let back: DramConfig = serde_json::from_str(legacy).unwrap();
+        assert!(!back.contended);
+        // And the flag round-trips when set.
+        let on = DramConfig::new(100, 2.0, 2).with_channel_contention();
+        let json = serde_json::to_string(&on).unwrap();
+        assert!(json.contains("contended"), "{json}");
+        let back: DramConfig = serde_json::from_str(&json).unwrap();
+        assert!(back.contended);
     }
 
     #[test]

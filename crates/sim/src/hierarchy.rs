@@ -36,14 +36,28 @@ pub struct PhaseAccum {
     pub supply_bytes: Vec<u64>,
     /// DRAM byte counters for this phase.
     pub dram: DramStats,
+    /// Per-channel DRAM bytes, populated only when the device's
+    /// [`DramConfig::contended`] channel model is on (empty otherwise —
+    /// the aggregate `dram` counters then fully describe the traffic).
+    /// Lines interleave over channels by line address, so the entries
+    /// always sum to `dram.bytes_total()`.
+    #[serde(default)]
+    pub channel_bytes: Vec<u64>,
 }
 
 impl PhaseAccum {
     pub(crate) fn new(levels: usize) -> Self {
+        Self::with_channels(levels, 0)
+    }
+
+    /// An accumulator with `channels` per-channel DRAM byte slots
+    /// (0 = channel contention off).
+    pub(crate) fn with_channels(levels: usize, channels: u32) -> Self {
         Self {
             cycles: CycleBreakdown::default(),
             supply_bytes: vec![0; levels + 1],
             dram: DramStats::default(),
+            channel_bytes: vec![0; channels as usize],
         }
     }
 
@@ -83,6 +97,10 @@ pub struct CorePipeline {
     pub(crate) levels: Vec<Cache>,
     pub(crate) prefetchers: Vec<Option<Prefetcher>>,
     pub(crate) line_bytes: u32,
+    /// Channel count of the contended DRAM model, 0 when the device uses
+    /// the aggregate model (every paper board). Non-zero routes each
+    /// DRAM line transfer into `cur.channel_bytes[line % channels]`.
+    pub(crate) dram_channels: u32,
     /// `exposed_subcycles` of each cache level (then DRAM at index
     /// `levels.len()`), precomputed once: the MLP division is quantized
     /// to an integer subcycle constant here and nowhere else, so the
@@ -181,6 +199,11 @@ impl CorePipeline {
         }
         exposed[n] = cfg.core.exposed_subcycles(cfg.dram.latency_cycles);
         full_latency[n] = u64::from(cfg.dram.latency_cycles) << SUBCYCLE_SHIFT;
+        let dram_channels = if cfg.dram.contended {
+            cfg.dram.channels
+        } else {
+            0
+        };
         Self {
             core: cfg.core,
             dtlb: Tlb::new(cfg.dtlb),
@@ -196,9 +219,10 @@ impl CorePipeline {
                 })
                 .collect(),
             line_bytes,
+            dram_channels,
             exposed,
             full_latency,
-            cur: PhaseAccum::new(n),
+            cur: PhaseAccum::with_channels(n, dram_channels),
             done: Vec::new(),
             pred_buf: Vec::new(),
             tlb_enabled: cfg.tlb_enabled,
@@ -207,7 +231,11 @@ impl CorePipeline {
             strided_batches: 0,
             walk_memo: [None; MAX_WALK_LEVELS],
             walk_upper_node: None,
-            analytic: if cfg.analytic && cfg.fastpath {
+            // Analytic fast-forward scales counters *linearly* over a
+            // periodic chunk; a per-channel tally (`line % channels`) is
+            // not linear in the chunk's line delta, so contended devices
+            // always replay (DESIGN.md §16).
+            analytic: if cfg.analytic && cfg.fastpath && !cfg.dram.contended {
                 Some(Box::new(Analytic::new()))
             } else {
                 None
@@ -260,8 +288,20 @@ impl CorePipeline {
 
     pub(crate) fn flush_phase(&mut self) {
         let n = self.levels.len();
-        let cur = std::mem::replace(&mut self.cur, PhaseAccum::new(n));
+        let fresh = PhaseAccum::with_channels(n, self.dram_channels);
+        let cur = std::mem::replace(&mut self.cur, fresh);
         self.done.push(cur);
+    }
+
+    /// Book one DRAM line transfer against its channel (line-interleaved
+    /// mapping) when the contended channel model is on; a no-op for the
+    /// aggregate model so the paper boards' accounting is untouched.
+    #[inline]
+    fn tally_dram_channel(&mut self, line: u64) {
+        if self.dram_channels != 0 {
+            let ch = (line % u64::from(self.dram_channels)) as usize;
+            self.cur.channel_bytes[ch] += u64::from(self.line_bytes);
+        }
     }
 
     /// Translate one probe's page; charges TLB latencies and page-walk
@@ -405,6 +445,7 @@ impl CorePipeline {
             self.cur.supply_bytes[1] += lb;
             self.cur.dram.bytes_read += lb;
             self.cur.dram.reads += 1;
+            self.tally_dram_channel(line);
             let (victim, way) = self.levels[0].fill_reserved(line, is_write, slot0);
             if let Some(victim) = victim {
                 self.writeback(victim, 0);
@@ -456,6 +497,7 @@ impl CorePipeline {
                 }
                 self.cur.dram.bytes_read += u64::from(self.line_bytes);
                 self.cur.dram.reads += 1;
+                self.tally_dram_channel(line);
                 Some(self.fill_levels(line, n, is_write, &slots))
             }
         };
@@ -513,6 +555,7 @@ impl CorePipeline {
             if next == n {
                 self.cur.dram.bytes_written += u64::from(self.line_bytes);
                 self.cur.dram.writes += 1;
+                self.tally_dram_channel(victim);
                 return;
             }
             match self.levels[next].fill(victim, true, false) {
@@ -559,6 +602,7 @@ impl CorePipeline {
             if source == n {
                 self.cur.dram.bytes_read += u64::from(self.line_bytes);
                 self.cur.dram.reads += 1;
+                self.tally_dram_channel(p);
             }
             if let Some(victim) = self.levels[k].fill(p, false, true) {
                 self.writeback(victim, k);
@@ -1302,6 +1346,82 @@ mod tests {
                 },
             );
         }
+    }
+
+    fn contended_pipeline(levels: usize) -> CorePipeline {
+        let mut caches = vec![CacheConfig::new("L1", 4096, 4, 64)
+            .policy(ReplacementPolicy::Lru)
+            .latency(4)
+            .bytes_per_cycle(8.0)];
+        if levels > 1 {
+            caches.push(
+                CacheConfig::new("L2", 65536, 8, 64)
+                    .latency(12)
+                    .bytes_per_cycle(8.0),
+            );
+        }
+        let prefetchers = std::iter::once(PrefetcherConfig::c906())
+            .chain(std::iter::repeat(PrefetcherConfig::None))
+            .take(levels)
+            .collect();
+        CorePipeline::new(PipelineConfig {
+            core: CoreConfig::new("test", 1.0, 1, 0, 1.0),
+            caches,
+            prefetchers,
+            dtlb: TlbConfig::fully_associative("DTLB", 16),
+            l2tlb: None,
+            walk: PageWalk::sv39(),
+            dram: DramConfig::new(100, 4.0, 4).with_channel_contention(),
+            tlb_enabled: false,
+            fastpath: true,
+            analytic: true,
+        })
+    }
+
+    #[test]
+    fn contended_channel_tallies_cover_every_dram_byte() {
+        for levels in [1usize, 2] {
+            let mut p = contended_pipeline(levels);
+            assert!(
+                p.analytic.is_none(),
+                "contended devices must always replay (no linear fast-forward)"
+            );
+            // Demand misses + prefetch fills (sweep), dirty writebacks
+            // (stores conflicting through the tiny L1 set), and a phase
+            // boundary mid-stream.
+            for i in 0..512u64 {
+                p.load(i * 64, 8);
+            }
+            p.barrier();
+            for i in 0..64u64 {
+                p.store(i * 4096, 8);
+            }
+            let out = p.finish();
+            assert!(out.phases.len() >= 2);
+            for (k, ph) in out.phases.iter().enumerate() {
+                assert_eq!(ph.channel_bytes.len(), 4, "levels={levels} phase {k}");
+                assert_eq!(
+                    ph.channel_bytes.iter().sum::<u64>(),
+                    ph.dram.bytes_total(),
+                    "levels={levels} phase {k}: every DRAM line must be \
+                     booked against exactly one channel"
+                );
+            }
+            assert!(
+                out.phases
+                    .iter()
+                    .any(|ph| ph.channel_bytes.iter().sum::<u64>() > 0),
+                "levels={levels}: the workload must generate DRAM traffic"
+            );
+        }
+    }
+
+    #[test]
+    fn uncontended_phases_carry_no_channel_vector() {
+        let mut p = test_pipeline(PrefetcherConfig::None);
+        p.load(0, 8);
+        let out = p.finish();
+        assert!(out.phases.iter().all(|ph| ph.channel_bytes.is_empty()));
     }
 
     #[test]

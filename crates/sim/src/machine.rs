@@ -561,10 +561,16 @@ impl Machine {
 
         let mut phases = Vec::with_capacity(n_phases);
         let mut total_cycles = 0.0_f64;
+        let n_channels = if self.spec.dram.contended {
+            self.spec.dram.channels as usize
+        } else {
+            0
+        };
         for p in 0..n_phases {
             let mut slowest_core = 0.0_f64;
             let mut shared_bytes = vec![0u64; n_levels + 1];
             let mut dram_bytes = 0u64;
+            let mut channel_bytes = vec![0u64; n_channels];
             for o in &outcomes {
                 let acc = o.phases.get(p).unwrap_or(&empty);
                 // A core's own serial time: issue + stall, but no less than
@@ -582,6 +588,9 @@ impl Machine {
                     }
                 }
                 dram_bytes += acc.dram.bytes_total();
+                for (agg, &b) in channel_bytes.iter_mut().zip(&acc.channel_bytes) {
+                    *agg += b;
+                }
                 slowest_core = slowest_core.max(core_time);
             }
 
@@ -596,7 +605,13 @@ impl Machine {
                     }
                 }
             }
-            let dram_occ = self.spec.dram.occupancy_cycles(dram_bytes);
+            // Contended devices are paced by their hottest channel; the
+            // aggregate model (every paper board) is untouched.
+            let dram_occ = if n_channels > 0 {
+                self.spec.dram.channel_occupancy_cycles(&channel_bytes)
+            } else {
+                self.spec.dram.occupancy_cycles(dram_bytes)
+            };
             if dram_occ > phase_cycles {
                 phase_cycles = dram_occ;
                 bottleneck = Bottleneck::Dram;
@@ -892,6 +907,43 @@ mod tests {
             .cloned()
             .unwrap_or_default();
         assert!(msg.contains("core 2 exploded"), "{msg:?}");
+    }
+
+    #[test]
+    fn channel_contention_paces_by_the_hottest_channel() {
+        let aggregate = Device::StarFiveVisionFive.spec();
+        let mut contended = aggregate.clone();
+        contended.dram = contended.dram.with_channel_contention();
+        let run = |spec: &DeviceSpec, line_stride: u64| {
+            Machine::new(spec.clone()).simulate(2, |tid, s| {
+                let base = u64::from(tid) << 30;
+                for i in 0..(1u64 << 13) {
+                    s.load(base + i * 64 * line_stride, 64);
+                }
+            })
+        };
+
+        // Consecutive lines interleave evenly over the two channels:
+        // the contended model agrees with the aggregate one.
+        let a = run(&aggregate, 1);
+        let c = run(&contended, 1);
+        let ratio =
+            c.phases[0].dram_occupancy_cycles / a.phases[0].dram_occupancy_cycles;
+        assert!(
+            (ratio - 1.0).abs() < 0.01,
+            "even traffic must not be penalized: ratio {ratio}"
+        );
+
+        // A stride of two lines lands everything on one channel: the
+        // hottest channel holds half the bandwidth, so occupancy doubles.
+        let a = run(&aggregate, 2);
+        let c = run(&contended, 2);
+        let ratio =
+            c.phases[0].dram_occupancy_cycles / a.phases[0].dram_occupancy_cycles;
+        assert!(
+            ratio > 1.9,
+            "single-channel traffic must pay the per-channel bandwidth: ratio {ratio}"
+        );
     }
 
     #[test]

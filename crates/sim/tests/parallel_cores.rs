@@ -58,13 +58,12 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
     /// Serial and per-core-parallel replay agree, digest for digest, on
-    /// all four device presets — including ragged per-core barrier
-    /// counts.
+    /// every device preset — including ragged per-core barrier counts.
     #[test]
     fn parallel_replay_digest_matches_serial_on_all_devices(
         ops in proptest::collection::vec((0u8..8, 0u64..1 << 16, 0u32..1 << 16), 1..200),
     ) {
-        for device in Device::all() {
+        for &device in Device::all() {
             let serial = run(device, &ops, None);
             let parallel = run(device, &ops, Some(JobBudget::new(device.spec().cores)));
             prop_assert_eq!(
@@ -99,6 +98,28 @@ proptest! {
         for phase in &a.phases {
             prop_assert!(phase.cycles >= 0.0);
             prop_assert!(phase.cycles.is_finite());
+        }
+    }
+
+    /// The 64-core SG2044 preset (channel-contended DRAM, so the
+    /// analytic fast path is off and every line probe replays) keeps
+    /// digests invariant across host worker budgets of 1, 8 and 64 —
+    /// the widest fan-out the matrix ever requests.
+    #[test]
+    fn sg2044_digest_is_jobs_invariant(
+        ops in proptest::collection::vec((0u8..8, 0u64..1 << 16, 0u32..1 << 16), 1..100),
+    ) {
+        let device = Device::SophonSG2044;
+        let serial = run(device, &ops, None);
+        for jobs in [1u32, 8, 64] {
+            let fanned = run(device, &ops, Some(JobBudget::new(jobs)));
+            prop_assert_eq!(
+                serial.stats_digest(),
+                fanned.stats_digest(),
+                "digest diverged on {} with --jobs {}",
+                device,
+                jobs
+            );
         }
     }
 }

@@ -176,7 +176,7 @@ fn armed_handoff_survives_fast_forward() {
             reference.stats_digest(),
             "fast path diverged from reference on {device}"
         );
-        if device == Device::MangoPiMqPro {
+        if *device == Device::MangoPiMqPro {
             assert!(
                 analytic.analytic_ops > 0,
                 "the 32 Ki-element sweep must fast-forward on Mango's 8 KiB modulus: {analytic:?}"

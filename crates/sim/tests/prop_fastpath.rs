@@ -62,7 +62,7 @@ proptest! {
     fn fastpath_digest_matches_reference_on_all_devices(
         ops in proptest::collection::vec((0u8..7, 0u64..1 << 16, 0u32..1 << 16), 1..250),
     ) {
-        for device in Device::all() {
+        for &device in Device::all() {
             let fast = digest_on(device, &ops, true);
             let reference = digest_on(device, &ops, false);
             prop_assert_eq!(
@@ -83,7 +83,7 @@ proptest! {
 /// partitioned-cache simulation.
 #[test]
 fn fastpath_digest_matches_reference_on_hot_patterns() {
-    for device in Device::all() {
+    for &device in Device::all() {
         let spec = device.spec();
         let threads = spec.cores.min(2);
         let trace = |tid: u32, sink: &mut dyn TraceSink| {

@@ -141,7 +141,7 @@ proptest! {
     fn strided_digest_matches_scalar_on_all_devices(
         ops in proptest::collection::vec((0u8..7, 0u64..1 << 16, 0u64..1 << 24), 1..60),
     ) {
-        for device in Device::all() {
+        for &device in Device::all() {
             let batched = simulate(device, true, |s| replay_batched(&ops, s));
             let scalar = simulate(device, true, |s| replay_scalar(&ops, s));
             prop_assert_eq!(
@@ -173,7 +173,7 @@ proptest! {
         ops in proptest::collection::vec((0u8..7, 0u64..1 << 16, 0u64..1 << 24), 1..40),
         cuts in proptest::collection::vec(0u64..64, 8..9),
     ) {
-        for device in Device::all() {
+        for &device in Device::all() {
             let whole = simulate(device, true, |s| replay_batched(&ops, s));
             let split = simulate(device, true, |s| replay_split(&ops, &cuts, s));
             prop_assert_eq!(
@@ -238,7 +238,7 @@ fn strided_seams_match_scalar_on_all_devices() {
         }
         sink.barrier();
     };
-    for device in Device::all() {
+    for &device in Device::all() {
         let batched = simulate(device, true, |s| program(s));
         let scalar = simulate(device, true, |s| scalar_program(s));
         assert_eq!(
@@ -254,7 +254,7 @@ fn strided_seams_match_scalar_on_all_devices() {
 /// dispatch of the reference machine, forward and backward.
 #[test]
 fn strided_sweep_simulates_identically_via_batches() {
-    for device in Device::all() {
+    for &device in Device::all() {
         for &stride in &[64i64, -64, 192, 8, -8, 32768] {
             let sweep = StridedSweep::new(0x3000_0000_0000, 512, 8, stride).writing();
             let fast = Machine::new(device.spec()).simulate(1, |_t, sink| sweep.trace_all(sink));

@@ -41,7 +41,7 @@ fn main() {
         "\n== simulated study ({} x {} x {}, F = {}) ==\n",
         cfg.height, cfg.width, cfg.channels, cfg.filter_size
     );
-    for device in Device::all() {
+    for &device in Device::all() {
         let spec = device.spec();
         let stream = stream_dram_gbps(&spec);
         println!("{device}:");

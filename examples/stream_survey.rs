@@ -21,7 +21,7 @@ fn main() {
     }
 
     // Simulated devices: per-level breakdown.
-    for device in Device::all() {
+    for &device in Device::all() {
         let spec = device.spec();
         println!("\n{device} (modelled):");
         for row in experiment::simulate_stream_survey(&spec) {

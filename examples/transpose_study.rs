@@ -20,7 +20,7 @@ fn main() {
     let cfg = TransposeConfig::new(n);
     println!("== transposition study: {n} x {n} doubles ==\n");
 
-    for device in Device::all() {
+    for &device in Device::all() {
         let spec = device.spec();
         if !spec.fits_in_memory(cfg.matrix_bytes()) {
             println!("{device}: matrix does not fit in {} GB of memory (the paper's\n  missing 16384 bars)\n", spec.dram_capacity_bytes >> 30);

@@ -20,14 +20,14 @@
 
 use membound::core::cache;
 use membound::core::experiment::{
-    simulate_blur, simulate_stream, simulate_stream_survey, simulate_transpose,
-    simulate_transpose_reference, stream_dram_gbps,
+    simulate_blur, simulate_gbmv, simulate_gbmv_reference, simulate_stream,
+    simulate_stream_survey, simulate_transpose, simulate_transpose_reference, stream_dram_gbps,
 };
 use membound::core::metrics::{attach_speedups, Measurement};
 use membound::core::report::{fmt_seconds, fmt_speedup, to_json, TextTable};
 use membound::core::{
-    blur_native, run_native_stream, transpose_native, BlurConfig, BlurVariant, SquareMatrix,
-    StreamOp, StreamTrace, TransposeConfig, TransposeVariant,
+    blur_native, run_native_stream, transpose_native, BlurConfig, BlurVariant, GbmvConfig,
+    GbmvVariant, SquareMatrix, StreamOp, StreamTrace, TransposeConfig, TransposeVariant,
 };
 use membound::core::{BlurTrace, TransposeTrace};
 use membound::image::generate;
@@ -134,10 +134,13 @@ impl Opts {
     fn devices(&self) -> Vec<Device> {
         match self.get("device").unwrap_or("all") {
             "all" => Device::all().to_vec(),
+            "paper" => Device::paper().to_vec(),
             "mangopi" | "mango" | "d1" => vec![Device::MangoPiMqPro],
             "starfive" | "visionfive" | "jh7100" => vec![Device::StarFiveVisionFive],
             "rpi4" | "raspberrypi" | "arm" => vec![Device::RaspberryPi4],
             "xeon" | "x86" => vec![Device::IntelXeon4310T],
+            "sg2044" | "sophon" => vec![Device::SophonSG2044],
+            "montecimone" | "monte" | "cimone" | "u740" => vec![Device::MonteCimone],
             other => {
                 eprintln!("unknown device: {other}");
                 usage()
@@ -545,6 +548,25 @@ fn cmd_strided_gate(opts: &Opts) -> ExitCode {
                 if ok { "ok" } else { "DIVERGED" }.into(),
             ]);
         }
+        // One gbmv cell: the naïve anti-diagonal walk is the widest
+        // constant stride any kernel feeds the bulk executors.
+        let gcfg = GbmvConfig::new(n.max(128));
+        if let (Some(batched), Some(reference)) = (
+            simulate_gbmv(&spec, GbmvVariant::Naive, gcfg),
+            simulate_gbmv_reference(&spec, GbmvVariant::Naive, gcfg),
+        ) {
+            let ok = batched.stats_digest() == reference.stats_digest();
+            failures += u32::from(!ok);
+            batches_seen += batched.strided_batches;
+            table.row(vec![
+                device.label().into(),
+                "gbmv Naive".into(),
+                batched.strided_batches.to_string(),
+                format!("{:016x}", batched.stats_digest()),
+                format!("{:016x}", reference.stats_digest()),
+                if ok { "ok" } else { "DIVERGED" }.into(),
+            ]);
+        }
     }
     println!("strided gate, {n}x{n} transposition\n{}", table.render());
     if failures > 0 {
@@ -821,6 +843,15 @@ fn cmd_analytic_gate(opts: &Opts) -> ExitCode {
                 Some(off),
             );
         }
+        // One gbmv cell per device: the blocked panels are the same
+        // unit-stride shape the executor's coverage gates see from
+        // STREAM, reached through a different kernel family.
+        let cfg_g = GbmvConfig::new(opts.num("n", 512).max(128));
+        set_analytic_override(Some(true));
+        let on = simulate_gbmv(&spec, GbmvVariant::Blocked, cfg_g);
+        set_analytic_override(Some(false));
+        let off = simulate_gbmv(&spec, GbmvVariant::Blocked, cfg_g);
+        gate(&mut table, "gbmv", device.label(), "Blocked", on, off);
     }
     set_analytic_override(None);
     println!("analytic gate\n{}", table.render());
@@ -1253,7 +1284,19 @@ mod tests {
             opts(&["--device", "arm"]).devices(),
             vec![Device::RaspberryPi4]
         );
-        assert_eq!(opts(&[]).devices().len(), 4, "default sweeps all devices");
+        assert_eq!(
+            opts(&["--device", "sg2044"]).devices(),
+            vec![Device::SophonSG2044]
+        );
+        assert_eq!(
+            opts(&["--device", "u740"]).devices(),
+            vec![Device::MonteCimone]
+        );
+        assert_eq!(opts(&[]).devices().len(), 6, "default sweeps all devices");
+        assert_eq!(
+            opts(&["--device", "paper"]).devices(),
+            Device::paper().to_vec()
+        );
     }
 
     #[test]

@@ -85,7 +85,7 @@ fn prefetch_ablation_matches_the_starfive_anomaly() {
             })
             .cycles
     };
-    for device in Device::all() {
+    for &device in Device::all() {
         let spec = device.spec();
         assert!(
             spec.prefetchers

@@ -32,7 +32,7 @@ fn fig1_dram_bandwidth_ordering() {
 /// Fig. 1: within each device, memory levels get slower outward.
 #[test]
 fn fig1_levels_get_slower_outward() {
-    for device in Device::all() {
+    for &device in Device::paper() {
         let survey = simulate_stream_survey(&device.spec());
         // Compare Copy bandwidth level to level.
         for pair in survey.windows(2) {
@@ -71,7 +71,7 @@ fn transpose_ladder(device: Device, n: usize) -> Option<HashMap<TransposeVariant
 /// central claim that x86 memory optimizations transfer to RISC-V.
 #[test]
 fn fig2_ladder_improves_everywhere() {
-    for device in Device::all() {
+    for &device in Device::paper() {
         let ladder = transpose_ladder(device, 1024).expect("1024^2 fits everywhere");
         let naive = ladder[&TransposeVariant::Naive];
         let best =
@@ -94,7 +94,7 @@ fn fig2_ladder_improves_everywhere() {
 #[test]
 fn fig2_16384_missing_only_on_mango_pi() {
     let cfg = TransposeConfig::new(16384);
-    for device in Device::all() {
+    for &device in Device::paper() {
         let fits = device.spec().fits_in_memory(cfg.matrix_bytes());
         assert_eq!(
             fits,
@@ -127,7 +127,7 @@ fn fig2_riscv_time_gap_smaller_than_bandwidth_gap() {
 #[test]
 fn fig3_utilization_rises_with_optimization() {
     let cfg = TransposeConfig::new(1024);
-    for device in Device::all() {
+    for &device in Device::paper() {
         let spec = device.spec();
         let stream = stream_dram_gbps(&spec);
         let util = |v| {
@@ -155,7 +155,7 @@ fn blur_ladder(device: Device, cfg: BlurConfig) -> HashMap<BlurVariant, f64> {
 #[test]
 fn fig6_blur_ladder_shape() {
     let cfg = BlurConfig::small(255, 319);
-    for device in Device::all() {
+    for &device in Device::paper() {
         let ladder = blur_ladder(device, cfg);
         let naive = ladder[&BlurVariant::Naive];
         let unit = ladder[&BlurVariant::UnitStride];
@@ -210,7 +210,7 @@ fn fig6_starfive_parallel_blur_is_bandwidth_capped() {
 #[test]
 fn fig7_blur_utilization_shape() {
     let cfg = BlurConfig::small(255, 319);
-    for device in Device::all() {
+    for &device in Device::paper() {
         let spec = device.spec();
         let stream = stream_dram_gbps(&spec);
         let util =
